@@ -1,0 +1,14 @@
+//! Regenerates Figure 7 (local vs global detour recovery distances).
+
+use smrp_bench::{bench_effort, header};
+use smrp_experiments::fig7;
+
+fn main() {
+    header(
+        "Figure 7: recovery distance via local detour (y) vs global detour (x)",
+        "most points below y = x; local detours ~33% shorter on average",
+    );
+    let result = fig7::run(bench_effort());
+    println!("{}", result.plot());
+    println!("measured: {}", result.summary());
+}

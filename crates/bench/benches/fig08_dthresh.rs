@@ -1,0 +1,15 @@
+//! Regenerates Figure 8 (effect of `D_thresh`).
+
+use smrp_bench::{bench_effort, header};
+use smrp_experiments::fig8;
+
+fn main() {
+    header(
+        "Figure 8: effect of D_thresh on RD_rel / D_rel / Cost_rel",
+        "~20% shorter recovery paths at D_thresh = 0.3 for ~5% delay and \
+         cost penalties; improvement grows roughly linearly with D_thresh",
+    );
+    let result = fig8::run(bench_effort());
+    println!("{}", result.table());
+    println!("measured: {}", result.summary());
+}

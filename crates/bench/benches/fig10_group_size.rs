@@ -1,0 +1,15 @@
+//! Regenerates Figure 10 (effect of group size `N_G`).
+
+use smrp_bench::{bench_effort, header};
+use smrp_experiments::fig10;
+
+fn main() {
+    header(
+        "Figure 10: effect of group size N_G",
+        "steady ~20% recovery-path reduction at ~5% overhead across group \
+         sizes, with a slight decline for larger groups",
+    );
+    let result = fig10::run(bench_effort());
+    println!("{}", result.table());
+    println!("measured: {}", result.summary());
+}

@@ -1,0 +1,35 @@
+//! Regenerates the non-figure evaluation artifacts: the §1 restoration
+//! latency motivation, the §3.3.3 hierarchical confinement walkthrough
+//! (Figure 6) and the design-choice ablations from DESIGN.md.
+
+use smrp_bench::{bench_effort, header};
+use smrp_experiments::{ablation, hierarchy_exp, latency};
+
+fn main() {
+    let effort = bench_effort();
+
+    header(
+        "Restoration latency: local detour vs PIM-over-OSPF global detour",
+        "failure recovery time for PIM is dominated by unicast (OSPF) \
+         reconvergence; a local detour only pays detection + signalling",
+    );
+    let rl = latency::run(effort);
+    println!("{}", rl.table());
+    println!("measured: {}\n", rl.summary());
+
+    header(
+        "Hierarchical recovery (Figure 6): failure confinement",
+        "any failure inside a recovery domain is handled by that domain; \
+         all tree reconfigurations stay inside it",
+    );
+    let rh = hierarchy_exp::run(effort);
+    println!("{}", rh.table());
+    println!("measured: {}\n", rh.summary());
+
+    header(
+        "Ablations: reshaping, query scheme, Condition I threshold",
+        "(design-choice benches from DESIGN.md; no direct paper figure)",
+    );
+    let ra = ablation::run(effort);
+    println!("{}", ra.table());
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Shared helpers for the benchmark targets.
+//!
+//! `cargo bench --workspace` regenerates every figure of the paper's
+//! evaluation (in quick mode, so the whole suite stays fast) and runs
+//! Criterion micro-benchmarks over the algorithmic building blocks. For
+//! paper-scale sample counts, set `SMRP_BENCH_FULL=1` or run the binaries
+//! in `smrp-experiments` without `--quick`.
+
+use smrp_experiments::Effort;
+
+/// Effort used by the figure benches: quick unless `SMRP_BENCH_FULL` is
+/// set, so `cargo bench` finishes promptly by default.
+pub fn bench_effort() -> Effort {
+    if std::env::var_os("SMRP_BENCH_FULL").is_some() {
+        Effort::Paper
+    } else {
+        Effort::Quick
+    }
+}
+
+/// Prints the standard bench header.
+pub fn header(figure: &str, claim: &str) {
+    println!("==============================================================");
+    println!("{figure}");
+    println!("paper claim: {claim}");
+    println!("==============================================================");
+}

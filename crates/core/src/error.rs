@@ -1,0 +1,73 @@
+//! Error type for multicast session operations.
+
+use std::error::Error;
+use std::fmt;
+
+use smrp_net::NodeId;
+
+/// Errors produced by multicast tree construction and recovery.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SmrpError {
+    /// The node id does not exist in the underlying graph.
+    UnknownNode(NodeId),
+    /// Attempted to join a node that is already a member.
+    AlreadyMember(NodeId),
+    /// Attempted a member-only operation on a non-member.
+    NotMember(NodeId),
+    /// The multicast source cannot join or leave its own session.
+    SourceOperation(NodeId),
+    /// No path satisfying the selection criterion exists (node disconnected
+    /// from the tree, or every candidate violates the delay bound with no
+    /// fallback).
+    NoFeasiblePath(NodeId),
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SmrpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmrpError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            SmrpError::AlreadyMember(n) => write!(f, "node {n} is already a member"),
+            SmrpError::NotMember(n) => write!(f, "node {n} is not a member"),
+            SmrpError::SourceOperation(n) => {
+                write!(f, "the source {n} cannot join or leave its own session")
+            }
+            SmrpError::NoFeasiblePath(n) => {
+                write!(f, "no feasible multicast path exists for node {n}")
+            }
+            SmrpError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SmrpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_node() {
+        assert!(SmrpError::AlreadyMember(NodeId::new(3))
+            .to_string()
+            .contains("n3"));
+        assert!(SmrpError::NoFeasiblePath(NodeId::new(8))
+            .to_string()
+            .contains("n8"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SmrpError>();
+    }
+}

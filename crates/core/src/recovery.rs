@@ -1,0 +1,456 @@
+//! Failure recovery: local vs global detours and the recovery distance.
+//!
+//! When a persistent failure disconnects part of the multicast tree, each
+//! disconnected member restores service by locating a restoration path
+//! around the faulty component (§3.1, §4.2):
+//!
+//! * **Local detour** — the SMRP recovery strategy: connect to the
+//!   *nearest* on-tree node that is still connected to the source, over any
+//!   non-faulty route. The recovery distance `RD_R` is the delay of that
+//!   member-to-attach-point segment ("the distance between the disconnected
+//!   member R and its local recovery on-tree node", §4.2; Figure 1's
+//!   `RD_D = 2` for restoration path `D → C`).
+//! * **Global detour** — what SPF-based protocols do after unicast routing
+//!   reconverges: re-join along the new shortest path to the source. The
+//!   restoration path is the prefix of that new path up to the first
+//!   still-connected on-tree node (PIM join propagation stops there), and
+//!   `RD_R` is its delay.
+//!
+//! The worst-case failure model of §4.3.1 — "the link closest to the source
+//! node on R's multicast path" — is provided by [`worst_case_failure_for`].
+
+use smrp_net::dijkstra::{self, Constraints};
+use smrp_net::{FailureScenario, Graph, LinkId, NodeId, Path};
+
+use crate::tree::MulticastTree;
+
+/// Which restoration strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetourKind {
+    /// Connect to the nearest still-connected on-tree node (SMRP).
+    Local,
+    /// Re-join along the post-reconvergence unicast shortest path
+    /// (PIM/MOSPF baseline).
+    Global,
+}
+
+/// Why a recovery attempt produced no restoration path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The member's service was never disrupted by this scenario.
+    NotAffected(NodeId),
+    /// The member itself failed, or no non-faulty route to the surviving
+    /// tree exists.
+    Unrecoverable(NodeId),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::NotAffected(n) => {
+                write!(f, "member {n} is not affected by the failure")
+            }
+            RecoveryError::Unrecoverable(n) => {
+                write!(
+                    f,
+                    "member {n} has no non-faulty route to the surviving tree"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// A computed restoration path for one disconnected member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    member: NodeId,
+    kind: DetourKind,
+    restoration_path: Path,
+    attach: NodeId,
+    recovery_distance: f64,
+    new_links: Vec<LinkId>,
+    new_end_to_end_delay: f64,
+}
+
+impl Recovery {
+    /// The recovered member.
+    pub fn member(&self) -> NodeId {
+        self.member
+    }
+
+    /// Which strategy produced this recovery.
+    pub fn kind(&self) -> DetourKind {
+        self.kind
+    }
+
+    /// The restoration path from the member to its recovery on-tree node.
+    pub fn restoration_path(&self) -> &Path {
+        &self.restoration_path
+    }
+
+    /// The still-connected on-tree node the member re-attaches to.
+    pub fn attach(&self) -> NodeId {
+        self.attach
+    }
+
+    /// `RD_R`: delay of the restoration path (§4.2).
+    pub fn recovery_distance(&self) -> f64 {
+        self.recovery_distance
+    }
+
+    /// Links of the restoration path that were not already part of the
+    /// (surviving) multicast tree — the state that must be newly installed.
+    pub fn new_links(&self) -> &[LinkId] {
+        &self.new_links
+    }
+
+    /// The member's end-to-end delay after re-attachment (tree delay to the
+    /// attach point plus the restoration path).
+    pub fn new_end_to_end_delay(&self) -> f64 {
+        self.new_end_to_end_delay
+    }
+}
+
+/// On-tree nodes still connected to the source through surviving tree
+/// links, in DFS order from the source.
+///
+/// Returns an empty vector if the source itself failed.
+pub fn surviving_connected(
+    graph: &Graph,
+    tree: &MulticastTree,
+    scenario: &FailureScenario,
+) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    if !scenario.node_usable(tree.source()) {
+        return out;
+    }
+    let mut stack = vec![tree.source()];
+    while let Some(u) = stack.pop() {
+        out.push(u);
+        for &c in tree.children(u) {
+            if !scenario.node_usable(c) {
+                continue;
+            }
+            let Some(l) = graph.link_between(u, c) else {
+                continue;
+            };
+            if scenario.link_usable(graph, l) {
+                stack.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Members whose tree path to the source was broken by `scenario` (the
+/// member node itself may also have failed; such members are included).
+pub fn affected_members(
+    graph: &Graph,
+    tree: &MulticastTree,
+    scenario: &FailureScenario,
+) -> Vec<NodeId> {
+    let connected = surviving_connected(graph, tree, scenario);
+    let mut mask = vec![false; graph.node_count()];
+    for n in &connected {
+        mask[n.index()] = true;
+    }
+    tree.members().filter(|m| !mask[m.index()]).collect()
+}
+
+/// The worst-case failure for `member` (§4.3.1): the tree link incident to
+/// the source on the member's multicast path, whose loss disables the
+/// largest portion of the member's path.
+///
+/// Returns `None` for off-tree nodes or a member sitting directly at the
+/// source.
+pub fn worst_case_failure_for(
+    graph: &Graph,
+    tree: &MulticastTree,
+    member: NodeId,
+) -> Option<LinkId> {
+    let path = tree.path_from_source(member)?;
+    let nodes = path.nodes();
+    if nodes.len() < 2 {
+        return None;
+    }
+    graph.link_between(nodes[0], nodes[1])
+}
+
+/// Computes a restoration path for `member` under `scenario`.
+///
+/// # Errors
+///
+/// * [`RecoveryError::NotAffected`] — the member is still connected;
+/// * [`RecoveryError::Unrecoverable`] — the member failed or no non-faulty
+///   route to the surviving tree exists.
+///
+/// # Example
+///
+/// Figure 1 of the paper: when `L_AD` fails, member `D`'s local detour is
+/// `D → C` with recovery distance 2.
+///
+/// ```
+/// use smrp_core::paper;
+/// use smrp_core::recovery::{self, DetourKind};
+/// use smrp_net::FailureScenario;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (graph, tree, n) = paper::figure1();
+/// let failed = graph.link_between(n.a, n.d).expect("figure link");
+/// let scenario = FailureScenario::link(failed);
+/// let rec = recovery::recover(&graph, &tree, &scenario, n.d, DetourKind::Local)?;
+/// assert_eq!(rec.attach(), n.c);
+/// assert_eq!(rec.recovery_distance(), 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn recover(
+    graph: &Graph,
+    tree: &MulticastTree,
+    scenario: &FailureScenario,
+    member: NodeId,
+    kind: DetourKind,
+) -> Result<Recovery, RecoveryError> {
+    if !scenario.node_usable(member) {
+        return Err(RecoveryError::Unrecoverable(member));
+    }
+    let connected = surviving_connected(graph, tree, scenario);
+    let mut mask = vec![false; graph.node_count()];
+    for n in &connected {
+        mask[n.index()] = true;
+    }
+    if mask[member.index()] {
+        return Err(RecoveryError::NotAffected(member));
+    }
+
+    let constraints = Constraints::avoiding_failures(scenario);
+    let restoration = match kind {
+        DetourKind::Local => {
+            dijkstra::shortest_path_to_any(graph, member, constraints, |n| mask[n.index()])
+                .ok_or(RecoveryError::Unrecoverable(member))?
+        }
+        DetourKind::Global => {
+            let spf =
+                dijkstra::shortest_path_constrained(graph, member, tree.source(), constraints)
+                    .ok_or(RecoveryError::Unrecoverable(member))?;
+            // PIM join propagation stops at the first still-connected
+            // on-tree router along the new unicast path.
+            let nodes = spf.nodes();
+            let cut = nodes
+                .iter()
+                .position(|n| mask[n.index()])
+                .expect("path ends at the source, which is connected");
+            Path::new(nodes[..=cut].to_vec())
+        }
+    };
+
+    let attach = restoration.target();
+    let recovery_distance = restoration.delay(graph);
+    let tree_links = tree.links(graph);
+    let new_links: Vec<LinkId> = restoration
+        .links(graph)
+        .into_iter()
+        .filter(|l| !tree_links.contains(l) || !scenario.link_usable(graph, *l))
+        .collect();
+    let attach_delay = tree
+        .delay_to(graph, attach)
+        .expect("attach point is connected to the source");
+    Ok(Recovery {
+        member,
+        kind,
+        restoration_path: restoration,
+        attach,
+        recovery_distance,
+        new_links,
+        new_end_to_end_delay: attach_delay + recovery_distance,
+    })
+}
+
+/// Convenience: recovery distances of both strategies for one member.
+///
+/// # Errors
+///
+/// Propagates the first strategy error ([`RecoveryError`]).
+pub fn compare_detours(
+    graph: &Graph,
+    tree: &MulticastTree,
+    scenario: &FailureScenario,
+    member: NodeId,
+) -> Result<(Recovery, Recovery), RecoveryError> {
+    let local = recover(graph, tree, scenario, member, DetourKind::Local)?;
+    let global = recover(graph, tree, scenario, member, DetourKind::Global)?;
+    Ok((local, global))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smrp_net::Path as NetPath;
+
+    /// Figure 1(a): tree S-A-{C,D}, members C and D.
+    fn figure1() -> (Graph, MulticastTree, [NodeId; 5]) {
+        let mut g = Graph::with_nodes(5);
+        let ids: Vec<_> = g.node_ids().collect();
+        let [s, a, b, c, d] = [ids[0], ids[1], ids[2], ids[3], ids[4]];
+        g.add_link(s, a, 1.0).unwrap();
+        g.add_link(a, c, 1.0).unwrap();
+        g.add_link(a, d, 1.0).unwrap();
+        g.add_link(c, d, 2.0).unwrap();
+        g.add_link(d, b, 1.0).unwrap();
+        g.add_link(b, s, 2.0).unwrap();
+        let mut t = MulticastTree::new(&g, s).unwrap();
+        t.attach_path(&NetPath::new(vec![c, a, s]));
+        t.set_member(c, true).unwrap();
+        t.attach_path(&NetPath::new(vec![d, a]));
+        t.set_member(d, true).unwrap();
+        (g, t, [s, a, b, c, d])
+    }
+
+    #[test]
+    fn figure1_local_detour_rd_is_two() {
+        let (g, t, [_, a, _, c, d]) = figure1();
+        let l_ad = g.link_between(a, d).unwrap();
+        let scenario = FailureScenario::link(l_ad);
+        let rec = recover(&g, &t, &scenario, d, DetourKind::Local).unwrap();
+        assert_eq!(rec.attach(), c);
+        assert_eq!(rec.recovery_distance(), 2.0);
+        assert_eq!(rec.restoration_path().nodes(), &[d, c]);
+        assert_eq!(rec.new_links().len(), 1);
+        // New end-to-end delay: S->A->C (2) + C->D (2).
+        assert_eq!(rec.new_end_to_end_delay(), 4.0);
+    }
+
+    #[test]
+    fn figure1_global_detour_rd_is_three() {
+        let (g, t, [s, a, b, _, d]) = figure1();
+        let l_ad = g.link_between(a, d).unwrap();
+        let scenario = FailureScenario::link(l_ad);
+        let rec = recover(&g, &t, &scenario, d, DetourKind::Global).unwrap();
+        // New SPF path is D -> B -> S (delay 3); no on-tree node before S.
+        assert_eq!(rec.restoration_path().nodes(), &[d, b, s]);
+        assert_eq!(rec.attach(), s);
+        assert_eq!(rec.recovery_distance(), 3.0);
+        assert_eq!(rec.new_links().len(), 2);
+    }
+
+    #[test]
+    fn local_beats_or_ties_global_here() {
+        let (g, t, [_, a, _, _, d]) = figure1();
+        let l_ad = g.link_between(a, d).unwrap();
+        let scenario = FailureScenario::link(l_ad);
+        let (local, global) = compare_detours(&g, &t, &scenario, d).unwrap();
+        assert!(local.recovery_distance() <= global.recovery_distance());
+    }
+
+    #[test]
+    fn source_link_failure_affects_both_members() {
+        let (g, t, [s, a, _, c, d]) = figure1();
+        let l_sa = g.link_between(s, a).unwrap();
+        let scenario = FailureScenario::link(l_sa);
+        let mut affected = affected_members(&g, &t, &scenario);
+        affected.sort();
+        assert_eq!(affected, vec![c, d]);
+        let surviving = surviving_connected(&g, &t, &scenario);
+        assert_eq!(surviving, vec![s]);
+    }
+
+    #[test]
+    fn not_affected_member_is_reported() {
+        let (g, t, [_, a, _, c, d]) = figure1();
+        let l_ad = g.link_between(a, d).unwrap();
+        let scenario = FailureScenario::link(l_ad);
+        assert_eq!(
+            recover(&g, &t, &scenario, c, DetourKind::Local),
+            Err(RecoveryError::NotAffected(c))
+        );
+    }
+
+    #[test]
+    fn failed_member_is_unrecoverable() {
+        let (g, t, [_, _, _, _, d]) = figure1();
+        let scenario = FailureScenario::node(d);
+        assert_eq!(
+            recover(&g, &t, &scenario, d, DetourKind::Local),
+            Err(RecoveryError::Unrecoverable(d))
+        );
+    }
+
+    #[test]
+    fn isolated_member_is_unrecoverable() {
+        let (g, t, [_, a, b, _, d]) = figure1();
+        // Cut every route out of D: links A-D, C-D, B-D.
+        let mut scenario = FailureScenario::link(g.link_between(a, d).unwrap());
+        scenario.fail_link(g.link_between(NodeId::new(3), d).unwrap());
+        scenario.fail_link(g.link_between(d, b).unwrap());
+        assert_eq!(
+            recover(&g, &t, &scenario, d, DetourKind::Local),
+            Err(RecoveryError::Unrecoverable(d))
+        );
+        assert_eq!(
+            recover(&g, &t, &scenario, d, DetourKind::Global),
+            Err(RecoveryError::Unrecoverable(d))
+        );
+    }
+
+    #[test]
+    fn node_failure_disconnects_subtree() {
+        let (g, t, [s, a, _, c, d]) = figure1();
+        let scenario = FailureScenario::node(a);
+        let mut affected = affected_members(&g, &t, &scenario);
+        affected.sort();
+        assert_eq!(affected, vec![c, d]);
+        // C recovers via D? C's options avoiding A: C-D (2). D is on tree
+        // but disconnected, so C must reach S: C-D-B-S prefix stops at S.
+        let rec = recover(&g, &t, &scenario, c, DetourKind::Local).unwrap();
+        assert_eq!(rec.attach(), s);
+        let _ = rec;
+    }
+
+    #[test]
+    fn worst_case_failure_is_source_incident_link() {
+        let (g, t, [s, a, _, c, _]) = figure1();
+        let l = worst_case_failure_for(&g, &t, c).unwrap();
+        assert_eq!(l, g.link_between(s, a).unwrap());
+    }
+
+    #[test]
+    fn worst_case_failure_for_off_tree_node_is_none() {
+        let (g, t, [_, _, b, _, _]) = figure1();
+        assert_eq!(worst_case_failure_for(&g, &t, b), None);
+    }
+
+    #[test]
+    fn source_failure_leaves_nothing_connected() {
+        let (g, t, [s, _, _, _, _]) = figure1();
+        let scenario = FailureScenario::node(s);
+        assert!(surviving_connected(&g, &t, &scenario).is_empty());
+    }
+
+    #[test]
+    fn global_detour_stops_at_first_connected_on_tree_node() {
+        // Make the post-failure SPF path for the member pass through a
+        // still-connected on-tree relay: the restoration path must stop
+        // there instead of running to the source.
+        let mut g = Graph::with_nodes(5);
+        let ids: Vec<_> = g.node_ids().collect();
+        let [s, r, m, x, y] = [ids[0], ids[1], ids[2], ids[3], ids[4]];
+        g.add_link(s, r, 1.0).unwrap(); // tree: S-R-M
+        g.add_link(r, m, 1.0).unwrap();
+        g.add_link(m, x, 1.0).unwrap(); // detour M-X-R
+        g.add_link(x, r, 1.0).unwrap();
+        g.add_link(x, y, 5.0).unwrap();
+        g.add_link(y, s, 5.0).unwrap();
+        let mut t = MulticastTree::new(&g, s).unwrap();
+        t.attach_path(&NetPath::new(vec![m, r, s]));
+        t.set_member(m, true).unwrap();
+        t.set_member(r, true).unwrap();
+        let l_rm = g.link_between(r, m).unwrap();
+        let scenario = FailureScenario::link(l_rm);
+        let rec = recover(&g, &t, &scenario, m, DetourKind::Global).unwrap();
+        assert_eq!(rec.restoration_path().nodes(), &[m, x, r]);
+        assert_eq!(rec.attach(), r);
+        assert_eq!(rec.recovery_distance(), 2.0);
+    }
+}

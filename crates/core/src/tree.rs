@@ -1,0 +1,761 @@
+//! The multicast tree shared by SMRP and the SPF baseline.
+//!
+//! A [`MulticastTree`] is a Steiner tree over the nodes of a
+//! [`smrp_net::Graph`], rooted at the multicast source. On-tree nodes are
+//! either *members* (receivers) or *relays* (forwarding-only). Every on-tree
+//! node `R` carries the state the paper's Figure 3 prescribes:
+//!
+//! * `N_R` — the number of members in the subtree rooted at `R`
+//!   (equivalently `N_L` for the upstream link `L(R, R_u)`, since everyone
+//!   in the subtree receives through that link);
+//! * `SHR(S,R)` — the sharing metric of Eq. 1, maintained incrementally via
+//!   the recurrence of Eq. 2: `SHR(S,R) = SHR(S,R_u) + N_R`, `SHR(S,S)=0`.
+//!
+//! The per-downstream-interface counts `N_R^i` of the paper are simply the
+//! `N` values of `R`'s children, exposed by [`MulticastTree::downstream_counts`].
+//!
+//! Mutation happens through a small set of operations —
+//! [`MulticastTree::attach_path`], [`MulticastTree::set_member`],
+//! [`MulticastTree::prune_from`], [`MulticastTree::detach_subtree`] — out of which the
+//! join/leave/reshape procedures of [`crate::session`] are composed. After
+//! any mutation the aggregate state is recomputed with
+//! [`recompute_stats`](MulticastTree::recompute_stats); topologies in this
+//! problem domain are small (the paper simulates 100 nodes), so an `O(N)`
+//! refresh keeps the invariants simple and is never the bottleneck
+//! (candidate enumeration's Dijkstra dominates).
+
+use serde::{Deserialize, Serialize};
+use smrp_net::{Graph, LinkId, NodeId, Path};
+
+use crate::error::SmrpError;
+
+/// A rooted multicast (Steiner) tree with SMRP bookkeeping.
+///
+/// See the [module documentation](self) for the maintained state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MulticastTree {
+    source: NodeId,
+    /// Parent (upstream node `R_u`) of each on-tree node; `None` for the
+    /// source, for off-tree nodes and for a temporarily detached fragment
+    /// root.
+    parent: Vec<Option<NodeId>>,
+    /// Children of each node (downstream interfaces).
+    children: Vec<Vec<NodeId>>,
+    on_tree: Vec<bool>,
+    member: Vec<bool>,
+    /// `N_R`: members in the subtree rooted at each node. Valid for nodes
+    /// connected to the source after `recompute_stats`.
+    n: Vec<u32>,
+    /// `SHR(S,R)` per Eq. 2. Valid for nodes connected to the source.
+    shr: Vec<u32>,
+    member_count: usize,
+}
+
+impl MulticastTree {
+    /// Creates a tree containing only the source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmrpError::UnknownNode`] if `source` is not in `graph`.
+    pub fn new(graph: &Graph, source: NodeId) -> Result<Self, SmrpError> {
+        if !graph.contains_node(source) {
+            return Err(SmrpError::UnknownNode(source));
+        }
+        let n = graph.node_count();
+        let mut tree = MulticastTree {
+            source,
+            parent: vec![None; n],
+            children: vec![Vec::new(); n],
+            on_tree: vec![false; n],
+            member: vec![false; n],
+            n: vec![0; n],
+            shr: vec![0; n],
+            member_count: 0,
+        };
+        tree.on_tree[source.index()] = true;
+        Ok(tree)
+    }
+
+    /// The multicast source (tree root).
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Whether `node` is on the tree (member or relay).
+    #[inline]
+    pub fn is_on_tree(&self, node: NodeId) -> bool {
+        self.on_tree[node.index()]
+    }
+
+    /// Whether `node` is a member (receiver).
+    #[inline]
+    pub fn is_member(&self, node: NodeId) -> bool {
+        self.member[node.index()]
+    }
+
+    /// Upstream node `R_u` of `node`, if any.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent[node.index()]
+    }
+
+    /// Children (downstream interfaces) of `node`.
+    #[inline]
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    /// `N_R`: number of members in the subtree rooted at `node`.
+    #[inline]
+    pub fn subtree_members(&self, node: NodeId) -> u32 {
+        self.n[node.index()]
+    }
+
+    /// `SHR(S, node)` — the sharing metric of Eq. 1/2.
+    #[inline]
+    pub fn shr(&self, node: NodeId) -> u32 {
+        self.shr[node.index()]
+    }
+
+    /// The paper's `N_R^i`: member count behind each downstream interface.
+    pub fn downstream_counts(&self, node: NodeId) -> Vec<(NodeId, u32)> {
+        self.children[node.index()]
+            .iter()
+            .map(|&c| (c, self.n[c.index()]))
+            .collect()
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn member_count(&self) -> usize {
+        self.member_count
+    }
+
+    /// Iterator over members in node-id order.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.member
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// Iterator over all on-tree nodes in node-id order.
+    pub fn on_tree_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.on_tree
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// On-tree nodes reachable from the source through parent/child links —
+    /// excludes any temporarily detached fragment.
+    pub fn source_connected_nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.source];
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            stack.extend(self.children[u.index()].iter().copied());
+        }
+        out
+    }
+
+    /// The on-tree path from the source to `node` (`P_T(S, R)` in the
+    /// paper), or `None` if `node` is off-tree or detached.
+    pub fn path_from_source(&self, node: NodeId) -> Option<Path> {
+        if !self.on_tree[node.index()] {
+            return None;
+        }
+        let mut nodes = vec![node];
+        let mut cur = node;
+        while cur != self.source {
+            let p = self.parent[cur.index()]?;
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        Some(Path::new(nodes))
+    }
+
+    /// End-to-end tree delay `D_{S,R}` from the source to `node`.
+    ///
+    /// Returns `None` for off-tree or detached nodes.
+    pub fn delay_to(&self, graph: &Graph, node: NodeId) -> Option<f64> {
+        self.path_from_source(node).map(|p| p.delay(graph))
+    }
+
+    /// All tree links (the upstream link of every non-root connected node).
+    pub fn links(&self, graph: &Graph) -> Vec<LinkId> {
+        let mut links = Vec::new();
+        for u in self.source_connected_nodes() {
+            if let Some(p) = self.parent[u.index()] {
+                let l = graph
+                    .link_between(u, p)
+                    .expect("tree edges correspond to graph links");
+                links.push(l);
+            }
+        }
+        links.sort_unstable();
+        links
+    }
+
+    /// Total tree cost `Cost_T`: sum of link costs over all tree links.
+    pub fn cost(&self, graph: &Graph) -> f64 {
+        self.links(graph)
+            .into_iter()
+            .map(|l| graph.link(l).cost())
+            .sum()
+    }
+
+    /// Total tree delay (diagnostic; the paper reports cost and per-member
+    /// delay).
+    pub fn total_delay(&self, graph: &Graph) -> f64 {
+        self.links(graph)
+            .into_iter()
+            .map(|l| graph.link(l).delay())
+            .sum()
+    }
+
+    /// Average end-to-end delay over all members.
+    ///
+    /// Returns `0.0` for an empty membership.
+    pub fn average_member_delay(&self, graph: &Graph) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for m in self.members() {
+            if let Some(d) = self.delay_to(graph, m) {
+                total += d;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Attaches a path to the tree.
+    ///
+    /// `path` runs from the node being attached toward the tree:
+    /// `[new_root, v_1, …, merger]`, where `merger` is on-tree and connected,
+    /// every interior `v_i` is off-tree, and `new_root` is either off-tree
+    /// or the root of a fragment previously detached with
+    /// [`detach_subtree`](Self::detach_subtree).
+    ///
+    /// Recomputes aggregate state before returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if the contract above is violated; callers
+    /// inside this crate construct paths that satisfy it by construction.
+    pub fn attach_path(&mut self, path: &Path) {
+        let nodes = path.nodes();
+        let merger = *nodes.last().expect("paths are non-empty");
+        debug_assert!(
+            self.on_tree[merger.index()],
+            "merger {merger} must be on-tree"
+        );
+        if nodes.len() == 1 {
+            // Trivial: attaching a node that is already the merger.
+            return;
+        }
+        let new_root = nodes[0];
+        debug_assert!(
+            self.parent[new_root.index()].is_none(),
+            "attached root {new_root} must not already have a parent"
+        );
+        for w in nodes.windows(2) {
+            let (child, up) = (w[0], w[1]);
+            debug_assert!(
+                child == new_root || !self.on_tree[child.index()],
+                "interior node {child} must be off-tree"
+            );
+            self.parent[child.index()] = Some(up);
+            self.on_tree[child.index()] = true;
+            self.children[up.index()].push(child);
+        }
+        self.recompute_stats();
+    }
+
+    /// Marks an on-tree node as a member, or clears membership.
+    ///
+    /// Clearing membership does *not* prune relay chains; call
+    /// [`prune_from`](Self::prune_from) afterwards (the leave procedure in
+    /// [`crate::session`] does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmrpError::NotMember`] when clearing a non-member and an
+    /// error when setting membership on an off-tree node.
+    pub fn set_member(&mut self, node: NodeId, is_member: bool) -> Result<(), SmrpError> {
+        if is_member {
+            if !self.on_tree[node.index()] {
+                return Err(SmrpError::UnknownNode(node));
+            }
+            if !self.member[node.index()] {
+                self.member[node.index()] = true;
+                self.member_count += 1;
+                self.recompute_stats();
+            }
+        } else {
+            if !self.member[node.index()] {
+                return Err(SmrpError::NotMember(node));
+            }
+            self.member[node.index()] = false;
+            self.member_count -= 1;
+            self.recompute_stats();
+        }
+        Ok(())
+    }
+
+    /// Removes useless relays starting at `node` and walking upstream.
+    ///
+    /// A node is useless if it is on-tree, not the source, not a member and
+    /// has no children. This is the upstream walk of the paper's
+    /// `Leave_Req`: state is cleared hop by hop until a router with a
+    /// non-null member set underneath is reached.
+    pub fn prune_from(&mut self, node: NodeId) {
+        let mut cur = node;
+        loop {
+            let i = cur.index();
+            if !self.on_tree[i]
+                || cur == self.source
+                || self.member[i]
+                || !self.children[i].is_empty()
+            {
+                break;
+            }
+            let up = self.parent[i];
+            self.on_tree[i] = false;
+            self.parent[i] = None;
+            match up {
+                Some(p) => {
+                    self.children[p.index()].retain(|&c| c != cur);
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+        self.recompute_stats();
+    }
+
+    /// Detaches the subtree rooted at `node` from its parent, pruning any
+    /// relay chain left behind, and returns the node the fragment used to
+    /// hang off (the first surviving ancestor — the paper's "current merger"
+    /// for reshaping comparisons).
+    ///
+    /// The fragment keeps its internal structure; its nodes remain marked
+    /// on-tree but are no longer connected to the source. Reattach with
+    /// [`attach_path`](Self::attach_path) promptly.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `node` is the source, off-tree, or already detached.
+    pub fn detach_subtree(&mut self, node: NodeId) -> Result<NodeId, SmrpError> {
+        if node == self.source {
+            return Err(SmrpError::SourceOperation(node));
+        }
+        if !self.on_tree[node.index()] {
+            return Err(SmrpError::UnknownNode(node));
+        }
+        let Some(old_parent) = self.parent[node.index()] else {
+            return Err(SmrpError::UnknownNode(node));
+        };
+        self.parent[node.index()] = None;
+        self.children[old_parent.index()].retain(|&c| c != node);
+
+        // Find where the surviving chain ends before pruning mutates it.
+        let mut keeper = old_parent;
+        while keeper != self.source
+            && !self.member[keeper.index()]
+            && self.children[keeper.index()].is_empty()
+        {
+            keeper = self.parent[keeper.index()].expect("connected chain reaches the source");
+        }
+        self.prune_from(old_parent);
+        Ok(keeper)
+    }
+
+    /// Nodes of the subtree rooted at `node` (including `node`), in DFS
+    /// order.
+    pub fn subtree_nodes(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            stack.extend(self.children[u.index()].iter().copied());
+        }
+        out
+    }
+
+    /// Recomputes `N_R` and `SHR(S,R)` for the source-connected component
+    /// via the recurrence of Eq. 2.
+    ///
+    /// Called automatically by the mutating operations; public so advanced
+    /// callers composing raw mutations can refresh state.
+    pub fn recompute_stats(&mut self) {
+        // Post-order accumulation of N, then pre-order SHR.
+        let order = self.source_connected_nodes(); // parents before children
+        for &u in order.iter().rev() {
+            let mut count = u32::from(self.member[u.index()]);
+            for &c in &self.children[u.index()] {
+                count += self.n[c.index()];
+            }
+            self.n[u.index()] = count;
+        }
+        for &u in &order {
+            if u == self.source {
+                self.shr[u.index()] = 0;
+            } else {
+                let p = self.parent[u.index()].expect("connected non-root has a parent");
+                self.shr[u.index()] = self.shr[p.index()] + self.n[u.index()];
+            }
+        }
+    }
+
+    /// Verifies every structural and bookkeeping invariant against `graph`.
+    ///
+    /// Checked invariants:
+    /// 1. parent/child cross-consistency and acyclicity;
+    /// 2. every tree edge is a real graph link;
+    /// 3. every member is on-tree and connected to the source;
+    /// 4. no detached fragments exist;
+    /// 5. leaf relays do not exist (every leaf is a member), except the
+    ///    bare source;
+    /// 6. `N_R` equals the recount of subtree members;
+    /// 7. `SHR` matches a from-scratch evaluation of Eq. 1 (link-sharing
+    ///    definition), independently of the Eq. 2 recurrence used for
+    ///    maintenance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self, graph: &Graph) -> Result<(), String> {
+        // (1) parent/child consistency.
+        for u in self.on_tree_nodes() {
+            if let Some(p) = self.parent[u.index()] {
+                if !self.on_tree[p.index()] {
+                    return Err(format!("parent {p} of {u} is off-tree"));
+                }
+                if !self.children[p.index()].contains(&u) {
+                    return Err(format!("{u} missing from children of {p}"));
+                }
+                // (2) edges are graph links.
+                if graph.link_between(u, p).is_none() {
+                    return Err(format!("tree edge {u}-{p} is not a graph link"));
+                }
+            }
+        }
+        for u in self.on_tree_nodes() {
+            for &c in &self.children[u.index()] {
+                if self.parent[c.index()] != Some(u) {
+                    return Err(format!("child {c} of {u} has wrong parent"));
+                }
+            }
+        }
+        // (3)+(4): connectivity and no fragments.
+        let connected = self.source_connected_nodes();
+        let on_tree_count = self.on_tree_nodes().count();
+        if connected.len() != on_tree_count {
+            return Err(format!(
+                "{} on-tree nodes but only {} connected to the source",
+                on_tree_count,
+                connected.len()
+            ));
+        }
+        for m in self.members() {
+            if self.path_from_source(m).is_none() {
+                return Err(format!("member {m} has no path from the source"));
+            }
+        }
+        // (5) no relay leaves.
+        for u in self.on_tree_nodes() {
+            if u != self.source && self.children[u.index()].is_empty() && !self.member[u.index()] {
+                return Err(format!("leaf {u} is a relay, tree was not pruned"));
+            }
+        }
+        // (6) N recount.
+        for &u in &connected {
+            let mut recount = 0u32;
+            for v in self.subtree_nodes(u) {
+                recount += u32::from(self.member[v.index()]);
+            }
+            if recount != self.n[u.index()] {
+                return Err(format!(
+                    "N_{u} is {} but recount gives {recount}",
+                    self.n[u.index()]
+                ));
+            }
+        }
+        // (7) SHR from the Eq. 1 definition: per-link member loads.
+        let mut link_load: std::collections::HashMap<LinkId, u32> =
+            std::collections::HashMap::new();
+        for m in self.members() {
+            let p = self.path_from_source(m).expect("validated above");
+            for l in p.links(graph) {
+                *link_load.entry(l).or_insert(0) += 1;
+            }
+        }
+        for &u in &connected {
+            let Some(p) = self.path_from_source(u) else {
+                continue;
+            };
+            let expected: u32 = p
+                .links(graph)
+                .iter()
+                .map(|l| link_load.get(l).copied().unwrap_or(0))
+                .sum();
+            if expected != self.shr[u.index()] {
+                return Err(format!(
+                    "SHR({u}) is {} but Eq. 1 gives {expected}",
+                    self.shr[u.index()]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 1(a) of the paper: tree S -> A -> {C, D}, members C and D.
+    fn figure1_tree() -> (Graph, MulticastTree, [NodeId; 5]) {
+        let mut g = Graph::with_nodes(5);
+        let ids: Vec<_> = g.node_ids().collect();
+        let [s, a, b, c, d] = [ids[0], ids[1], ids[2], ids[3], ids[4]];
+        g.add_link(s, a, 1.0).unwrap();
+        g.add_link(a, c, 1.0).unwrap();
+        g.add_link(a, d, 1.0).unwrap();
+        g.add_link(c, d, 2.0).unwrap();
+        g.add_link(d, b, 1.0).unwrap();
+        g.add_link(b, s, 2.0).unwrap();
+
+        let mut t = MulticastTree::new(&g, s).unwrap();
+        t.attach_path(&Path::new(vec![c, a, s]));
+        t.set_member(c, true).unwrap();
+        t.attach_path(&Path::new(vec![d, a]));
+        t.set_member(d, true).unwrap();
+        (g, t, [s, a, b, c, d])
+    }
+
+    #[test]
+    fn figure1_shr_values_match_paper() {
+        let (g, t, [s, a, _, c, d]) = figure1_tree();
+        // Paper §3.1: SHR(S,C) = N_{L(S,A)} + N_{L(A,C)} = 2 + 1 = 3.
+        assert_eq!(t.shr(c), 3);
+        assert_eq!(t.shr(d), 3);
+        assert_eq!(t.shr(a), 2);
+        assert_eq!(t.shr(s), 0);
+        assert_eq!(t.subtree_members(a), 2);
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn membership_and_counts() {
+        let (_, t, [s, a, b, c, d]) = figure1_tree();
+        assert_eq!(t.member_count(), 2);
+        assert!(t.is_member(c) && t.is_member(d));
+        assert!(t.is_on_tree(a) && !t.is_member(a));
+        assert!(!t.is_on_tree(b));
+        assert_eq!(t.members().collect::<Vec<_>>(), vec![c, d]);
+        assert_eq!(t.source(), s);
+    }
+
+    #[test]
+    fn paths_and_delays() {
+        let (g, t, [s, a, _, c, d]) = figure1_tree();
+        let p = t.path_from_source(d).unwrap();
+        assert_eq!(p.nodes(), &[s, a, d]);
+        assert_eq!(t.delay_to(&g, d), Some(2.0));
+        assert_eq!(t.delay_to(&g, c), Some(2.0));
+        assert_eq!(t.average_member_delay(&g), 2.0);
+        assert_eq!(t.cost(&g), 3.0); // links S-A, A-C, A-D.
+    }
+
+    #[test]
+    fn downstream_counts_match_children() {
+        let (_, t, [_, a, _, c, d]) = figure1_tree();
+        let mut counts = t.downstream_counts(a);
+        counts.sort();
+        assert_eq!(counts, vec![(c, 1), (d, 1)]);
+    }
+
+    #[test]
+    fn leave_with_prune_removes_relay_chain() {
+        let (g, mut t, [s, a, _, c, d]) = figure1_tree();
+        t.set_member(c, false).unwrap();
+        t.prune_from(c);
+        assert!(!t.is_on_tree(c));
+        assert!(t.is_on_tree(a)); // still relays to D.
+        t.validate(&g).unwrap();
+
+        t.set_member(d, false).unwrap();
+        t.prune_from(d);
+        assert!(!t.is_on_tree(d));
+        assert!(!t.is_on_tree(a)); // relay chain fully pruned.
+        assert!(t.is_on_tree(s));
+        t.validate(&g).unwrap();
+        assert_eq!(t.member_count(), 0);
+    }
+
+    #[test]
+    fn member_relay_is_kept_when_downstream_leaves() {
+        let (g, mut t, [_, a, _, c, d]) = figure1_tree();
+        // Make A a member too; pruning C must keep A.
+        t.set_member(a, true).unwrap();
+        t.set_member(c, false).unwrap();
+        t.prune_from(c);
+        assert!(t.is_on_tree(a) && t.is_member(a));
+        assert!(t.is_on_tree(d));
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn set_member_errors() {
+        let (_, mut t, [s, _, b, c, _]) = figure1_tree();
+        assert!(matches!(
+            t.set_member(b, true),
+            Err(SmrpError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            t.set_member(s, false),
+            Err(SmrpError::NotMember(_))
+        ));
+        t.set_member(c, false).unwrap();
+        assert!(matches!(
+            t.set_member(c, false),
+            Err(SmrpError::NotMember(_))
+        ));
+    }
+
+    #[test]
+    fn double_join_is_idempotent_on_counts() {
+        let (_, mut t, [_, _, _, c, _]) = figure1_tree();
+        t.set_member(c, true).unwrap();
+        assert_eq!(t.member_count(), 2);
+    }
+
+    #[test]
+    fn detach_subtree_returns_keeper_and_prunes() {
+        let (g, mut t, [s, a, _, c, d]) = figure1_tree();
+        // Detach C: keeper should be A (still has D beneath).
+        let keeper = t.detach_subtree(c).unwrap();
+        assert_eq!(keeper, a);
+        assert!(t.is_on_tree(c)); // fragment root stays marked.
+        assert!(t.parent(c).is_none());
+        // Reattach C directly under S via B? No link C-S; reattach via A.
+        t.attach_path(&Path::new(vec![c, a]));
+        t.validate(&g).unwrap();
+        assert_eq!(t.shr(c), 3);
+
+        // Detach D when it is A's only remaining load bearer:
+        t.set_member(c, false).unwrap();
+        t.prune_from(c);
+        let keeper = t.detach_subtree(d).unwrap();
+        assert_eq!(keeper, s); // relay A pruned, chain ends at the source.
+        assert!(!t.is_on_tree(a));
+        let _ = keeper;
+    }
+
+    #[test]
+    fn detach_errors() {
+        let (_, mut t, [s, _, b, c, _]) = figure1_tree();
+        assert!(matches!(
+            t.detach_subtree(s),
+            Err(SmrpError::SourceOperation(_))
+        ));
+        assert!(matches!(
+            t.detach_subtree(b),
+            Err(SmrpError::UnknownNode(_))
+        ));
+        t.detach_subtree(c).unwrap();
+        assert!(matches!(
+            t.detach_subtree(c),
+            Err(SmrpError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn subtree_nodes_lists_descendants() {
+        let (_, t, [s, a, _, c, d]) = figure1_tree();
+        let mut sub = t.subtree_nodes(a);
+        sub.sort();
+        assert_eq!(sub, vec![a, c, d]);
+        assert_eq!(t.subtree_nodes(c), vec![c]);
+        let all = t.subtree_nodes(s);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn validate_catches_leaf_relay() {
+        let (g, mut t, [_, _, _, c, _]) = figure1_tree();
+        // Clear membership without pruning: C becomes a relay leaf.
+        t.set_member(c, false).unwrap();
+        let err = t.validate(&g).unwrap_err();
+        assert!(err.contains("relay"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn links_are_tree_edges() {
+        let (g, t, [s, a, _, c, d]) = figure1_tree();
+        let links = t.links(&g);
+        assert_eq!(links.len(), 3);
+        let expected: Vec<LinkId> = [
+            g.link_between(s, a).unwrap(),
+            g.link_between(a, c).unwrap(),
+            g.link_between(a, d).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let mut expected = expected;
+        expected.sort_unstable();
+        assert_eq!(links, expected);
+        assert_eq!(t.total_delay(&g), 3.0);
+    }
+
+    #[test]
+    fn empty_tree_metrics_are_zero() {
+        let g = Graph::with_nodes(3);
+        let s = NodeId::new(0);
+        let t = MulticastTree::new(&g, s).unwrap();
+        assert_eq!(t.cost(&g), 0.0);
+        assert_eq!(t.average_member_delay(&g), 0.0);
+        assert_eq!(t.member_count(), 0);
+        assert_eq!(t.shr(s), 0);
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn unknown_source_is_rejected() {
+        let g = Graph::with_nodes(2);
+        assert!(matches!(
+            MulticastTree::new(&g, NodeId::new(7)),
+            Err(SmrpError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn shr_recurrence_matches_definition_on_deeper_tree() {
+        // Chain S - x - y - z with members at x, y, z; SHR should be
+        // 3, 3+2, 3+2+1.
+        let mut g = Graph::with_nodes(4);
+        let ids: Vec<_> = g.node_ids().collect();
+        g.add_link(ids[0], ids[1], 1.0).unwrap();
+        g.add_link(ids[1], ids[2], 1.0).unwrap();
+        g.add_link(ids[2], ids[3], 1.0).unwrap();
+        let mut t = MulticastTree::new(&g, ids[0]).unwrap();
+        t.attach_path(&Path::new(vec![ids[3], ids[2], ids[1], ids[0]]));
+        for &m in &ids[1..] {
+            t.set_member(m, true).unwrap();
+        }
+        assert_eq!(t.shr(ids[1]), 3);
+        assert_eq!(t.shr(ids[2]), 5);
+        assert_eq!(t.shr(ids[3]), 6);
+        t.validate(&g).unwrap();
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the SMRP core algorithms.
+
+use proptest::prelude::*;
+
+use smrp_core::recovery::{self, DetourKind};
+use smrp_core::select::{self, SelectionMode};
+use smrp_core::{SmrpConfig, SmrpSession, SpfSession, SteinerSession};
+use smrp_net::waxman::WaxmanConfig;
+use smrp_net::{FailureScenario, Graph, NodeId};
+
+fn waxman(seed: u64, nodes: usize) -> Graph {
+    WaxmanConfig::new(nodes)
+        .alpha(0.3)
+        .seed(seed)
+        .generate()
+        .expect("valid generator settings")
+        .into_graph()
+}
+
+fn pick(graph: &Graph, count: usize) -> (NodeId, Vec<NodeId>) {
+    let ids: Vec<NodeId> = graph.node_ids().collect();
+    (
+        ids[0],
+        ids.iter().copied().skip(1).step_by(2).take(count).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn candidates_are_sound(seed in 0u64..400, joiner in 2usize..20) {
+        let graph = waxman(seed, 20);
+        let (source, members) = pick(&graph, 4);
+        let mut sess = SmrpSession::new(&graph, source, SmrpConfig::default()).unwrap();
+        for &m in &members {
+            sess.join(m).unwrap();
+        }
+        let nr = NodeId::new(joiner % graph.node_count());
+        prop_assume!(!sess.tree().is_on_tree(nr));
+        let cands = select::enumerate_candidates(
+            &graph, sess.tree(), nr, SelectionMode::FullTopology, &[]);
+        let mut seen = Vec::new();
+        for c in &cands {
+            // Unique mergers.
+            prop_assert!(!seen.contains(&c.merger));
+            seen.push(c.merger);
+            // Approach runs from the joiner to an on-tree merger, with
+            // strictly off-tree interiors.
+            prop_assert_eq!(c.approach.source(), nr);
+            prop_assert_eq!(c.approach.target(), c.merger);
+            prop_assert!(sess.tree().is_on_tree(c.merger));
+            prop_assert!(c.approach.validate(&graph).is_ok());
+            for &hop in &c.approach.nodes()[1..c.approach.nodes().len() - 1] {
+                prop_assert!(!sess.tree().is_on_tree(hop));
+            }
+            // Total delay decomposes into tree delay + approach delay.
+            let tree_delay = sess.tree().delay_to(&graph, c.merger).unwrap();
+            prop_assert!((c.total_delay - tree_delay - c.approach.delay(&graph)).abs() < 1e-9);
+            // The SHR snapshot matches the tree.
+            prop_assert_eq!(c.shr, sess.tree().shr(c.merger));
+        }
+        // The neighbor-query scheme never invents mergers the full scheme
+        // cannot reach.
+        let query = select::enumerate_candidates(
+            &graph, sess.tree(), nr, SelectionMode::NeighborQuery, &[]);
+        for c in &query {
+            prop_assert!(sess.tree().is_on_tree(c.merger));
+            prop_assert!(c.approach.validate(&graph).is_ok());
+        }
+    }
+
+    #[test]
+    fn join_bound_certificate_is_honest(seed in 0u64..400) {
+        let graph = waxman(seed.wrapping_add(700), 24);
+        let (source, members) = pick(&graph, 8);
+        let mut sess = SmrpSession::new(
+            &graph,
+            source,
+            SmrpConfig { d_thresh: 0.25, auto_reshape: false, ..SmrpConfig::default() },
+        ).unwrap();
+        for &m in &members {
+            let out = sess.join(m).unwrap();
+            if out.within_bound {
+                prop_assert!(out.selected_delay <= 1.25 * out.spf_delay + 1e-6);
+            }
+            prop_assert!((out.path.delay(&graph) - out.selected_delay).abs() < 1e-9);
+            prop_assert_eq!(out.path.target(), m);
+            prop_assert_eq!(out.path.source(), source);
+        }
+    }
+
+    #[test]
+    fn spf_and_steiner_trees_always_validate(seed in 0u64..400) {
+        let graph = waxman(seed.wrapping_add(1500), 24);
+        let (source, members) = pick(&graph, 8);
+        let mut spf = SpfSession::new(&graph, source).unwrap();
+        let mut steiner = SteinerSession::new(&graph, source).unwrap();
+        for &m in &members {
+            spf.join(m).unwrap();
+            steiner.join(m).unwrap();
+        }
+        spf.tree().validate(&graph).unwrap();
+        steiner.tree().validate(&graph).unwrap();
+        // Steiner trees never cost more than SPF trees on the same member
+        // set... is NOT a theorem (greedy), but delays are: SPF is optimal.
+        for &m in &members {
+            let d_spf = spf.tree().delay_to(&graph, m).unwrap();
+            let d_st = steiner.tree().delay_to(&graph, m).unwrap();
+            prop_assert!(d_spf <= d_st + 1e-9);
+        }
+    }
+
+    #[test]
+    fn recovery_attach_points_are_connected_and_paths_fresh(
+        seed in 0u64..300,
+        which in 0usize..16,
+    ) {
+        let graph = waxman(seed.wrapping_add(2500), 24);
+        let (source, members) = pick(&graph, 6);
+        let mut sess = SmrpSession::new(&graph, source, SmrpConfig::default()).unwrap();
+        for &m in &members {
+            sess.join(m).unwrap();
+        }
+        let tree = sess.tree();
+        let links = tree.links(&graph);
+        prop_assume!(!links.is_empty());
+        let link = links[which % links.len()];
+        let scenario = FailureScenario::link(link);
+        let surviving = recovery::surviving_connected(&graph, tree, &scenario);
+        for member in recovery::affected_members(&graph, tree, &scenario) {
+            for kind in [DetourKind::Local, DetourKind::Global] {
+                if let Ok(rec) = recovery::recover(&graph, tree, &scenario, member, kind) {
+                    prop_assert!(surviving.contains(&rec.attach()));
+                    prop_assert!(!surviving.contains(&rec.member()));
+                    prop_assert_eq!(rec.restoration_path().source(), member);
+                    prop_assert_eq!(rec.restoration_path().target(), rec.attach());
+                    prop_assert!(rec.recovery_distance() >= 0.0);
+                    prop_assert!(rec.new_end_to_end_delay() >= rec.recovery_distance());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backup_plans_are_disjoint_when_claimed(seed in 0u64..300) {
+        let graph = waxman(seed.wrapping_add(4000), 24);
+        let (source, members) = pick(&graph, 6);
+        let mut sess = SmrpSession::new(&graph, source, SmrpConfig::default()).unwrap();
+        for &m in &members {
+            sess.join(m).unwrap();
+        }
+        for plan in smrp_core::backup::plan_backups(&graph, sess.tree()) {
+            prop_assert_eq!(plan.backup.source(), plan.member);
+            prop_assert_eq!(plan.backup.target(), source);
+            prop_assert!(plan.backup.validate(&graph).is_ok());
+            if plan.link_disjoint {
+                let primary_links = plan.primary.links(&graph);
+                for l in plan.backup.links(&graph) {
+                    prop_assert!(!primary_links.contains(&l));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Runs the design-choice ablations (reshaping, query scheme, thresholds).
+//!
+//! Usage: `cargo run -p smrp-experiments --release --bin ablation [--quick]`
+
+use smrp_experiments::{ablation, results_dir, Effort};
+
+fn main() {
+    let effort = Effort::from_args();
+    let result = ablation::run(effort);
+    println!("Ablations (N=100, N_G=30, alpha=0.2, D_thresh=0.3)\n");
+    println!("{}", result.table());
+    let path = results_dir().join("ablation.csv");
+    match result.to_csv().write_to(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 7: local vs global detour recovery-distance scatter.
+//!
+//! Usage: `cargo run -p smrp-experiments --release --bin fig7 [--quick]`
+
+use smrp_experiments::{fig7, report, results_dir, Effort};
+
+fn main() {
+    let effort = Effort::from_args();
+    let result = fig7::run(effort);
+    println!("{}", result.plot());
+    println!("{}", result.summary());
+    let path = results_dir().join("fig7_detour_scatter.csv");
+    match result.to_csv().write_to(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    let json = results_dir().join("fig7_detour_scatter.json");
+    match report::write_json(&json, &result) {
+        Ok(()) => println!("wrote {}", json.display()),
+        Err(e) => eprintln!("could not write {}: {e}", json.display()),
+    }
+}

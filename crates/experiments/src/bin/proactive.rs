@@ -1,0 +1,17 @@
+//! Runs the `proactive` extension experiment.
+//!
+//! Usage: `cargo run -p smrp-experiments --release --bin proactive [--quick]`
+
+use smrp_experiments::{proactive, results_dir, Effort};
+
+fn main() {
+    let effort = Effort::from_args();
+    let result = proactive::run(effort);
+    println!("{}", result.table());
+    println!("{}", result.summary());
+    let path = results_dir().join("proactive.csv");
+    match result.to_csv().write_to(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,152 @@
+//! Minimal CSV writing so experiments leave machine-readable artifacts.
+//!
+//! Only what the harness needs: quoting of fields containing separators or
+//! quotes, header row, and an in-memory builder that callers flush to disk
+//! themselves.
+
+/// In-memory CSV document builder.
+///
+/// # Example
+///
+/// ```
+/// use smrp_metrics::csvout::Csv;
+///
+/// let mut csv = Csv::new(vec!["alpha", "rd_rel"]);
+/// csv.row(vec!["0.2".into(), "0.21".into()]);
+/// assert_eq!(csv.render(), "alpha,rd_rel\n0.2,0.21\n");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Creates a CSV with the given header.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Csv {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a row of floats formatted with full precision.
+    pub fn row_f64(&mut self, cells: &[f64]) -> &mut Self {
+        self.row(cells.iter().map(|v| format!("{v}")).collect())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the document has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the document as a string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        push_row(&mut out, &self.header);
+        for r in &self.rows {
+            push_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Writes the document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+fn push_row(out: &mut String, cells: &[String]) {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&escape(cell));
+    }
+    out.push('\n');
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut c = Csv::new(vec!["a", "b"]);
+        c.row(vec!["1".into(), "2".into()]);
+        c.row_f64(&[0.5, 1.25]);
+        assert_eq!(c.render(), "a,b\n1,2\n0.5,1.25\n");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn quotes_fields_with_separators() {
+        let mut c = Csv::new(vec!["text"]);
+        c.row(vec!["hello, world".into()]);
+        c.row(vec!["say \"hi\"".into()]);
+        let text = c.render();
+        assert!(text.contains("\"hello, world\""));
+        assert!(text.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut c = Csv::new(vec!["a", "b"]);
+        c.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("smrp-metrics-test");
+        let path = dir.join("nested").join("out.csv");
+        let mut c = Csv::new(vec!["v"]);
+        c.row(vec!["42".into()]);
+        c.write_to(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, "v\n42\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_document() {
+        let c = Csv::new(vec!["only", "header"]);
+        assert!(c.is_empty());
+        assert_eq!(c.render(), "only,header\n");
+    }
+}

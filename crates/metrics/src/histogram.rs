@@ -1,0 +1,150 @@
+//! Fixed-bin histograms with ASCII rendering.
+//!
+//! Used by the experiment reports to show *distributions* where a mean
+//! would mislead — restoration latencies are bimodal under mixed
+//! detection paths (heartbeat vs data starvation), and recovery distances
+//! are heavy-tailed.
+
+/// A histogram over `[low, high)` with uniform bins; out-of-range samples
+/// are clamped into the edge bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` or `bins == 0`.
+    pub fn new(low: f64, high: f64, bins: usize) -> Self {
+        assert!(low < high, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            low,
+            high,
+            bins: vec![0; bins],
+            count: 0,
+        }
+    }
+
+    /// Adds one sample (clamped into the edge bins when out of range).
+    pub fn push(&mut self, x: f64) {
+        let width = (self.high - self.low) / self.bins.len() as f64;
+        let idx = ((x - self.low) / width).floor();
+        let idx = (idx.max(0.0) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) estimated from bin midpoints; `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let width = (self.high - self.low) / self.bins.len() as f64;
+        let mut seen = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.low + (i as f64 + 0.5) * width);
+            }
+        }
+        Some(self.high)
+    }
+
+    /// Renders horizontal bars, one line per bin.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let bin_width = (self.high - self.low) / self.bins.len() as f64;
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let lo = self.low + i as f64 * bin_width;
+            let hi = lo + bin_width;
+            let bar_len = (c as usize * width) / max as usize;
+            out.push_str(&format!(
+                "{lo:>9.1}–{hi:<9.1} |{} {c}\n",
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_the_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.9, 2.0, 5.5, 9.9] {
+            h.push(x);
+        }
+        assert_eq!(h.bins(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.push(-5.0);
+        h.push(100.0);
+        assert_eq!(h.bins(), &[1, 1]);
+    }
+
+    #[test]
+    fn quantiles_track_the_mass() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.push(i as f64);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() < 2.0, "median {median}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((p95 - 95.0).abs() < 2.0, "p95 {p95}");
+        assert!(h.quantile(0.0).unwrap() <= h.quantile(1.0).unwrap());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn render_shows_bars_and_counts() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.push(1.0);
+        h.push(1.5);
+        h.push(3.0);
+        let text = h.render(10);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("##"));
+        assert!(text.contains(" 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(5.0, 1.0, 3);
+    }
+}

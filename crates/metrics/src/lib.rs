@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Statistics and reporting utilities for the SMRP reproduction.
+//!
+//! The paper's evaluation (§4) reports *relative* metrics averaged over
+//! randomized scenarios with 95% confidence intervals (Figure 8's error
+//! bars). This crate provides everything those reports need, implemented
+//! from scratch:
+//!
+//! * [`stats`] — Welford online mean/variance accumulation;
+//! * [`ci`] — Student-t 95% confidence intervals;
+//! * [`relative`] — the three relative metrics of §4.2
+//!   (`RD^relative`, `D^relative`, `Cost^relative`);
+//! * [`table`] — fixed-width text tables for terminal reports;
+//! * [`scatter`] — an ASCII scatter plot with the `y = x` reference line
+//!   used to render Figure 7;
+//! * [`csvout`] — a minimal CSV writer so every experiment leaves a
+//!   machine-readable artifact.
+
+pub mod ci;
+pub mod csvout;
+pub mod histogram;
+pub mod relative;
+pub mod scatter;
+pub mod stats;
+pub mod table;
+
+pub use ci::ConfidenceInterval;
+pub use histogram::Histogram;
+pub use stats::Stats;

@@ -1,0 +1,103 @@
+//! Property tests for the statistics layer.
+
+use proptest::prelude::*;
+
+use smrp_metrics::ci::{t_critical_95, ConfidenceInterval};
+use smrp_metrics::csvout::Csv;
+use smrp_metrics::relative;
+use smrp_metrics::Stats;
+
+fn naive_mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn naive_sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = naive_mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn welford_matches_naive(xs in proptest::collection::vec(-1e4f64..1e4, 1..200)) {
+        let s: Stats = xs.iter().copied().collect();
+        prop_assert_eq!(s.count(), xs.len() as u64);
+        prop_assert!((s.mean() - naive_mean(&xs)).abs() < 1e-6);
+        prop_assert!((s.sample_variance() - naive_sample_variance(&xs)).abs() < 1e-4);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), Some(min));
+        prop_assert_eq!(s.max(), Some(max));
+    }
+
+    #[test]
+    fn merge_is_associative_enough(
+        xs in proptest::collection::vec(-100f64..100.0, 1..60),
+        ys in proptest::collection::vec(-100f64..100.0, 1..60),
+        zs in proptest::collection::vec(-100f64..100.0, 1..60),
+    ) {
+        let stat = |v: &[f64]| v.iter().copied().collect::<Stats>();
+        // (x + y) + z  vs  x + (y + z)
+        let mut left = stat(&xs);
+        left.merge(&stat(&ys));
+        left.merge(&stat(&zs));
+        let mut right_tail = stat(&ys);
+        right_tail.merge(&stat(&zs));
+        let mut right = stat(&xs);
+        right.merge(&right_tail);
+        prop_assert!((left.mean() - right.mean()).abs() < 1e-9);
+        prop_assert!((left.sample_variance() - right.sample_variance()).abs() < 1e-6);
+        prop_assert_eq!(left.count(), right.count());
+    }
+
+    #[test]
+    fn ci_narrows_with_replication(
+        xs in proptest::collection::vec(-10f64..10.0, 3..40),
+        reps in 2usize..6,
+    ) {
+        let base: Stats = xs.iter().copied().collect();
+        let replicated: Stats =
+            std::iter::repeat_n(xs.iter().copied(), reps).flatten().collect();
+        let ci_base = ConfidenceInterval::from_stats(&base);
+        let ci_rep = ConfidenceInterval::from_stats(&replicated);
+        // Same mean, tighter (or equal, when variance is 0) interval.
+        prop_assert!((ci_base.mean - ci_rep.mean).abs() < 1e-9);
+        prop_assert!(ci_rep.half_width <= ci_base.half_width + 1e-12);
+    }
+
+    #[test]
+    fn t_table_is_monotone(df1 in 1u64..10_000, df2 in 1u64..10_000) {
+        let (lo, hi) = if df1 <= df2 { (df1, df2) } else { (df2, df1) };
+        prop_assert!(t_critical_95(hi) <= t_critical_95(lo) + 1e-12);
+        prop_assert!(t_critical_95(hi) >= 1.959);
+    }
+
+    #[test]
+    fn relative_metrics_identities(spf in 0.001f64..1e4, smrp in 0.0f64..1e4) {
+        let rd = relative::rd_relative(spf, smrp);
+        prop_assert!(rd <= 1.0 + 1e-12);
+        // Identity: rd_relative == -delay_relative with roles swapped.
+        let d = relative::delay_relative(smrp, spf);
+        prop_assert!((rd + d).abs() < 1e-9);
+        // Zero difference means zero metric.
+        prop_assert!(relative::cost_relative(spf, spf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_escaping_round_trips_simple_fields(
+        cells in proptest::collection::vec("[a-z0-9 ,\"]{0,12}", 1..6),
+    ) {
+        let mut csv = Csv::new(vec!["h".to_string(); cells.len()]);
+        csv.row(cells.clone());
+        let rendered = csv.render();
+        // The rendered document has exactly two lines (header + row) and
+        // the number of unquoted commas in the header matches arity.
+        let lines: Vec<&str> = rendered.lines().collect();
+        prop_assert_eq!(lines.len(), 2);
+        prop_assert_eq!(lines[0].split(',').count(), cells.len());
+    }
+}

@@ -1,0 +1,507 @@
+//! Dijkstra shortest-path machinery.
+//!
+//! Three query styles are provided, matching what the SMRP algorithms need:
+//!
+//! * [`shortest_path`] / [`shortest_path_constrained`] — point-to-point
+//!   shortest path by delay, optionally under a [`FailureScenario`] and
+//!   forbidden-node/link sets (used for detour paths that must avoid the
+//!   faulty component, and for merger-candidate paths that must not cross
+//!   other on-tree nodes);
+//! * [`ShortestPathTree`] — full single-source tree with path extraction
+//!   (used by the SPF baseline protocol and by the neighbor-query scheme);
+//! * [`shortest_path_to_any`] — shortest path from a source to the nearest
+//!   member of a target set (used by local-detour recovery: "connect to the
+//!   nearest still-connected on-tree node").
+//!
+//! All ties are broken deterministically (lower node id wins), so results
+//! are stable across runs for a fixed topology.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::failure::FailureScenario;
+use crate::graph::Graph;
+use crate::ids::{LinkId, NodeId};
+use crate::path::Path;
+
+/// Search-space restrictions for a constrained shortest-path query.
+///
+/// A node listed in `forbidden_nodes` may not appear anywhere on the path
+/// (not even as an endpoint — strip endpoints before calling if they should
+/// be allowed). A link in `forbidden_links` may not be crossed. A failure
+/// scenario removes its failed components entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Constraints<'a> {
+    /// Failure scenario masking out broken components.
+    pub failures: Option<&'a FailureScenario>,
+    /// Nodes the path must not visit.
+    pub forbidden_nodes: &'a [NodeId],
+    /// Links the path must not cross.
+    pub forbidden_links: &'a [LinkId],
+}
+
+impl<'a> Constraints<'a> {
+    /// No restrictions.
+    pub fn unrestricted() -> Self {
+        Constraints::default()
+    }
+
+    /// Restrict only by a failure scenario.
+    pub fn avoiding_failures(failures: &'a FailureScenario) -> Self {
+        Constraints {
+            failures: Some(failures),
+            ..Constraints::default()
+        }
+    }
+
+    fn node_allowed(&self, node: NodeId) -> bool {
+        if let Some(f) = self.failures {
+            if !f.node_usable(node) {
+                return false;
+            }
+        }
+        !self.forbidden_nodes.contains(&node)
+    }
+
+    fn link_allowed(&self, graph: &Graph, link: LinkId) -> bool {
+        if let Some(f) = self.failures {
+            if !f.link_usable(graph, link) {
+                return false;
+            }
+        }
+        !self.forbidden_links.contains(&link)
+    }
+}
+
+/// Heap entry ordered for a min-heap over (distance, node id).
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on distance for a min-heap; lower node id wins ties so
+        // exploration order (and therefore tie-broken paths) is
+        // deterministic.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A single-source shortest-path tree by link delay.
+///
+/// Produced by [`ShortestPathTree::compute`]; answers distance and path
+/// queries to every reachable node.
+///
+/// # Example
+///
+/// ```
+/// use smrp_net::{Graph, dijkstra::ShortestPathTree};
+///
+/// # fn main() -> Result<(), smrp_net::NetError> {
+/// let mut g = Graph::with_nodes(3);
+/// let ids: Vec<_> = g.node_ids().collect();
+/// g.add_link(ids[0], ids[1], 1.0)?;
+/// g.add_link(ids[1], ids[2], 1.0)?;
+/// let spt = ShortestPathTree::compute(&g, ids[0]);
+/// assert_eq!(spt.distance(ids[2]), Some(2.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: Vec<f64>,
+    parent: Vec<Option<NodeId>>,
+}
+
+impl ShortestPathTree {
+    /// Runs Dijkstra from `source` with no restrictions.
+    pub fn compute(graph: &Graph, source: NodeId) -> Self {
+        Self::compute_constrained(graph, source, Constraints::unrestricted())
+    }
+
+    /// Runs Dijkstra from `source` under `constraints`.
+    ///
+    /// If the source itself is forbidden the resulting tree reaches nothing.
+    pub fn compute_constrained(
+        graph: &Graph,
+        source: NodeId,
+        constraints: Constraints<'_>,
+    ) -> Self {
+        let n = graph.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut done = vec![false; n];
+        let mut heap = BinaryHeap::new();
+
+        if constraints.node_allowed(source) {
+            dist[source.index()] = 0.0;
+            heap.push(HeapEntry {
+                dist: 0.0,
+                node: source,
+            });
+        }
+
+        while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+            if done[u.index()] {
+                continue;
+            }
+            done[u.index()] = true;
+            for &(v, l) in graph.adjacency(u) {
+                if done[v.index()]
+                    || !constraints.node_allowed(v)
+                    || !constraints.link_allowed(graph, l)
+                {
+                    continue;
+                }
+                let nd = d + graph.link(l).delay();
+                let slot = &mut dist[v.index()];
+                // Deterministic tie-break: on equal distance keep the parent
+                // with the lower node id.
+                if nd < *slot || (nd == *slot && parent[v.index()].is_some_and(|p| u < p)) {
+                    *slot = nd;
+                    parent[v.index()] = Some(u);
+                    heap.push(HeapEntry { dist: nd, node: v });
+                }
+            }
+        }
+
+        ShortestPathTree {
+            source,
+            dist,
+            parent,
+        }
+    }
+
+    /// The source node this tree was computed from.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Shortest distance to `node`, or `None` if unreachable.
+    pub fn distance(&self, node: NodeId) -> Option<f64> {
+        let d = self.dist[node.index()];
+        d.is_finite().then_some(d)
+    }
+
+    /// Parent of `node` in the shortest-path tree.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent[node.index()]
+    }
+
+    /// Extracts the source→`node` path, or `None` if unreachable.
+    pub fn path_to(&self, node: NodeId) -> Option<Path> {
+        if !self.dist[node.index()].is_finite() {
+            return None;
+        }
+        let mut nodes = vec![node];
+        let mut cur = node;
+        while let Some(p) = self.parent[cur.index()] {
+            nodes.push(p);
+            cur = p;
+        }
+        if cur != self.source {
+            return None;
+        }
+        nodes.reverse();
+        Some(Path::new(nodes))
+    }
+
+    /// Iterator over all reachable nodes (including the source).
+    pub fn reachable(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_finite())
+            .map(|(i, _)| NodeId::new(i))
+    }
+}
+
+/// Point-to-point shortest path by delay.
+///
+/// Returns `None` when `dst` is unreachable from `src`.
+pub fn shortest_path(graph: &Graph, src: NodeId, dst: NodeId) -> Option<Path> {
+    shortest_path_constrained(graph, src, dst, Constraints::unrestricted())
+}
+
+/// Point-to-point shortest path under constraints.
+///
+/// Returns `None` when `dst` is unreachable under the constraints.
+pub fn shortest_path_constrained(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    constraints: Constraints<'_>,
+) -> Option<Path> {
+    if src == dst {
+        return constraints.node_allowed(src).then(|| Path::trivial(src));
+    }
+    ShortestPathTree::compute_constrained(graph, src, constraints).path_to(dst)
+}
+
+/// Shortest distance between two nodes, or `None` if disconnected.
+pub fn distance(graph: &Graph, src: NodeId, dst: NodeId) -> Option<f64> {
+    ShortestPathTree::compute(graph, src).distance(dst)
+}
+
+/// Shortest path from `src` to the nearest node for which `is_target`
+/// returns `true`, under `constraints`.
+///
+/// The source itself is a valid target: if `is_target(src)` the trivial path
+/// is returned. Used by local-detour recovery to reach the nearest
+/// still-connected on-tree node.
+pub fn shortest_path_to_any<F>(
+    graph: &Graph,
+    src: NodeId,
+    constraints: Constraints<'_>,
+    mut is_target: F,
+) -> Option<Path>
+where
+    F: FnMut(NodeId) -> bool,
+{
+    if !constraints.node_allowed(src) {
+        return None;
+    }
+    if is_target(src) {
+        return Some(Path::trivial(src));
+    }
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src,
+    });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        if u != src && is_target(u) {
+            // Settled order is by distance, so the first settled target is
+            // the nearest one.
+            let mut nodes = vec![u];
+            let mut cur = u;
+            while let Some(p) = parent[cur.index()] {
+                nodes.push(p);
+                cur = p;
+            }
+            nodes.reverse();
+            return Some(Path::new(nodes));
+        }
+        for &(v, l) in graph.adjacency(u) {
+            if done[v.index()]
+                || !constraints.node_allowed(v)
+                || !constraints.link_allowed(graph, l)
+            {
+                continue;
+            }
+            let nd = d + graph.link(l).delay();
+            if nd < dist[v.index()]
+                || (nd == dist[v.index()] && parent[v.index()].is_some_and(|p| u < p))
+            {
+                dist[v.index()] = nd;
+                parent[v.index()] = Some(u);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 1 graph of the paper: S, A, B, C, D with delays chosen so
+    /// that D's shortest path runs through A, the post-failure SPF detour is
+    /// D->B->S, and the local detour D->C has length 2.
+    fn figure1_graph() -> (Graph, [NodeId; 5]) {
+        let mut g = Graph::with_nodes(5);
+        let ids: Vec<_> = g.node_ids().collect();
+        let [s, a, b, c, d] = [ids[0], ids[1], ids[2], ids[3], ids[4]];
+        g.add_link(s, a, 1.0).unwrap();
+        g.add_link(a, c, 1.0).unwrap();
+        g.add_link(a, d, 1.0).unwrap();
+        g.add_link(c, d, 2.0).unwrap();
+        g.add_link(d, b, 1.0).unwrap();
+        g.add_link(b, s, 2.0).unwrap();
+        (g, [s, a, b, c, d])
+    }
+
+    #[test]
+    fn shortest_path_prefers_low_delay() {
+        let (g, [s, a, _, _, d]) = figure1_graph();
+        let p = shortest_path(&g, s, d).unwrap();
+        assert_eq!(p.nodes(), &[s, a, d]);
+        assert_eq!(p.delay(&g), 2.0);
+    }
+
+    #[test]
+    fn constrained_path_avoids_failed_link() {
+        let (g, [s, a, b, _, d]) = figure1_graph();
+        let l_ad = g.link_between(a, d).unwrap();
+        let failures = FailureScenario::link(l_ad);
+        let p =
+            shortest_path_constrained(&g, d, s, Constraints::avoiding_failures(&failures)).unwrap();
+        // Global detour from Figure 1(b): D -> B -> S with delay 3.
+        assert_eq!(p.nodes(), &[d, b, s]);
+        assert_eq!(p.delay(&g), 3.0);
+    }
+
+    #[test]
+    fn constrained_path_avoids_forbidden_nodes() {
+        let (g, [s, a, b, _, d]) = figure1_graph();
+        let forbidden = [a];
+        let p = shortest_path_constrained(
+            &g,
+            d,
+            s,
+            Constraints {
+                forbidden_nodes: &forbidden,
+                ..Constraints::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(p.nodes(), &[d, b, s]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g = Graph::with_nodes(2);
+        let ids: Vec<_> = g.node_ids().collect();
+        assert!(shortest_path(&g, ids[0], ids[1]).is_none());
+        assert_eq!(distance(&g, ids[0], ids[1]), None);
+        let _ = &mut g;
+    }
+
+    #[test]
+    fn same_node_is_trivial_path() {
+        let (g, [s, ..]) = figure1_graph();
+        let p = shortest_path(&g, s, s).unwrap();
+        assert_eq!(p.hop_count(), 0);
+    }
+
+    #[test]
+    fn forbidden_source_means_no_path() {
+        let (g, [s, _, _, _, d]) = figure1_graph();
+        let forbidden = [d];
+        assert!(shortest_path_constrained(
+            &g,
+            d,
+            s,
+            Constraints {
+                forbidden_nodes: &forbidden,
+                ..Constraints::default()
+            }
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn tree_distances_match_point_queries() {
+        let (g, nodes) = figure1_graph();
+        let spt = ShortestPathTree::compute(&g, nodes[0]);
+        for &n in &nodes {
+            let d1 = spt.distance(n);
+            let d2 = distance(&g, nodes[0], n);
+            assert_eq!(d1, d2);
+            if let Some(p) = spt.path_to(n) {
+                assert_eq!(p.delay(&g), d1.unwrap());
+                assert!(p.validate(&g).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_target_finds_nearest() {
+        let (g, [s, a, _b, c, d]) = figure1_graph();
+        let l_ad = g.link_between(a, d).unwrap();
+        let failures = FailureScenario::link(l_ad);
+        // On-tree connected nodes after L_AD fails: S, A, C.
+        let targets = [s, a, c];
+        let p = shortest_path_to_any(&g, d, Constraints::avoiding_failures(&failures), |n| {
+            targets.contains(&n)
+        })
+        .unwrap();
+        // Local detour from Figure 1: D -> C with recovery distance 2
+        // (beats D -> B -> S whose first on-tree touch is S at delay 3).
+        assert_eq!(p.nodes(), &[d, c]);
+        assert_eq!(p.delay(&g), 2.0);
+    }
+
+    #[test]
+    fn multi_target_source_is_target() {
+        let (g, [s, ..]) = figure1_graph();
+        let p = shortest_path_to_any(&g, s, Constraints::unrestricted(), |n| n == s).unwrap();
+        assert_eq!(p.hop_count(), 0);
+    }
+
+    #[test]
+    fn multi_target_no_target_reachable() {
+        let (g, [s, _, _, _, d]) = figure1_graph();
+        let p = shortest_path_to_any(&g, d, Constraints::unrestricted(), |_| false);
+        assert!(p.is_none());
+        let _ = (s, g);
+    }
+
+    #[test]
+    fn forbidden_link_is_respected() {
+        let (g, [s, a, _, _, d]) = figure1_graph();
+        let l_sa = g.link_between(s, a).unwrap();
+        let forbidden = [l_sa];
+        let p = shortest_path_constrained(
+            &g,
+            s,
+            d,
+            Constraints {
+                forbidden_links: &forbidden,
+                ..Constraints::default()
+            },
+        )
+        .unwrap();
+        assert!(!p.links(&g).contains(&l_sa));
+    }
+
+    #[test]
+    fn reachable_enumerates_component() {
+        let mut g = Graph::with_nodes(4);
+        let ids: Vec<_> = g.node_ids().collect();
+        g.add_link(ids[0], ids[1], 1.0).unwrap();
+        // ids[2], ids[3] isolated from ids[0].
+        g.add_link(ids[2], ids[3], 1.0).unwrap();
+        let spt = ShortestPathTree::compute(&g, ids[0]);
+        let reach: Vec<_> = spt.reachable().collect();
+        assert_eq!(reach, vec![ids[0], ids[1]]);
+    }
+
+    #[test]
+    fn failed_node_blocks_paths() {
+        let (g, [s, a, b, _, d]) = figure1_graph();
+        let mut failures = FailureScenario::node(a);
+        failures.fail_node(b);
+        let p = shortest_path_constrained(&g, s, d, Constraints::avoiding_failures(&failures));
+        assert!(p.is_none());
+    }
+}

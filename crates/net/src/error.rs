@@ -1,0 +1,80 @@
+//! Error type shared by the network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{LinkId, NodeId};
+
+/// Errors produced by graph construction, topology generation and path
+/// queries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A node id referred to a node that does not exist in the graph.
+    UnknownNode(NodeId),
+    /// A link id referred to a link that does not exist in the graph.
+    UnknownLink(LinkId),
+    /// Attempted to create a self-loop, which the substrate forbids.
+    SelfLoop(NodeId),
+    /// Attempted to create a parallel link between two nodes.
+    DuplicateLink(NodeId, NodeId),
+    /// A link weight (delay or cost) was not a finite positive number.
+    InvalidWeight(f64),
+    /// A topology generator was configured with an invalid parameter.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// A generator failed to produce a connected topology within its retry
+    /// budget.
+    DisconnectedTopology {
+        /// Number of generation attempts made.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::UnknownLink(l) => write!(f, "unknown link {l}"),
+            NetError::SelfLoop(n) => write!(f, "self-loop at node {n} is not allowed"),
+            NetError::DuplicateLink(a, b) => {
+                write!(f, "a link between {a} and {b} already exists")
+            }
+            NetError::InvalidWeight(w) => {
+                write!(f, "link weight {w} is not a finite positive number")
+            }
+            NetError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            NetError::DisconnectedTopology { attempts } => write!(
+                f,
+                "failed to generate a connected topology after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let msg = NetError::SelfLoop(NodeId::new(4)).to_string();
+        assert!(msg.contains("n4"));
+        let msg = NetError::DisconnectedTopology { attempts: 3 }.to_string();
+        assert!(msg.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+}

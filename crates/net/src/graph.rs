@@ -1,0 +1,543 @@
+//! The undirected weighted graph at the heart of the substrate.
+//!
+//! Nodes and links live in arenas and are addressed through [`NodeId`] and
+//! [`LinkId`]. Each link carries two weights, mirroring the paper's
+//! evaluation metrics:
+//!
+//! * **delay** — used for path lengths, end-to-end delay `D_{S,R}` and the
+//!   recovery distance `RD_R`;
+//! * **cost** — summed over tree links to produce the tree cost `Cost_T`.
+//!
+//! The paper's figures annotate links with a single number acting as both,
+//! so generators default to `cost == delay`, but the two are kept separate so
+//! unit-cost experiments ("tree cost as link count") remain expressible.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::geometry::Point;
+use crate::ids::{LinkId, NodeId};
+
+/// Weights attached to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkWeights {
+    /// Propagation delay of the link (the paper's per-link number).
+    pub delay: f64,
+    /// Cost of including the link in a multicast tree.
+    pub cost: f64,
+}
+
+impl LinkWeights {
+    /// Creates weights with identical delay and cost, the paper's default.
+    #[inline]
+    pub fn symmetric(value: f64) -> Self {
+        LinkWeights {
+            delay: value,
+            cost: value,
+        }
+    }
+}
+
+/// An undirected link between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    a: NodeId,
+    b: NodeId,
+    weights: LinkWeights,
+}
+
+impl Link {
+    /// One endpoint of the link (the lower node id).
+    #[inline]
+    pub fn a(&self) -> NodeId {
+        self.a
+    }
+
+    /// The other endpoint of the link (the higher node id).
+    #[inline]
+    pub fn b(&self) -> NodeId {
+        self.b
+    }
+
+    /// Both endpoints as a pair `(a, b)` with `a < b`.
+    #[inline]
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
+
+    /// Propagation delay of the link.
+    #[inline]
+    pub fn delay(&self) -> f64 {
+        self.weights.delay
+    }
+
+    /// Tree-cost contribution of the link.
+    #[inline]
+    pub fn cost(&self) -> f64 {
+        self.weights.cost
+    }
+
+    /// Given one endpoint, returns the opposite endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of this link.
+    #[inline]
+    pub fn opposite(&self, node: NodeId) -> NodeId {
+        if node == self.a {
+            self.b
+        } else if node == self.b {
+            self.a
+        } else {
+            panic!("node {node} is not an endpoint of this link");
+        }
+    }
+
+    /// Whether `node` is one of the two endpoints.
+    #[inline]
+    pub fn touches(&self, node: NodeId) -> bool {
+        node == self.a || node == self.b
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NodeRecord {
+    position: Option<Point>,
+    /// Adjacency: (neighbor, connecting link).
+    adjacency: Vec<(NodeId, LinkId)>,
+}
+
+/// An undirected weighted graph.
+///
+/// Construction is additive only: experiments never remove nodes or links
+/// from a topology; persistent failures are expressed with a
+/// [`crate::FailureScenario`] mask layered on top instead, so that one graph
+/// can be shared by many failure cases.
+///
+/// # Example
+///
+/// ```
+/// use smrp_net::Graph;
+///
+/// # fn main() -> Result<(), smrp_net::NetError> {
+/// let mut g = Graph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let l = g.add_link(a, b, 2.5)?;
+/// assert_eq!(g.link(l).opposite(a), b);
+/// assert_eq!(g.degree(a), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    nodes: Vec<NodeRecord>,
+    links: Vec<Link>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates a graph with `n` isolated nodes and no positions.
+    pub fn with_nodes(n: usize) -> Self {
+        let mut g = Graph::new();
+        for _ in 0..n {
+            g.add_node();
+        }
+        g
+    }
+
+    /// Adds a node without a plane position and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(NodeRecord {
+            position: None,
+            adjacency: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a node placed at `position` and returns its id.
+    pub fn add_node_at(&mut self, position: Point) -> NodeId {
+        let id = self.add_node();
+        self.nodes[id.index()].position = Some(position);
+        id
+    }
+
+    /// Adds an undirected link with symmetric delay/cost `weight`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is unknown, the endpoints are
+    /// equal (self-loop), a link between them already exists, or the weight
+    /// is not finite and positive.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, weight: f64) -> Result<LinkId, NetError> {
+        self.add_link_weighted(a, b, LinkWeights::symmetric(weight))
+    }
+
+    /// Adds an undirected link with explicit delay and cost.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::add_link`].
+    pub fn add_link_weighted(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        weights: LinkWeights,
+    ) -> Result<LinkId, NetError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(NetError::SelfLoop(a));
+        }
+        for w in [weights.delay, weights.cost] {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(NetError::InvalidWeight(w));
+            }
+        }
+        if self.link_between(a, b).is_some() {
+            return Err(NetError::DuplicateLink(a, b));
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let id = LinkId::new(self.links.len());
+        self.links.push(Link {
+            a: lo,
+            b: hi,
+            weights,
+        });
+        self.nodes[a.index()].adjacency.push((b, id));
+        self.nodes[b.index()].adjacency.push((a, id));
+        Ok(id)
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), NetError> {
+        if n.index() < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(NetError::UnknownNode(n))
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    #[inline]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the graph contains `node`.
+    #[inline]
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.nodes.len()
+    }
+
+    /// Iterator over all node ids in index order.
+    pub fn node_ids(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+
+    /// Iterator over all link ids in index order.
+    pub fn link_ids(&self) -> impl DoubleEndedIterator<Item = LinkId> + ExactSizeIterator {
+        (0..self.links.len()).map(LinkId::new)
+    }
+
+    /// Returns the link record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Plane position of `node`, if it was placed with
+    /// [`Graph::add_node_at`].
+    #[inline]
+    pub fn position(&self, node: NodeId) -> Option<Point> {
+        self.nodes[node.index()].position
+    }
+
+    /// Adjacency list of `node` as `(neighbor, link)` pairs in insertion
+    /// order.
+    #[inline]
+    pub fn adjacency(&self, node: NodeId) -> &[(NodeId, LinkId)] {
+        &self.nodes[node.index()].adjacency
+    }
+
+    /// Iterator over the neighbors of `node`.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency(node).iter().map(|&(n, _)| n)
+    }
+
+    /// Degree (number of incident links) of `node`.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency(node).len()
+    }
+
+    /// The link connecting `a` and `b`, if any.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        if !self.contains_node(a) || !self.contains_node(b) {
+            return None;
+        }
+        // Scan the smaller adjacency list.
+        let (probe, target) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.adjacency(probe)
+            .iter()
+            .find(|&&(n, _)| n == target)
+            .map(|&(_, l)| l)
+    }
+
+    /// Delay of the link between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownLink`] if no such link exists (reported
+    /// with a placeholder id since no id exists).
+    pub fn delay_between(&self, a: NodeId, b: NodeId) -> Result<f64, NetError> {
+        self.link_between(a, b)
+            .map(|l| self.link(l).delay())
+            .ok_or(NetError::UnknownLink(LinkId::new(usize::MAX >> 8)))
+    }
+
+    /// Average node degree `2·|E| / |V|`.
+    ///
+    /// Figure 9 of the paper annotates each `α` value with this quantity.
+    pub fn average_degree(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.links.len() as f64 / self.nodes.len() as f64
+    }
+
+    /// Sum of link delays over the whole graph (diagnostic).
+    pub fn total_delay(&self) -> f64 {
+        self.links.iter().map(Link::delay).sum()
+    }
+
+    /// Extracts the subgraph induced by `nodes`, preserving positions and
+    /// weights.
+    ///
+    /// Returns the new graph plus the mapping from new node ids to the
+    /// original ids (`mapping[new.index()] == old`). Nodes are renumbered
+    /// densely in the order given; duplicate entries are ignored after the
+    /// first occurrence.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut sub = Graph::new();
+        let mut mapping = Vec::new();
+        let mut old_to_new: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        for &old in nodes {
+            if old_to_new[old.index()].is_some() {
+                continue;
+            }
+            let new = match self.position(old) {
+                Some(p) => sub.add_node_at(p),
+                None => sub.add_node(),
+            };
+            old_to_new[old.index()] = Some(new);
+            mapping.push(old);
+        }
+        for link in &self.links {
+            let (Some(a), Some(b)) = (old_to_new[link.a.index()], old_to_new[link.b.index()])
+            else {
+                continue;
+            };
+            sub.add_link_weighted(a, b, link.weights)
+                .expect("induced links are fresh and valid");
+        }
+        (sub, mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Graph, [NodeId; 3], [LinkId; 3]) {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let ab = g.add_link(a, b, 1.0).unwrap();
+        let bc = g.add_link(b, c, 2.0).unwrap();
+        let ca = g.add_link(c, a, 3.0).unwrap();
+        (g, [a, b, c], [ab, bc, ca])
+    }
+
+    #[test]
+    fn counts_and_ids_are_dense() {
+        let (g, nodes, links) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.link_count(), 3);
+        assert_eq!(g.node_ids().collect::<Vec<_>>(), nodes.to_vec());
+        assert_eq!(g.link_ids().collect::<Vec<_>>(), links.to_vec());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let (g, [a, b, c], _) = triangle();
+        assert!(g.neighbors(a).any(|n| n == b));
+        assert!(g.neighbors(b).any(|n| n == a));
+        assert_eq!(g.degree(c), 2);
+    }
+
+    #[test]
+    fn link_between_finds_either_direction() {
+        let (g, [a, b, _], [ab, ..]) = triangle();
+        assert_eq!(g.link_between(a, b), Some(ab));
+        assert_eq!(g.link_between(b, a), Some(ab));
+    }
+
+    #[test]
+    fn link_between_missing_is_none() {
+        let mut g = Graph::with_nodes(3);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        assert_eq!(g.link_between(a, b), None);
+        g.add_link(a, b, 1.0).unwrap();
+        assert_eq!(g.link_between(a, NodeId::new(2)), None);
+        assert_eq!(g.link_between(NodeId::new(9), a), None);
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let mut g = Graph::with_nodes(1);
+        let a = NodeId::new(0);
+        assert_eq!(g.add_link(a, a, 1.0), Err(NetError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn duplicate_links_are_rejected() {
+        let mut g = Graph::with_nodes(2);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        g.add_link(a, b, 1.0).unwrap();
+        assert!(matches!(
+            g.add_link(b, a, 2.0),
+            Err(NetError::DuplicateLink(_, _))
+        ));
+    }
+
+    #[test]
+    fn nonpositive_and_nonfinite_weights_are_rejected() {
+        let mut g = Graph::with_nodes(2);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                g.add_link(a, b, bad),
+                Err(NetError::InvalidWeight(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn unknown_endpoints_are_rejected() {
+        let mut g = Graph::with_nodes(1);
+        let a = NodeId::new(0);
+        let ghost = NodeId::new(42);
+        assert_eq!(g.add_link(a, ghost, 1.0), Err(NetError::UnknownNode(ghost)));
+    }
+
+    #[test]
+    fn opposite_endpoint() {
+        let (g, [a, b, _], [ab, ..]) = triangle();
+        assert_eq!(g.link(ab).opposite(a), b);
+        assert_eq!(g.link(ab).opposite(b), a);
+        assert!(g.link(ab).touches(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn opposite_of_non_endpoint_panics() {
+        let (g, [_, _, c], [ab, ..]) = triangle();
+        let _ = g.link(ab).opposite(c);
+    }
+
+    #[test]
+    fn endpoints_are_ordered() {
+        let mut g = Graph::with_nodes(2);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let l = g.add_link(b, a, 1.0).unwrap();
+        assert_eq!(g.link(l).endpoints(), (a, b));
+    }
+
+    #[test]
+    fn average_degree_of_triangle_is_two() {
+        let (g, _, _) = triangle();
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(Graph::new().average_degree(), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_weights_are_kept() {
+        let mut g = Graph::with_nodes(2);
+        let l = g
+            .add_link_weighted(
+                NodeId::new(0),
+                NodeId::new(1),
+                LinkWeights {
+                    delay: 1.0,
+                    cost: 7.0,
+                },
+            )
+            .unwrap();
+        assert_eq!(g.link(l).delay(), 1.0);
+        assert_eq!(g.link(l).cost(), 7.0);
+    }
+
+    #[test]
+    fn positions_round_trip() {
+        let mut g = Graph::new();
+        let p = Point::new(0.25, 0.75);
+        let n = g.add_node_at(p);
+        assert_eq!(g.position(n), Some(p));
+        let m = g.add_node();
+        assert_eq!(g.position(m), None);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_links() {
+        let (g, [a, b, c], _) = triangle();
+        let (sub, mapping) = g.induced_subgraph(&[a, c]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.link_count(), 1); // only the C-A link survives.
+        assert_eq!(mapping, vec![a, c]);
+        let l = sub.link(sub.link_ids().next().unwrap());
+        assert_eq!(l.delay(), 3.0);
+        let _ = b;
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let (g, [a, b, _], _) = triangle();
+        let (sub, mapping) = g.induced_subgraph(&[a, b, a]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(mapping, vec![a, b]);
+    }
+
+    #[test]
+    fn delay_between_connected_and_missing() {
+        let (g, [a, b, c], _) = triangle();
+        assert_eq!(g.delay_between(a, b).unwrap(), 1.0);
+        assert_eq!(g.delay_between(b, c).unwrap(), 2.0);
+        let mut g2 = Graph::with_nodes(2);
+        g2.add_link(NodeId::new(0), NodeId::new(1), 5.0).unwrap();
+        assert!(g2.delay_between(NodeId::new(0), NodeId::new(1)).is_ok());
+        let (g3, _, _) = triangle();
+        let mut g4 = g3.clone();
+        let d = g4.add_node();
+        assert!(g4.delay_between(a, d).is_err());
+    }
+}

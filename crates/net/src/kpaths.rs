@@ -1,0 +1,220 @@
+//! Yen's algorithm for k shortest loopless paths.
+//!
+//! The SMRP join procedure enumerates alternative routes toward the source;
+//! Yen's algorithm provides a principled way to generate diverse loopless
+//! candidates. It is also used by tests as an oracle for the constrained
+//! Dijkstra queries.
+
+use crate::dijkstra::{shortest_path_constrained, Constraints};
+use crate::failure::FailureScenario;
+use crate::graph::Graph;
+use crate::ids::{LinkId, NodeId};
+use crate::path::Path;
+
+/// Computes up to `k` shortest loopless paths from `src` to `dst`, ordered
+/// by increasing delay (ties broken by node sequence for determinism).
+///
+/// Returns fewer than `k` paths when the graph does not contain that many
+/// distinct loopless paths; returns an empty vector when `dst` is
+/// unreachable.
+///
+/// # Example
+///
+/// ```
+/// use smrp_net::{Graph, kpaths::k_shortest_paths};
+///
+/// # fn main() -> Result<(), smrp_net::NetError> {
+/// let mut g = Graph::with_nodes(3);
+/// let ids: Vec<_> = g.node_ids().collect();
+/// g.add_link(ids[0], ids[1], 1.0)?;
+/// g.add_link(ids[1], ids[2], 1.0)?;
+/// g.add_link(ids[0], ids[2], 5.0)?;
+/// let paths = k_shortest_paths(&g, ids[0], ids[2], 3);
+/// assert_eq!(paths.len(), 2);
+/// assert_eq!(paths[0].delay(&g), 2.0);
+/// assert_eq!(paths[1].delay(&g), 5.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn k_shortest_paths(graph: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    k_shortest_paths_avoiding(graph, src, dst, k, &FailureScenario::none())
+}
+
+/// Like [`k_shortest_paths`] but restricted to components that survive
+/// `failures`.
+pub fn k_shortest_paths_avoiding(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    failures: &FailureScenario,
+) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let base = Constraints::avoiding_failures(failures);
+    let mut accepted: Vec<Path> = Vec::new();
+    let Some(first) = shortest_path_constrained(graph, src, dst, base) else {
+        return accepted;
+    };
+    accepted.push(first);
+
+    // Candidate pool of (delay, path), kept sorted; BinaryHeap over f64
+    // would need a wrapper, and k is small in practice.
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+
+    while accepted.len() < k {
+        let last = accepted.last().expect("at least one accepted path").clone();
+        let last_nodes = last.nodes();
+
+        for i in 0..last_nodes.len() - 1 {
+            let spur_node = last_nodes[i];
+            let root_nodes = &last_nodes[..=i];
+
+            // Links leaving the spur node along any accepted path sharing
+            // this root must be removed so the spur deviates.
+            let mut banned_links: Vec<LinkId> = Vec::new();
+            for p in &accepted {
+                let nodes = p.nodes();
+                if nodes.len() > i && nodes[..=i] == *root_nodes {
+                    if let Some(l) = graph.link_between(nodes[i], nodes[i + 1]) {
+                        if !banned_links.contains(&l) {
+                            banned_links.push(l);
+                        }
+                    }
+                }
+            }
+            // Root nodes other than the spur node must not be revisited.
+            let banned_nodes: Vec<NodeId> = root_nodes[..i].to_vec();
+
+            let constraints = Constraints {
+                failures: Some(failures),
+                forbidden_nodes: &banned_nodes,
+                forbidden_links: &banned_links,
+            };
+            let Some(spur) = shortest_path_constrained(graph, spur_node, dst, constraints) else {
+                continue;
+            };
+
+            let root = Path::new(root_nodes.to_vec());
+            let total = root.join(&spur);
+            if total.validate(graph).is_err() {
+                continue;
+            }
+            let d = total.delay(graph);
+            let duplicate =
+                accepted.contains(&total) || candidates.iter().any(|(_, p)| *p == total);
+            if !duplicate {
+                candidates.push((d, total));
+            }
+        }
+
+        if candidates.is_empty() {
+            break;
+        }
+        // Pick the candidate with minimal delay; break ties by node
+        // sequence for determinism.
+        let best_idx = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, (da, pa)), (_, (db, pb))| {
+                da.total_cmp(db).then_with(|| pa.nodes().cmp(pb.nodes()))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty candidates");
+        let (_, best) = candidates.swap_remove(best_idx);
+        accepted.push(best);
+    }
+
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: two equal-ish routes plus a long direct edge.
+    fn diamond() -> (Graph, [NodeId; 4]) {
+        let mut g = Graph::with_nodes(4);
+        let ids: Vec<_> = g.node_ids().collect();
+        let [s, a, b, t] = [ids[0], ids[1], ids[2], ids[3]];
+        g.add_link(s, a, 1.0).unwrap();
+        g.add_link(a, t, 1.0).unwrap();
+        g.add_link(s, b, 1.5).unwrap();
+        g.add_link(b, t, 1.5).unwrap();
+        g.add_link(s, t, 5.0).unwrap();
+        (g, [s, a, b, t])
+    }
+
+    #[test]
+    fn paths_are_ordered_by_delay() {
+        let (g, [s, a, b, t]) = diamond();
+        let ps = k_shortest_paths(&g, s, t, 3);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].nodes(), &[s, a, t]);
+        assert_eq!(ps[1].nodes(), &[s, b, t]);
+        assert_eq!(ps[2].nodes(), &[s, t]);
+        let d: Vec<f64> = ps.iter().map(|p| p.delay(&g)).collect();
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn requesting_more_than_exist_returns_all() {
+        let (g, [s, _, _, t]) = diamond();
+        let ps = k_shortest_paths(&g, s, t, 100);
+        // The diamond has exactly 3 loopless s-t paths: via a, via b, direct.
+        assert_eq!(ps.len(), 3);
+        // All distinct and valid.
+        for (i, p) in ps.iter().enumerate() {
+            assert!(p.validate(&g).is_ok());
+            for q in &ps[i + 1..] {
+                assert_ne!(p, q);
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let (g, [s, _, _, t]) = diamond();
+        assert!(k_shortest_paths(&g, s, t, 0).is_empty());
+    }
+
+    #[test]
+    fn unreachable_returns_empty() {
+        let g = Graph::with_nodes(2);
+        let ids: Vec<_> = g.node_ids().collect();
+        assert!(k_shortest_paths(&g, ids[0], ids[1], 3).is_empty());
+    }
+
+    #[test]
+    fn failure_restricts_path_set() {
+        let (g, [s, a, _, t]) = diamond();
+        let l_at = g.link_between(a, t).unwrap();
+        let f = FailureScenario::link(l_at);
+        let ps = k_shortest_paths_avoiding(&g, s, t, 5, &f);
+        assert!(ps.iter().all(|p| !p.links(&g).contains(&l_at)));
+        assert!(!ps.is_empty());
+    }
+
+    #[test]
+    fn loopless_property_holds_on_larger_graph() {
+        // 3x3 grid.
+        let mut g = Graph::with_nodes(9);
+        let id = |r: usize, c: usize| NodeId::new(r * 3 + c);
+        for r in 0..3 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    g.add_link(id(r, c), id(r, c + 1), 1.0).unwrap();
+                }
+                if r + 1 < 3 {
+                    g.add_link(id(r, c), id(r + 1, c), 1.0).unwrap();
+                }
+            }
+        }
+        let ps = k_shortest_paths(&g, id(0, 0), id(2, 2), 8);
+        assert_eq!(ps.len(), 8);
+        for p in &ps {
+            assert!(p.validate(&g).is_ok(), "path revisits a node or fake link");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! Network substrate for the SMRP reproduction.
+//!
+//! This crate provides everything the SMRP protocol (`smrp-core`) and the
+//! discrete-event protocol simulation (`smrp-sim`/`smrp-proto`) need from
+//! the network layer:
+//!
+//! * an arena-style undirected weighted [`Graph`] with typed [`NodeId`] /
+//!   [`LinkId`] handles,
+//! * shortest-path machinery ([`dijkstra`]): plain, avoid-set constrained and
+//!   multi-target Dijkstra, plus Yen's k-shortest loopless paths
+//!   ([`kpaths`]),
+//! * random topology generators matching the paper's simulation setup:
+//!   the Waxman model ([`waxman`], GT-ITM's "pure random" model) and a
+//!   2-level transit-stub model ([`transit_stub`]) for the hierarchical
+//!   recovery architecture of §3.3.3,
+//! * persistent-failure scenarios ([`failure`]) that mask out links/nodes
+//!   without mutating the underlying graph.
+//!
+//! All randomness is funneled through seeded [`rand::rngs::SmallRng`] values
+//! so every topology and experiment in this repository is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use smrp_net::{waxman::WaxmanConfig, dijkstra};
+//!
+//! # fn main() -> Result<(), smrp_net::NetError> {
+//! let graph = WaxmanConfig::new(100).alpha(0.2).seed(42).generate()?.into_graph();
+//! let src = graph.node_ids().next().unwrap();
+//! let dst = graph.node_ids().last().unwrap();
+//! let path = dijkstra::shortest_path(&graph, src, dst).expect("connected");
+//! assert!(path.delay(&graph) > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dijkstra;
+pub mod failure;
+pub mod geometry;
+pub mod graph;
+pub mod ids;
+pub mod import;
+pub mod kpaths;
+pub mod nlevel;
+pub mod path;
+pub mod transit_stub;
+pub mod traversal;
+pub mod waxman;
+
+mod error;
+
+pub use error::NetError;
+pub use failure::FailureScenario;
+pub use geometry::Point;
+pub use graph::{Graph, Link, LinkWeights};
+pub use ids::{LinkId, NodeId};
+pub use path::Path;

@@ -1,0 +1,428 @@
+//! N-level hierarchical topologies (§3.3.3's generalization).
+//!
+//! The paper presents a 2-level transit-stub instantiation of its recovery
+//! architecture and notes that it "can be easily generalized into an
+//! N-level architecture". This module generates the topologies for that
+//! generalization: a root domain at level 0, and at each deeper level a
+//! configurable number of child domains hanging off every node of the
+//! level above, each attached through a single border (gateway) link.
+//! Intra-domain link delays shrink with depth, mirroring how regional and
+//! campus networks sit under wide-area backbones.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::transit_stub::DomainId;
+
+/// One recovery domain in an N-level hierarchy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelDomain {
+    id: DomainId,
+    level: u32,
+    parent: Option<DomainId>,
+    nodes: Vec<NodeId>,
+    /// `(border_in_this_domain, node_in_parent_domain)`; `None` for the
+    /// root.
+    attachment: Option<(NodeId, NodeId)>,
+}
+
+impl LevelDomain {
+    /// Domain id.
+    pub fn id(&self) -> DomainId {
+        self.id
+    }
+
+    /// Depth in the hierarchy (0 = root).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Parent domain, if any.
+    pub fn parent(&self) -> Option<DomainId> {
+        self.parent
+    }
+
+    /// Nodes belonging to this domain.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// `(border, parent_attachment)` for non-root domains.
+    pub fn attachment(&self) -> Option<(NodeId, NodeId)> {
+        self.attachment
+    }
+
+    /// Whether `node` belongs to this domain.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+}
+
+/// Configuration for N-level hierarchy generation.
+///
+/// # Example
+///
+/// ```
+/// use smrp_net::nlevel::NLevelConfig;
+///
+/// # fn main() -> Result<(), smrp_net::NetError> {
+/// // 3 levels: a 4-node core, 2 regional domains of 5 nodes per core
+/// // node, 2 campus domains of 4 nodes per regional node.
+/// let topo = NLevelConfig::new(4)
+///     .level(2, 5)
+///     .level(2, 4)
+///     .seed(1)
+///     .generate()?;
+/// assert_eq!(topo.depth(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NLevelConfig {
+    root_nodes: usize,
+    fanout: Vec<(usize, usize)>,
+    extra_edge_prob: f64,
+    base_delay: (f64, f64),
+    seed: u64,
+}
+
+impl NLevelConfig {
+    /// Starts a configuration with a `root_nodes`-node root domain and no
+    /// deeper levels yet.
+    pub fn new(root_nodes: usize) -> Self {
+        NLevelConfig {
+            root_nodes,
+            fanout: Vec::new(),
+            extra_edge_prob: 0.4,
+            base_delay: (20.0, 50.0),
+            seed: 0,
+        }
+    }
+
+    /// Appends one level: `domains_per_node` child domains under every node
+    /// of the previous level, each with `nodes_per_domain` nodes.
+    pub fn level(mut self, domains_per_node: usize, nodes_per_domain: usize) -> Self {
+        self.fanout.push((domains_per_node, nodes_per_domain));
+        self
+    }
+
+    /// Probability of each extra intra-domain chord beyond the spanning
+    /// tree.
+    pub fn extra_edge_prob(mut self, p: f64) -> Self {
+        self.extra_edge_prob = p;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) -> Result<(), NetError> {
+        if self.root_nodes < 2 {
+            return Err(NetError::InvalidParameter {
+                name: "root_nodes",
+                reason: "the root domain needs at least two nodes",
+            });
+        }
+        for &(d, n) in &self.fanout {
+            if d == 0 || n == 0 {
+                return Err(NetError::InvalidParameter {
+                    name: "fanout",
+                    reason: "levels need at least one domain and one node per domain",
+                });
+            }
+        }
+        if !(0.0..=1.0).contains(&self.extra_edge_prob) {
+            return Err(NetError::InvalidParameter {
+                name: "extra_edge_prob",
+                reason: "must lie in [0, 1]",
+            });
+        }
+        Ok(())
+    }
+
+    /// Generates the hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidParameter`] for out-of-range settings.
+    pub fn generate(&self) -> Result<NLevelTopology, NetError> {
+        self.validate()?;
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut graph = Graph::new();
+        let mut domains: Vec<LevelDomain> = Vec::new();
+
+        let root_nodes: Vec<NodeId> = (0..self.root_nodes).map(|_| graph.add_node()).collect();
+        connect_domain(
+            &mut graph,
+            &root_nodes,
+            self.base_delay,
+            self.extra_edge_prob,
+            &mut rng,
+        );
+        domains.push(LevelDomain {
+            id: DomainId::new(0),
+            level: 0,
+            parent: None,
+            nodes: root_nodes,
+            attachment: None,
+        });
+
+        // Frontier of (domain index, level) whose nodes receive children.
+        let mut frontier: Vec<usize> = vec![0];
+        for (depth, &(per_node, size)) in self.fanout.iter().enumerate() {
+            let level = depth as u32 + 1;
+            // Delays shrink with depth; gateways sit between the scales.
+            let scale = 0.5f64.powi(level as i32);
+            let delay = (self.base_delay.0 * scale, self.base_delay.1 * scale);
+            let gateway = (delay.1, self.base_delay.0 * 0.5f64.powi(level as i32 - 1));
+            let mut next_frontier = Vec::new();
+            for &di in &frontier {
+                let parent_id = domains[di].id;
+                let parent_nodes = domains[di].nodes.clone();
+                for &up in &parent_nodes {
+                    for _ in 0..per_node {
+                        let nodes: Vec<NodeId> = (0..size).map(|_| graph.add_node()).collect();
+                        connect_domain(&mut graph, &nodes, delay, self.extra_edge_prob, &mut rng);
+                        let border = nodes[rng.gen_range(0..nodes.len())];
+                        let gw = if gateway.0 < gateway.1 {
+                            rng.gen_range(gateway.0..gateway.1)
+                        } else {
+                            gateway.0
+                        };
+                        graph
+                            .add_link(border, up, gw)
+                            .expect("gateway endpoints are distinct and fresh");
+                        let id = DomainId::new(domains.len());
+                        domains.push(LevelDomain {
+                            id,
+                            level,
+                            parent: Some(parent_id),
+                            nodes,
+                            attachment: Some((border, up)),
+                        });
+                        next_frontier.push(domains.len() - 1);
+                    }
+                }
+            }
+            frontier = next_frontier;
+        }
+
+        let mut node_domain = vec![DomainId::new(0); graph.node_count()];
+        for d in &domains {
+            for &n in &d.nodes {
+                node_domain[n.index()] = d.id;
+            }
+        }
+        Ok(NLevelTopology {
+            graph,
+            domains,
+            node_domain,
+            depth: self.fanout.len() as u32 + 1,
+        })
+    }
+}
+
+/// Random connected subgraph: spanning tree plus chords.
+fn connect_domain(
+    graph: &mut Graph,
+    nodes: &[NodeId],
+    delay: (f64, f64),
+    extra_edge_prob: f64,
+    rng: &mut SmallRng,
+) {
+    let sample = |rng: &mut SmallRng| {
+        if delay.0 < delay.1 {
+            rng.gen_range(delay.0..delay.1)
+        } else {
+            delay.0
+        }
+    };
+    for (i, &n) in nodes.iter().enumerate().skip(1) {
+        let parent = nodes[rng.gen_range(0..i)];
+        let d = sample(rng);
+        graph.add_link(n, parent, d).expect("fresh spanning edge");
+    }
+    for i in 0..nodes.len() {
+        for j in (i + 1)..nodes.len() {
+            if graph.link_between(nodes[i], nodes[j]).is_some() {
+                continue;
+            }
+            if rng.gen::<f64>() < extra_edge_prob {
+                let d = sample(rng);
+                graph.add_link(nodes[i], nodes[j], d).expect("fresh chord");
+            }
+        }
+    }
+}
+
+/// A generated N-level hierarchy.
+#[derive(Debug, Clone)]
+pub struct NLevelTopology {
+    graph: Graph,
+    domains: Vec<LevelDomain>,
+    node_domain: Vec<DomainId>,
+    depth: u32,
+}
+
+impl NLevelTopology {
+    /// The underlying flat graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// All domains; index 0 is the root.
+    pub fn domains(&self) -> &[LevelDomain] {
+        &self.domains
+    }
+
+    /// The root (level-0) domain.
+    pub fn root(&self) -> &LevelDomain {
+        &self.domains[0]
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The domain a node belongs to.
+    pub fn domain_of(&self, node: NodeId) -> DomainId {
+        self.node_domain[node.index()]
+    }
+
+    /// Domains at the deepest level.
+    pub fn leaf_domains(&self) -> impl Iterator<Item = &LevelDomain> {
+        let max = self.depth - 1;
+        self.domains.iter().filter(move |d| d.level == max)
+    }
+
+    /// Child domains of `parent`.
+    pub fn children_of(&self, parent: DomainId) -> impl Iterator<Item = &LevelDomain> {
+        self.domains
+            .iter()
+            .filter(move |d| d.parent == Some(parent))
+    }
+
+    /// Chain of domains from `domain` up to the root (inclusive).
+    pub fn ancestry(&self, domain: DomainId) -> Vec<DomainId> {
+        let mut out = vec![domain];
+        let mut cur = domain;
+        while let Some(p) = self.domains[cur.index()].parent {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    fn three_level() -> NLevelTopology {
+        NLevelConfig::new(3)
+            .level(1, 4)
+            .level(2, 3)
+            .seed(5)
+            .generate()
+            .unwrap()
+    }
+
+    #[test]
+    fn shape_and_connectivity() {
+        let t = three_level();
+        assert!(is_connected(t.graph()));
+        assert_eq!(t.depth(), 3);
+        // 1 root + 3 level-1 domains + (3*4 nodes)*2 level-2 domains.
+        assert_eq!(t.domains().len(), 1 + 3 + 24);
+        assert_eq!(t.graph().node_count(), 3 + 3 * 4 + 24 * 3);
+    }
+
+    #[test]
+    fn domains_partition_nodes() {
+        let t = three_level();
+        for n in t.graph().node_ids() {
+            let d = t.domain_of(n);
+            assert!(t.domains()[d.index()].contains(n));
+        }
+        let total: usize = t.domains().iter().map(|d| d.nodes().len()).sum();
+        assert_eq!(total, t.graph().node_count());
+    }
+
+    #[test]
+    fn attachments_link_child_to_parent() {
+        let t = three_level();
+        for d in t.domains().iter().skip(1) {
+            let (border, up) = d.attachment().unwrap();
+            assert!(d.contains(border));
+            let parent = d.parent().unwrap();
+            assert!(t.domains()[parent.index()].contains(up));
+            assert!(t.graph().link_between(border, up).is_some());
+        }
+    }
+
+    #[test]
+    fn ancestry_walks_to_root() {
+        let t = three_level();
+        let leaf = t.leaf_domains().next().unwrap();
+        let chain = t.ancestry(leaf.id());
+        assert_eq!(chain.len(), 3);
+        assert_eq!(*chain.last().unwrap(), t.root().id());
+        assert_eq!(t.ancestry(t.root().id()), vec![t.root().id()]);
+    }
+
+    #[test]
+    fn delays_shrink_with_depth() {
+        let t = three_level();
+        let g = t.graph();
+        let mut max_by_level = [0.0f64; 3];
+        for d in t.domains() {
+            for &a in d.nodes() {
+                for &b in d.nodes() {
+                    if a < b {
+                        if let Some(l) = g.link_between(a, b) {
+                            let lvl = d.level() as usize;
+                            max_by_level[lvl] = max_by_level[lvl].max(g.link(l).delay());
+                        }
+                    }
+                }
+            }
+        }
+        assert!(max_by_level[0] > max_by_level[1]);
+        assert!(max_by_level[1] > max_by_level[2]);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(NLevelConfig::new(1).generate().is_err());
+        assert!(NLevelConfig::new(3).level(0, 4).generate().is_err());
+        assert!(NLevelConfig::new(3).level(1, 0).generate().is_err());
+        assert!(NLevelConfig::new(3)
+            .extra_edge_prob(2.0)
+            .generate()
+            .is_err());
+    }
+
+    #[test]
+    fn two_level_config_matches_transit_stub_shape() {
+        let t = NLevelConfig::new(4).level(2, 6).seed(9).generate().unwrap();
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.leaf_domains().count(), 8);
+        assert!(is_connected(t.graph()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = three_level();
+        let b = three_level();
+        assert_eq!(a.graph().link_count(), b.graph().link_count());
+    }
+}

@@ -1,0 +1,471 @@
+//! Waxman random topology generator.
+//!
+//! The paper generates its flat topologies with GT-ITM's "pure random"
+//! Waxman model: `N` nodes placed uniformly at random in a plane, with an
+//! edge between `u` and `v` drawn with probability
+//!
+//! ```text
+//! P(u,v) = α · exp(−d(u,v) / (β · L))
+//! ```
+//!
+//! where `d` is Euclidean distance and `L` the maximum pairwise distance.
+//! Following the paper (§4.1), `β` is held fixed and `α` is swept to tune
+//! the average node degree (Zegura et al. showed a target degree is
+//! attainable through different (α, β) combinations).
+//!
+//! GT-ITM discards disconnected samples; [`WaxmanConfig::generate`] does the
+//! same up to a retry budget, then falls back to patching the largest gaps
+//! with minimum-distance inter-component links so that low-`α` settings
+//! (sparse graphs) still terminate. Patching adds at most
+//! `components − 1` links and is recorded in
+//! [`GeneratedTopology::patch_links`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::NetError;
+use crate::geometry::{max_pairwise_distance, Point};
+use crate::graph::{Graph, LinkWeights};
+use crate::ids::{LinkId, NodeId};
+use crate::traversal::{connected_components, is_connected};
+
+/// Default fixed `β` (the paper fixes β and sweeps α).
+pub const DEFAULT_BETA: f64 = 0.2;
+
+/// Default multiplier converting unit-square Euclidean distance into link
+/// delay, giving delays in the "tens of milliseconds" range.
+pub const DEFAULT_DELAY_SCALE: f64 = 100.0;
+
+/// Configuration/builder for Waxman topology generation.
+///
+/// # Example
+///
+/// ```
+/// use smrp_net::waxman::WaxmanConfig;
+///
+/// # fn main() -> Result<(), smrp_net::NetError> {
+/// let topo = WaxmanConfig::new(100).alpha(0.2).seed(7).generate()?;
+/// assert_eq!(topo.node_count(), 100);
+/// assert!(topo.average_degree() > 1.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WaxmanConfig {
+    nodes: usize,
+    alpha: f64,
+    beta: f64,
+    delay_scale: f64,
+    unit_cost: bool,
+    seed: u64,
+    max_attempts: u32,
+}
+
+impl WaxmanConfig {
+    /// Starts a configuration for `nodes` nodes with the paper's defaults
+    /// (`α = 0.2`, fixed `β`).
+    pub fn new(nodes: usize) -> Self {
+        WaxmanConfig {
+            nodes,
+            alpha: 0.2,
+            beta: DEFAULT_BETA,
+            delay_scale: DEFAULT_DELAY_SCALE,
+            unit_cost: true,
+            seed: 0,
+            max_attempts: 200,
+        }
+    }
+
+    /// Sets the edge-density parameter `α` (0 < α ≤ 1).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the locality parameter `β` (0 < β ≤ 1).
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the delay per unit Euclidean distance.
+    pub fn delay_scale(mut self, scale: f64) -> Self {
+        self.delay_scale = scale;
+        self
+    }
+
+    /// Chooses the link-cost convention: `true` (default) assigns every
+    /// link unit cost, so the tree cost `Cost_T` counts links — the GT-ITM
+    /// convention the paper's setup inherits; `false` sets `cost = delay`.
+    pub fn unit_cost(mut self, unit: bool) -> Self {
+        self.unit_cost = unit;
+        self
+    }
+
+    /// Sets the RNG seed; identical configurations produce identical
+    /// topologies.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets how many whole-graph redraws to attempt before patching
+    /// connectivity.
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    fn validate(&self) -> Result<(), NetError> {
+        if self.nodes < 2 {
+            return Err(NetError::InvalidParameter {
+                name: "nodes",
+                reason: "at least two nodes are required",
+            });
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(NetError::InvalidParameter {
+                name: "alpha",
+                reason: "must satisfy 0 < alpha <= 1",
+            });
+        }
+        if !(self.beta > 0.0 && self.beta <= 1.0) {
+            return Err(NetError::InvalidParameter {
+                name: "beta",
+                reason: "must satisfy 0 < beta <= 1",
+            });
+        }
+        if !(self.delay_scale.is_finite() && self.delay_scale > 0.0) {
+            return Err(NetError::InvalidParameter {
+                name: "delay_scale",
+                reason: "must be finite and positive",
+            });
+        }
+        Ok(())
+    }
+
+    /// Generates a connected topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidParameter`] for out-of-range settings.
+    /// Never fails on connectivity: after `max_attempts` redraws the last
+    /// sample is patched into connectivity.
+    pub fn generate(&self) -> Result<GeneratedTopology, NetError> {
+        self.validate()?;
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let (graph, points) = self.sample(&mut rng);
+            if is_connected(&graph) {
+                return Ok(GeneratedTopology {
+                    graph,
+                    attempts,
+                    patch_links: Vec::new(),
+                });
+            }
+            if attempts >= self.max_attempts {
+                let (graph, patch_links) = self.patch(graph, &points);
+                return Ok(GeneratedTopology {
+                    graph,
+                    attempts,
+                    patch_links,
+                });
+            }
+        }
+    }
+
+    /// Draws one (possibly disconnected) Waxman sample.
+    fn sample(&self, rng: &mut SmallRng) -> (Graph, Vec<Point>) {
+        let mut graph = Graph::new();
+        let mut points = Vec::with_capacity(self.nodes);
+        for _ in 0..self.nodes {
+            let p = Point::new(rng.gen::<f64>(), rng.gen::<f64>());
+            points.push(p);
+            graph.add_node_at(p);
+        }
+        let l = max_pairwise_distance(&points).max(f64::MIN_POSITIVE);
+        for i in 0..self.nodes {
+            for j in (i + 1)..self.nodes {
+                let d = points[i].distance(points[j]);
+                let p_edge = self.alpha * (-d / (self.beta * l)).exp();
+                if rng.gen::<f64>() < p_edge {
+                    graph
+                        .add_link_weighted(NodeId::new(i), NodeId::new(j), self.link_weights(d))
+                        .expect("generator produces valid links");
+                }
+            }
+        }
+        (graph, points)
+    }
+
+    fn link_delay(&self, euclidean: f64) -> f64 {
+        // Coincident points would yield a zero-delay link, which the graph
+        // rejects; clamp to a tiny positive floor.
+        (euclidean * self.delay_scale).max(1e-6)
+    }
+
+    fn link_weights(&self, euclidean: f64) -> LinkWeights {
+        LinkWeights {
+            delay: self.link_delay(euclidean),
+            cost: if self.unit_cost {
+                1.0
+            } else {
+                self.link_delay(euclidean)
+            },
+        }
+    }
+
+    /// Connects a disconnected sample by repeatedly adding the
+    /// minimum-Euclidean-distance link between the first component and the
+    /// nearest other component.
+    fn patch(&self, mut graph: Graph, points: &[Point]) -> (Graph, Vec<LinkId>) {
+        let mut added = Vec::new();
+        loop {
+            let comps = connected_components(&graph);
+            if comps.len() <= 1 {
+                break;
+            }
+            let base = &comps[0];
+            let mut best: Option<(f64, NodeId, NodeId)> = None;
+            for comp in &comps[1..] {
+                for &u in base {
+                    for &v in comp {
+                        let d = points[u.index()].distance(points[v.index()]);
+                        if best.is_none_or(|(bd, _, _)| d < bd) {
+                            best = Some((d, u, v));
+                        }
+                    }
+                }
+            }
+            let (d, u, v) = best.expect("more than one component implies a candidate");
+            let link = graph
+                .add_link_weighted(u, v, self.link_weights(d))
+                .expect("patch endpoints are distinct and unlinked");
+            added.push(link);
+        }
+        (graph, added)
+    }
+}
+
+/// A generated topology plus provenance information.
+#[derive(Debug, Clone)]
+pub struct GeneratedTopology {
+    graph: Graph,
+    attempts: u32,
+    patch_links: Vec<LinkId>,
+}
+
+impl GeneratedTopology {
+    /// The generated connected graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consumes the wrapper, returning the graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// How many whole-graph samples were drawn.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Links added by the connectivity patch pass (empty when a natural
+    /// sample was connected).
+    pub fn patch_links(&self) -> &[LinkId] {
+        &self.patch_links
+    }
+
+    /// Number of nodes (convenience passthrough).
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Average node degree (convenience passthrough, annotated under each α
+    /// in the paper's Figure 9).
+    pub fn average_degree(&self) -> f64 {
+        self.graph.average_degree()
+    }
+}
+
+impl From<GeneratedTopology> for Graph {
+    fn from(t: GeneratedTopology) -> Graph {
+        t.graph
+    }
+}
+
+/// Estimates the average node degree produced by `(alpha, beta)` at size
+/// `nodes` by averaging over `samples` seeded draws.
+pub fn estimate_average_degree(
+    nodes: usize,
+    alpha: f64,
+    beta: f64,
+    samples: u32,
+    seed: u64,
+) -> f64 {
+    let mut total = 0.0;
+    for i in 0..samples {
+        let topo = WaxmanConfig::new(nodes)
+            .alpha(alpha)
+            .beta(beta)
+            .seed(seed.wrapping_add(i as u64))
+            .generate()
+            .expect("valid parameters");
+        total += topo.average_degree();
+    }
+    total / samples.max(1) as f64
+}
+
+/// Finds an `α` whose expected average degree is close to `target_degree`
+/// (used for the paper's "even when average node degree goes up to 10"
+/// claim in §4.3.3).
+///
+/// Binary-searches `α ∈ (0, 1]`; the returned `α` is accurate to about
+/// ±0.005 in `α`, not in degree.
+pub fn calibrate_alpha(nodes: usize, beta: f64, target_degree: f64, seed: u64) -> f64 {
+    let mut lo = 0.01;
+    let mut hi = 1.0;
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        let deg = estimate_average_degree(nodes, mid, beta, 3, seed);
+        if deg < target_degree {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graph_is_connected_and_sized() {
+        let topo = WaxmanConfig::new(100)
+            .alpha(0.2)
+            .seed(1)
+            .generate()
+            .unwrap();
+        assert_eq!(topo.node_count(), 100);
+        assert!(is_connected(topo.graph()));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = WaxmanConfig::new(50)
+            .alpha(0.25)
+            .seed(9)
+            .generate()
+            .unwrap();
+        let b = WaxmanConfig::new(50)
+            .alpha(0.25)
+            .seed(9)
+            .generate()
+            .unwrap();
+        assert_eq!(a.graph().link_count(), b.graph().link_count());
+        for (la, lb) in a.graph().link_ids().zip(b.graph().link_ids()) {
+            assert_eq!(
+                a.graph().link(la).endpoints(),
+                b.graph().link(lb).endpoints()
+            );
+            assert_eq!(a.graph().link(la).delay(), b.graph().link(lb).delay());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WaxmanConfig::new(50)
+            .alpha(0.25)
+            .seed(1)
+            .generate()
+            .unwrap();
+        let b = WaxmanConfig::new(50)
+            .alpha(0.25)
+            .seed(2)
+            .generate()
+            .unwrap();
+        // Overwhelmingly likely to differ in link count; if equal, check
+        // endpoints.
+        let same = a.graph().link_count() == b.graph().link_count()
+            && a.graph()
+                .link_ids()
+                .zip(b.graph().link_ids())
+                .all(|(la, lb)| a.graph().link(la).endpoints() == b.graph().link(lb).endpoints());
+        assert!(!same);
+    }
+
+    #[test]
+    fn higher_alpha_means_denser_graph() {
+        let sparse = estimate_average_degree(80, 0.15, DEFAULT_BETA, 3, 5);
+        let dense = estimate_average_degree(80, 0.4, DEFAULT_BETA, 3, 5);
+        assert!(
+            dense > sparse,
+            "expected density to grow with alpha: {sparse} vs {dense}"
+        );
+    }
+
+    #[test]
+    fn delays_reflect_euclidean_distance() {
+        let topo = WaxmanConfig::new(40).alpha(0.3).seed(3).generate().unwrap();
+        let g = topo.graph();
+        for l in g.link_ids() {
+            if topo.patch_links().contains(&l) {
+                continue;
+            }
+            let link = g.link(l);
+            let pa = g.position(link.a()).unwrap();
+            let pb = g.position(link.b()).unwrap();
+            let expected = (pa.distance(pb) * DEFAULT_DELAY_SCALE).max(1e-6);
+            assert!((link.delay() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(WaxmanConfig::new(1).generate().is_err());
+        assert!(WaxmanConfig::new(10).alpha(0.0).generate().is_err());
+        assert!(WaxmanConfig::new(10).alpha(1.5).generate().is_err());
+        assert!(WaxmanConfig::new(10).beta(0.0).generate().is_err());
+        assert!(WaxmanConfig::new(10).delay_scale(-1.0).generate().is_err());
+    }
+
+    #[test]
+    fn patching_connects_sparse_graphs() {
+        // Tiny alpha at small attempt budget forces the patch path.
+        let topo = WaxmanConfig::new(30)
+            .alpha(0.02)
+            .seed(11)
+            .max_attempts(2)
+            .generate()
+            .unwrap();
+        assert!(is_connected(topo.graph()));
+    }
+
+    #[test]
+    fn calibrate_alpha_reaches_target_degree() {
+        let alpha = calibrate_alpha(60, DEFAULT_BETA, 6.0, 17);
+        let deg = estimate_average_degree(60, alpha, DEFAULT_BETA, 4, 23);
+        assert!(
+            (deg - 6.0).abs() < 2.0,
+            "calibrated alpha {alpha} gives degree {deg}, wanted about 6"
+        );
+    }
+
+    #[test]
+    fn paper_alphas_give_moderate_degrees() {
+        // Sanity check that the paper's swept alphas (0.15..0.3) land in a
+        // plausible average-degree band with the fixed beta.
+        for &alpha in &[0.15, 0.2, 0.25, 0.3] {
+            let deg = estimate_average_degree(100, alpha, DEFAULT_BETA, 2, 31);
+            assert!(
+                (1.5..9.0).contains(&deg),
+                "alpha {alpha} gave implausible degree {deg}"
+            );
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Property tests for the network substrate.
+
+use proptest::prelude::*;
+
+use smrp_net::dijkstra::{self, Constraints, ShortestPathTree};
+use smrp_net::traversal::{connected_components, is_connected, reachable_from};
+use smrp_net::waxman::WaxmanConfig;
+use smrp_net::{FailureScenario, Graph, LinkId, NodeId};
+
+/// A small random graph built edge-by-edge from arbitrary pairs.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        2usize..12,
+        proptest::collection::vec((0usize..12, 0usize..12, 1u32..50), 0..40),
+    )
+        .prop_map(|(n, edges)| {
+            let mut g = Graph::with_nodes(n);
+            for (a, b, w) in edges {
+                let (a, b) = (a % n, b % n);
+                if a == b {
+                    continue;
+                }
+                let _ = g.add_link(NodeId::new(a), NodeId::new(b), w as f64);
+            }
+            g
+        })
+}
+
+/// Floyd–Warshall oracle for all-pairs shortest distances.
+fn floyd_warshall(g: &Graph) -> Vec<Vec<f64>> {
+    let n = g.node_count();
+    let mut d = vec![vec![f64::INFINITY; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for l in g.link_ids() {
+        let link = g.link(l);
+        let (a, b) = (link.a().index(), link.b().index());
+        d[a][b] = d[a][b].min(link.delay());
+        d[b][a] = d[b][a].min(link.delay());
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i][k] + d[k][j];
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall(g in arb_graph()) {
+        let oracle = floyd_warshall(&g);
+        for src in g.node_ids() {
+            let spt = ShortestPathTree::compute(&g, src);
+            for dst in g.node_ids() {
+                let expected = oracle[src.index()][dst.index()];
+                match spt.distance(dst) {
+                    Some(d) => prop_assert!((d - expected).abs() < 1e-9),
+                    None => prop_assert!(expected.is_infinite()),
+                }
+                if let Some(p) = spt.path_to(dst) {
+                    prop_assert!(p.validate(&g).is_ok());
+                    prop_assert!((p.delay(&g) - expected).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failures_never_shorten_paths(g in arb_graph(), kill in 0usize..30) {
+        prop_assume!(g.link_count() > 0);
+        let link = LinkId::new(kill % g.link_count());
+        let scenario = FailureScenario::link(link);
+        let src = NodeId::new(0);
+        let before = ShortestPathTree::compute(&g, src);
+        let after = ShortestPathTree::compute_constrained(
+            &g, src, Constraints::avoiding_failures(&scenario));
+        for dst in g.node_ids() {
+            match (before.distance(dst), after.distance(dst)) {
+                (Some(b), Some(a)) => prop_assert!(a + 1e-9 >= b),
+                (None, Some(_)) => prop_assert!(false, "failure created a path"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_and_are_closed(g in arb_graph()) {
+        let comps = connected_components(&g);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.node_count());
+        // Closure: no link crosses two components.
+        let mut comp_of = vec![usize::MAX; g.node_count()];
+        for (ci, comp) in comps.iter().enumerate() {
+            for n in comp {
+                comp_of[n.index()] = ci;
+            }
+        }
+        for l in g.link_ids() {
+            let link = g.link(l);
+            prop_assert_eq!(comp_of[link.a().index()], comp_of[link.b().index()]);
+        }
+        prop_assert_eq!(is_connected(&g), comps.len() <= 1);
+    }
+
+    #[test]
+    fn reachability_is_symmetric_on_undirected_graphs(
+        g in arb_graph(),
+        a in 0usize..12,
+        b in 0usize..12,
+    ) {
+        let a = NodeId::new(a % g.node_count());
+        let b = NodeId::new(b % g.node_count());
+        let from_a = reachable_from(&g, a, Constraints::unrestricted());
+        let from_b = reachable_from(&g, b, Constraints::unrestricted());
+        prop_assert_eq!(from_a.contains(&b), from_b.contains(&a));
+    }
+
+    #[test]
+    fn waxman_generation_is_seed_deterministic(seed in 0u64..5000) {
+        let a = WaxmanConfig::new(30).alpha(0.25).seed(seed).generate().unwrap();
+        let b = WaxmanConfig::new(30).alpha(0.25).seed(seed).generate().unwrap();
+        prop_assert_eq!(a.graph().link_count(), b.graph().link_count());
+        prop_assert!(is_connected(a.graph()));
+    }
+
+    #[test]
+    fn multi_target_agrees_with_per_target_minimum(
+        g in arb_graph(),
+        src_i in 0usize..12,
+        t1 in 0usize..12,
+        t2 in 0usize..12,
+    ) {
+        let n = g.node_count();
+        let src = NodeId::new(src_i % n);
+        let targets = [NodeId::new(t1 % n), NodeId::new(t2 % n)];
+        prop_assume!(!targets.contains(&src));
+        let joint = dijkstra::shortest_path_to_any(
+            &g, src, Constraints::unrestricted(), |x| targets.contains(&x));
+        let spt = ShortestPathTree::compute(&g, src);
+        let best: Option<f64> = targets
+            .iter()
+            .filter_map(|&t| spt.distance(t))
+            .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.min(d))));
+        match (joint, best) {
+            (Some(p), Some(d)) => prop_assert!((p.delay(&g) - d).abs() < 1e-9),
+            (None, None) => {}
+            (p, d) => prop_assert!(false, "mismatch: {p:?} vs {d:?}"),
+        }
+    }
+}
+
+/// Brute-force enumeration of all simple paths between two nodes, sorted
+/// by (delay, node sequence) — the oracle for Yen's algorithm.
+fn all_simple_paths(g: &Graph, src: NodeId, dst: NodeId) -> Vec<(f64, Vec<NodeId>)> {
+    fn dfs(
+        g: &Graph,
+        cur: NodeId,
+        dst: NodeId,
+        visited: &mut Vec<bool>,
+        path: &mut Vec<NodeId>,
+        delay: f64,
+        out: &mut Vec<(f64, Vec<NodeId>)>,
+    ) {
+        if cur == dst {
+            out.push((delay, path.clone()));
+            return;
+        }
+        for &(next, l) in g.adjacency(cur) {
+            if visited[next.index()] {
+                continue;
+            }
+            visited[next.index()] = true;
+            path.push(next);
+            dfs(g, next, dst, visited, path, delay + g.link(l).delay(), out);
+            path.pop();
+            visited[next.index()] = false;
+        }
+    }
+    let mut out = Vec::new();
+    let mut visited = vec![false; g.node_count()];
+    visited[src.index()] = true;
+    dfs(g, src, dst, &mut visited, &mut vec![src], 0.0, &mut out);
+    out.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn yen_matches_brute_force_on_small_graphs(
+        g in arb_graph(),
+        src_i in 0usize..12,
+        dst_i in 0usize..12,
+        k in 1usize..6,
+    ) {
+        prop_assume!(g.node_count() <= 8);
+        let src = NodeId::new(src_i % g.node_count());
+        let dst = NodeId::new(dst_i % g.node_count());
+        prop_assume!(src != dst);
+        let oracle = all_simple_paths(&g, src, dst);
+        let yen = smrp_net::kpaths::k_shortest_paths(&g, src, dst, k);
+        prop_assert_eq!(yen.len(), k.min(oracle.len()));
+        // Yen's i-th path delay equals the oracle's i-th smallest delay
+        // (the exact node sequence may differ on ties).
+        for (i, p) in yen.iter().enumerate() {
+            prop_assert!(
+                (p.delay(&g) - oracle[i].0).abs() < 1e-9,
+                "k-path {} has delay {} but oracle says {}",
+                i,
+                p.delay(&g),
+                oracle[i].0
+            );
+        }
+    }
+}

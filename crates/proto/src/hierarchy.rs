@@ -1,0 +1,896 @@
+//! The hierarchical recovery architecture of §3.3.3.
+//!
+//! A 2-level instantiation of the paper's N-level model on a transit-stub
+//! topology: members are clustered into stub (level-1) *recovery domains*,
+//! each served by an **agent** — the domain's border node — acting as the
+//! multicast source for members inside the domain. The agents themselves
+//! form a level-0 session across the transit domain, rooted at the agent of
+//! the domain that hosts the real source (which relays the source's data).
+//!
+//! The payoff is failure *confinement*: a broken component is attributed to
+//! the recovery domain that owns it ([`HierarchicalSession::domain_of_link`])
+//! and the repair — a local detour computed inside that domain's subgraph —
+//! never touches the rest of the tree. [`HierarchicalSession::recover`]
+//! returns both the restoration path (in global node ids) and the set of
+//! domains that had to participate, which the `hierarchy` experiment
+//! compares against flat recovery.
+
+use smrp_core::recovery::{self, DetourKind};
+use smrp_core::{MulticastTree, SmrpConfig, SmrpError, SmrpSession};
+use smrp_net::transit_stub::{DomainId, TransitStubTopology};
+use smrp_net::{FailureScenario, Graph, LinkId, NodeId};
+
+/// Where a failure landed in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureScope {
+    /// Inside one stub recovery domain.
+    Stub(DomainId),
+    /// In the transit domain or on a stub-transit gateway link.
+    Transit,
+}
+
+/// One level-1 or level-0 session: a tree over a domain subgraph.
+#[derive(Debug, Clone)]
+struct DomainSession {
+    /// Induced subgraph of the domain (plus, for the transit session, the
+    /// attached agents).
+    graph: Graph,
+    /// Local-to-global node id mapping.
+    to_global: Vec<NodeId>,
+    /// Global-to-local (dense, indexed by global id).
+    to_local: Vec<Option<NodeId>>,
+    /// The multicast tree within the domain, rooted at the agent.
+    tree: MulticastTree,
+}
+
+impl DomainSession {
+    fn build(
+        parent: &Graph,
+        nodes: &[NodeId],
+        source_global: NodeId,
+        members_global: &[NodeId],
+        config: SmrpConfig,
+    ) -> Result<Self, SmrpError> {
+        let (graph, to_global) = parent.induced_subgraph(nodes);
+        let mut to_local = vec![None; parent.node_count()];
+        for (local_idx, &global) in to_global.iter().enumerate() {
+            to_local[global.index()] = Some(NodeId::new(local_idx));
+        }
+        let source =
+            to_local[source_global.index()].ok_or(SmrpError::UnknownNode(source_global))?;
+        let mut sess = SmrpSession::new(&graph, source, config)?;
+        for &m in members_global {
+            let local = to_local[m.index()].ok_or(SmrpError::UnknownNode(m))?;
+            if local != source {
+                sess.join(local)?;
+            }
+        }
+        let tree = sess.tree().clone();
+        Ok(DomainSession {
+            graph,
+            to_global,
+            to_local,
+            tree,
+        })
+    }
+
+    fn localize_scenario(&self, parent: &Graph, scenario: &FailureScenario) -> FailureScenario {
+        let mut local = FailureScenario::none();
+        for n in scenario.failed_nodes() {
+            if let Some(l) = self.to_local[n.index()] {
+                local.fail_node(l);
+            }
+        }
+        for lk in scenario.failed_links() {
+            let link = parent.link(lk);
+            let (Some(a), Some(b)) = (
+                self.to_local[link.a().index()],
+                self.to_local[link.b().index()],
+            ) else {
+                continue;
+            };
+            if let Some(local_link) = self.graph.link_between(a, b) {
+                local.fail_link(local_link);
+            }
+        }
+        local
+    }
+}
+
+/// Outcome of a confined recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalRecovery {
+    /// Which level handled the failure.
+    pub scope: FailureScope,
+    /// Members (global ids) that lost service.
+    pub affected_members: Vec<NodeId>,
+    /// Restoration paths in global node ids, one per disconnected fragment
+    /// root inside the owning domain.
+    pub restoration_paths: Vec<Vec<NodeId>>,
+    /// Total recovery distance (sum over restoration paths).
+    pub recovery_distance: f64,
+    /// Number of domains whose state was touched by the repair (always 1
+    /// here — the point of the architecture).
+    pub domains_involved: usize,
+}
+
+/// A 2-level hierarchical SMRP session over a transit-stub topology.
+#[derive(Debug, Clone)]
+pub struct HierarchicalSession<'t> {
+    topo: &'t TransitStubTopology,
+    /// Stub sessions indexed by domain id (None for memberless stubs and
+    /// for the transit slot).
+    stubs: Vec<Option<DomainSession>>,
+    transit: DomainSession,
+    source: NodeId,
+    members: Vec<NodeId>,
+}
+
+impl<'t> HierarchicalSession<'t> {
+    /// Builds the hierarchy: per-stub SMRP sessions rooted at each stub's
+    /// agent, plus a transit-level session connecting the active agents.
+    ///
+    /// `source` and every member must live in stub domains.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the source or a member is not inside a stub domain, or if
+    /// tree construction fails.
+    pub fn build(
+        topo: &'t TransitStubTopology,
+        source: NodeId,
+        members: &[NodeId],
+        config: SmrpConfig,
+    ) -> Result<Self, SmrpError> {
+        let graph = topo.graph();
+        let source_domain = topo.domain_of(source);
+        if source_domain == topo.transit_domain().id() {
+            return Err(SmrpError::InvalidConfig {
+                name: "source",
+                reason: "the source must live in a stub domain",
+            });
+        }
+
+        let mut stubs: Vec<Option<DomainSession>> = vec![None; topo.domains().len()];
+        let mut active_agents: Vec<(DomainId, NodeId)> = Vec::new();
+
+        for stub in topo.stub_domains() {
+            let mut domain_members: Vec<NodeId> = members
+                .iter()
+                .copied()
+                .filter(|m| topo.domain_of(*m) == stub.id())
+                .collect();
+            let hosts_source = stub.id() == source_domain;
+            if domain_members.is_empty() && !hosts_source {
+                continue;
+            }
+            let (border, _) = stub.attachment().expect("stub domains have attachments");
+            if hosts_source {
+                // Inside the source's domain, the agent is a *member*
+                // relaying to the rest of the hierarchy (paper: "the agent
+                // acts as a multicast member"), and the session is rooted
+                // at the real source.
+                if !domain_members.contains(&border) && border != source {
+                    domain_members.push(border);
+                }
+                let sess =
+                    DomainSession::build(graph, stub.nodes(), source, &domain_members, config)?;
+                stubs[stub.id().index()] = Some(sess);
+            } else {
+                let sess =
+                    DomainSession::build(graph, stub.nodes(), border, &domain_members, config)?;
+                stubs[stub.id().index()] = Some(sess);
+            }
+            active_agents.push((stub.id(), border));
+        }
+
+        // Transit-level session: transit nodes plus the active agents;
+        // rooted at the source domain's agent.
+        let (source_agent, _) = topo.domains()[source_domain.index()]
+            .attachment()
+            .expect("source domain is a stub");
+        let mut transit_nodes: Vec<NodeId> = topo.transit_domain().nodes().to_vec();
+        for &(_, agent) in &active_agents {
+            transit_nodes.push(agent);
+        }
+        let transit_members: Vec<NodeId> = active_agents
+            .iter()
+            .map(|&(_, a)| a)
+            .filter(|&a| a != source_agent)
+            .collect();
+        let transit = DomainSession::build(
+            graph,
+            &transit_nodes,
+            source_agent,
+            &transit_members,
+            config,
+        )?;
+
+        Ok(HierarchicalSession {
+            topo,
+            stubs,
+            transit,
+            source,
+            members: members.to_vec(),
+        })
+    }
+
+    /// The real multicast source.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// All members.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Attributes a link failure to its owning recovery domain.
+    pub fn domain_of_link(&self, link: LinkId) -> FailureScope {
+        let l = self.topo.graph().link(link);
+        let da = self.topo.domain_of(l.a());
+        let db = self.topo.domain_of(l.b());
+        let transit_id = self.topo.transit_domain().id();
+        if da == db && da != transit_id {
+            FailureScope::Stub(da)
+        } else {
+            FailureScope::Transit
+        }
+    }
+
+    /// Members (global ids) served through `domain` — those inside it, or,
+    /// for the transit scope, members of every stub whose agent is cut off.
+    fn members_in_stub(&self, domain: DomainId) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|m| self.topo.domain_of(*m) == domain)
+            .collect()
+    }
+
+    /// Recovers from a single link failure, confining the repair to the
+    /// owning recovery domain (the paper's Figure 6 walk-through).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when a fragment cannot be repaired inside
+    /// its domain (the domain's subgraph offers no detour).
+    pub fn recover(&self, link: LinkId) -> Result<HierarchicalRecovery, String> {
+        let scope = self.domain_of_link(link);
+        let graph = self.topo.graph();
+        let scenario = FailureScenario::link(link);
+
+        let (session, affected_members) = match scope {
+            FailureScope::Stub(d) => {
+                let Some(sess) = self.stubs[d.index()].as_ref() else {
+                    // The failure landed in a domain with no session state:
+                    // nobody is affected and nothing needs repair.
+                    return Ok(HierarchicalRecovery {
+                        scope,
+                        affected_members: Vec::new(),
+                        restoration_paths: Vec::new(),
+                        recovery_distance: 0.0,
+                        domains_involved: 0,
+                    });
+                };
+                (sess, self.members_in_stub(d))
+            }
+            FailureScope::Transit => {
+                // Affected members: every stub whose agent loses the
+                // transit feed.
+                (&self.transit, Vec::new())
+            }
+        };
+
+        let local_scenario = session.localize_scenario(graph, &scenario);
+        if local_scenario.is_empty() {
+            // The failed component is not part of this domain's subgraph:
+            // nothing on the tree is affected.
+            return Ok(HierarchicalRecovery {
+                scope,
+                affected_members: Vec::new(),
+                restoration_paths: Vec::new(),
+                recovery_distance: 0.0,
+                domains_involved: 0,
+            });
+        }
+
+        // Fragment roots within the domain tree.
+        let mut paths = Vec::new();
+        let mut total_rd = 0.0;
+        let mut any_affected = false;
+        for n in session.tree.on_tree_nodes() {
+            let Some(p) = session.tree.parent(n) else {
+                continue;
+            };
+            let Some(l) = session.graph.link_between(n, p) else {
+                continue;
+            };
+            if local_scenario.link_usable(&session.graph, l) {
+                continue;
+            }
+            any_affected = true;
+            let rec = recovery::recover(
+                &session.graph,
+                &session.tree,
+                &local_scenario,
+                n,
+                DetourKind::Local,
+            )
+            .map_err(|e| format!("fragment at {n} cannot recover inside its domain: {e}"))?;
+            total_rd += rec.recovery_distance();
+            paths.push(
+                rec.restoration_path()
+                    .nodes()
+                    .iter()
+                    .map(|ln| session.to_global[ln.index()])
+                    .collect::<Vec<NodeId>>(),
+            );
+        }
+
+        let affected = if any_affected {
+            match scope {
+                FailureScope::Stub(_) => affected_members,
+                FailureScope::Transit => {
+                    // Every member behind an agent that was in an affected
+                    // fragment. Conservative: all members outside the
+                    // source domain whose agent's transit path used the
+                    // link.
+                    let mut out = Vec::new();
+                    let local = &self.transit;
+                    let affected_local =
+                        recovery::affected_members(&local.graph, &local.tree, &local_scenario);
+                    for a in affected_local {
+                        let agent_global = local.to_global[a.index()];
+                        let d = self.topo.domain_of(agent_global);
+                        out.extend(self.members_in_stub(d));
+                    }
+                    out
+                }
+            }
+        } else {
+            Vec::new()
+        };
+
+        Ok(HierarchicalRecovery {
+            scope,
+            affected_members: affected,
+            restoration_paths: paths,
+            recovery_distance: total_rd,
+            domains_involved: usize::from(any_affected),
+        })
+    }
+}
+
+/// An N-level hierarchical SMRP session (§3.3.3's generalization) over an
+/// [`NLevelTopology`].
+///
+/// Each *active* domain — one hosting the source, hosting members, or
+/// lying on the path between them — runs its own SMRP session: rooted at
+/// the real source in the source's domain, at the upward-relaying agent on
+/// the source's ancestry chain, and at the domain's border agent
+/// everywhere else. Child-domain agents appear as members of their parent
+/// domain's session, wiring the levels together exactly as Figure 6
+/// sketches for two levels.
+#[derive(Debug, Clone)]
+pub struct NLevelSession<'t> {
+    topo: &'t NLevelTopology,
+    sessions: Vec<Option<DomainSession>>,
+    source: NodeId,
+    members: Vec<NodeId>,
+}
+
+use smrp_net::nlevel::NLevelTopology;
+
+impl<'t> NLevelSession<'t> {
+    /// Builds the hierarchy of per-domain sessions.
+    ///
+    /// # Errors
+    ///
+    /// Fails if tree construction fails inside any active domain.
+    pub fn build(
+        topo: &'t NLevelTopology,
+        source: NodeId,
+        members: &[NodeId],
+        config: SmrpConfig,
+    ) -> Result<Self, SmrpError> {
+        let graph = topo.graph();
+        let n_domains = topo.domains().len();
+
+        // Mark active domains: hosts of the source/members plus all their
+        // ancestors (traffic transits through them).
+        let mut active = vec![false; n_domains];
+        let mark = |active: &mut Vec<bool>, d: DomainId| {
+            for a in topo.ancestry(d) {
+                active[a.index()] = true;
+            }
+        };
+        mark(&mut active, topo.domain_of(source));
+        for &m in members {
+            mark(&mut active, topo.domain_of(m));
+        }
+
+        // The source's ancestry chain (domain ids), for root selection.
+        let source_chain = topo.ancestry(topo.domain_of(source));
+
+        let mut sessions: Vec<Option<DomainSession>> = vec![None; n_domains];
+        for domain in topo.domains() {
+            if !active[domain.id().index()] {
+                continue;
+            }
+            let on_source_chain = source_chain.contains(&domain.id());
+
+            // Subgraph: the domain's nodes plus the borders of its active
+            // children (their gateway links are induced automatically).
+            let mut nodes: Vec<NodeId> = domain.nodes().to_vec();
+            let mut child_agents: Vec<NodeId> = Vec::new();
+            let mut source_child_agent = None;
+            for child in topo.children_of(domain.id()) {
+                if !active[child.id().index()] {
+                    continue;
+                }
+                let (border, _) = child.attachment().expect("children have attachments");
+                nodes.push(border);
+                if source_chain.contains(&child.id()) {
+                    source_child_agent = Some(border);
+                } else {
+                    child_agents.push(border);
+                }
+            }
+
+            // Local root: the real source, the agent relaying it upward,
+            // or this domain's border.
+            let local_root = if domain.contains(source) {
+                source
+            } else if let Some(agent) = source_child_agent {
+                agent
+            } else {
+                domain
+                    .attachment()
+                    .map(|(border, _)| border)
+                    .expect("non-root domains have borders")
+            };
+
+            // Local members: real members here, active child agents, and —
+            // on the source chain below the root domain — this domain's own
+            // border so data keeps flowing upward.
+            let mut local_members: Vec<NodeId> = members
+                .iter()
+                .copied()
+                .filter(|m| domain.contains(*m))
+                .collect();
+            local_members.extend(child_agents);
+            if on_source_chain && domain.parent().is_some() {
+                let (border, _) = domain.attachment().expect("non-root domain");
+                if border != local_root && !local_members.contains(&border) {
+                    local_members.push(border);
+                }
+            }
+            local_members.retain(|&m| m != local_root);
+
+            sessions[domain.id().index()] = Some(DomainSession::build(
+                graph,
+                &nodes,
+                local_root,
+                &local_members,
+                config,
+            )?);
+        }
+
+        Ok(NLevelSession {
+            topo,
+            sessions,
+            source,
+            members: members.to_vec(),
+        })
+    }
+
+    /// The real multicast source.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// All members.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of domains running a session.
+    pub fn active_domains(&self) -> usize {
+        self.sessions.iter().flatten().count()
+    }
+
+    /// Attributes a link failure to the domain that owns it: the common
+    /// domain of its endpoints, or — for a gateway link — the parent-side
+    /// domain.
+    pub fn owning_domain(&self, link: LinkId) -> DomainId {
+        let l = self.topo.graph().link(link);
+        let da = self.topo.domain_of(l.a());
+        let db = self.topo.domain_of(l.b());
+        if da == db {
+            return da;
+        }
+        // Gateway: one endpoint's domain is the parent of the other's.
+        let parent_a = self.topo.domains()[da.index()].parent();
+        if parent_a == Some(db) {
+            db
+        } else {
+            da
+        }
+    }
+
+    /// Recovers from a single link failure inside its owning domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the owning domain's subgraph offers no
+    /// detour.
+    pub fn recover(&self, link: LinkId) -> Result<HierarchicalRecovery, String> {
+        let owner = self.owning_domain(link);
+        let graph = self.topo.graph();
+        let scenario = FailureScenario::link(link);
+        let Some(session) = self.sessions[owner.index()].as_ref() else {
+            return Ok(HierarchicalRecovery {
+                scope: FailureScope::Stub(owner),
+                affected_members: Vec::new(),
+                restoration_paths: Vec::new(),
+                recovery_distance: 0.0,
+                domains_involved: 0,
+            });
+        };
+        let local_scenario = session.localize_scenario(graph, &scenario);
+        if local_scenario.is_empty() {
+            return Ok(HierarchicalRecovery {
+                scope: FailureScope::Stub(owner),
+                affected_members: Vec::new(),
+                restoration_paths: Vec::new(),
+                recovery_distance: 0.0,
+                domains_involved: 0,
+            });
+        }
+        let mut paths = Vec::new();
+        let mut total_rd = 0.0;
+        let mut any_affected = false;
+        for n in session.tree.on_tree_nodes() {
+            let Some(p) = session.tree.parent(n) else {
+                continue;
+            };
+            let Some(l) = session.graph.link_between(n, p) else {
+                continue;
+            };
+            if local_scenario.link_usable(&session.graph, l) {
+                continue;
+            }
+            any_affected = true;
+            let rec = recovery::recover(
+                &session.graph,
+                &session.tree,
+                &local_scenario,
+                n,
+                DetourKind::Local,
+            )
+            .map_err(|e| format!("fragment at {n} cannot recover inside domain {owner}: {e}"))?;
+            total_rd += rec.recovery_distance();
+            paths.push(
+                rec.restoration_path()
+                    .nodes()
+                    .iter()
+                    .map(|ln| session.to_global[ln.index()])
+                    .collect::<Vec<NodeId>>(),
+            );
+        }
+        // Affected members: those whose domain's chain to the source runs
+        // through an affected agent — conservatively, members of the
+        // owning domain's subtree of domains when the failure bit.
+        let affected_members = if any_affected {
+            let affected_local =
+                recovery::affected_members(&session.graph, &session.tree, &local_scenario);
+            let mut out: Vec<NodeId> = Vec::new();
+            for a in affected_local {
+                let g = session.to_global[a.index()];
+                if self.members.contains(&g) {
+                    out.push(g);
+                } else {
+                    // An agent: every member under its domain subtree.
+                    let agent_domain = self.topo.domain_of(g);
+                    for &m in &self.members {
+                        if self
+                            .topo
+                            .ancestry(self.topo.domain_of(m))
+                            .contains(&agent_domain)
+                            && !out.contains(&m)
+                        {
+                            out.push(m);
+                        }
+                    }
+                }
+            }
+            out
+        } else {
+            Vec::new()
+        };
+        Ok(HierarchicalRecovery {
+            scope: FailureScope::Stub(owner),
+            affected_members,
+            restoration_paths: paths,
+            recovery_distance: total_rd,
+            domains_involved: usize::from(any_affected),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smrp_net::transit_stub::TransitStubConfig;
+
+    fn topo() -> TransitStubTopology {
+        TransitStubConfig::new()
+            .transit_nodes(3)
+            .stubs_per_transit_node(2)
+            .stub_nodes(6)
+            .extra_edge_prob(0.5)
+            .seed(7)
+            .generate()
+            .unwrap()
+    }
+
+    /// Picks a source and members spread over several stub domains.
+    fn pick_members(t: &TransitStubTopology) -> (NodeId, Vec<NodeId>) {
+        let stubs: Vec<_> = t.stub_domains().collect();
+        let source = stubs[0].nodes()[1];
+        let members = vec![
+            stubs[0].nodes()[2],
+            stubs[1].nodes()[0],
+            stubs[1].nodes()[3],
+            stubs[2].nodes()[4],
+        ];
+        (source, members)
+    }
+
+    #[test]
+    fn builds_sessions_for_active_domains_only() {
+        let t = topo();
+        let (source, members) = pick_members(&t);
+        let h = HierarchicalSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+        let active = h.stubs.iter().flatten().count();
+        assert_eq!(active, 3, "three stub domains host the source or members");
+        assert_eq!(h.members().len(), 4);
+    }
+
+    #[test]
+    fn transit_source_is_rejected() {
+        let t = topo();
+        let transit_node = t.transit_domain().nodes()[0];
+        let err = HierarchicalSession::build(&t, transit_node, &[], SmrpConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn link_attribution_matches_domains() {
+        let t = topo();
+        let (source, members) = pick_members(&t);
+        let h = HierarchicalSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+        let g = t.graph();
+        for l in g.link_ids() {
+            let link = g.link(l);
+            let scope = h.domain_of_link(l);
+            let same_stub = t.domain_of(link.a()) == t.domain_of(link.b())
+                && t.domain_of(link.a()) != t.transit_domain().id();
+            match scope {
+                FailureScope::Stub(d) => {
+                    assert!(same_stub);
+                    assert_eq!(d, t.domain_of(link.a()));
+                }
+                FailureScope::Transit => assert!(!same_stub),
+            }
+        }
+    }
+
+    #[test]
+    fn stub_failure_is_confined_to_one_domain() {
+        let t = topo();
+        let (source, members) = pick_members(&t);
+        let h = HierarchicalSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+
+        // Find a stub-internal tree link in a member-hosting domain.
+        let stubs: Vec<_> = t.stub_domains().collect();
+        let target_domain = stubs[1].id();
+        let sess = h.stubs[target_domain.index()].as_ref().unwrap();
+        let mut candidate = None;
+        for n in sess.tree.on_tree_nodes() {
+            if let Some(p) = sess.tree.parent(n) {
+                let a = sess.to_global[n.index()];
+                let b = sess.to_global[p.index()];
+                candidate = t.graph().link_between(a, b);
+                if candidate.is_some() {
+                    break;
+                }
+            }
+        }
+        let link = candidate.expect("member domain has tree links");
+        let rec = h.recover(link).unwrap();
+        assert_eq!(rec.scope, FailureScope::Stub(target_domain));
+        assert!(rec.domains_involved <= 1);
+        // Affected members all live in the failed domain.
+        for m in &rec.affected_members {
+            assert_eq!(t.domain_of(*m), target_domain);
+        }
+        // Restoration paths stay inside the domain.
+        for path in &rec.restoration_paths {
+            for n in path {
+                assert_eq!(t.domain_of(*n), target_domain);
+            }
+        }
+    }
+
+    #[test]
+    fn off_tree_failure_affects_nobody() {
+        let t = topo();
+        let (source, members) = pick_members(&t);
+        let h = HierarchicalSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+        // A link inside a memberless stub domain cannot affect the session.
+        let stubs: Vec<_> = t.stub_domains().collect();
+        let empty = stubs
+            .iter()
+            .find(|s| {
+                !members.iter().any(|m| t.domain_of(*m) == s.id()) && t.domain_of(source) != s.id()
+            })
+            .expect("some stub is empty");
+        let a = empty.nodes()[0];
+        let link = t.graph().adjacency(a).iter().map(|&(_, l)| l).find(|&l| {
+            let lk = t.graph().link(l);
+            t.domain_of(lk.a()) == empty.id() && t.domain_of(lk.b()) == empty.id()
+        });
+        if let Some(link) = link {
+            let rec = h.recover(link).unwrap();
+            assert!(rec.affected_members.is_empty());
+            assert_eq!(rec.domains_involved, 0);
+        }
+    }
+
+    mod nlevel {
+        use super::super::*;
+        use smrp_net::nlevel::NLevelConfig;
+
+        fn topo() -> NLevelTopology {
+            NLevelConfig::new(3)
+                .level(2, 5)
+                .level(2, 4)
+                .extra_edge_prob(0.5)
+                .seed(21)
+                .generate()
+                .unwrap()
+        }
+
+        /// Picks a source and members spread over leaf domains with
+        /// *distinct* level-1 parents, so traffic must cross the core.
+        fn pick(t: &NLevelTopology) -> (NodeId, Vec<NodeId>) {
+            let leaves: Vec<_> = t.leaf_domains().collect();
+            let source = leaves[0].nodes()[0];
+            let source_parent = leaves[0].parent();
+            let far: Vec<_> = leaves
+                .iter()
+                .filter(|l| l.parent() != source_parent)
+                .take(2)
+                .collect();
+            let members = vec![
+                leaves[0].nodes()[2],
+                far[0].nodes()[1],
+                far[1].nodes()[0],
+                far[1].nodes()[3],
+            ];
+            (source, members)
+        }
+
+        #[test]
+        fn builds_sessions_along_active_chains_only() {
+            let t = topo();
+            let (source, members) = pick(&t);
+            let h = NLevelSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+            // Active: the three leaf domains, their distinct parents and
+            // the root — and nothing else.
+            let mut expected: Vec<DomainId> = Vec::new();
+            for &n in members.iter().chain([source].iter()) {
+                for a in t.ancestry(t.domain_of(n)) {
+                    if !expected.contains(&a) {
+                        expected.push(a);
+                    }
+                }
+            }
+            assert_eq!(h.active_domains(), expected.len());
+        }
+
+        #[test]
+        fn every_link_has_an_owner_and_recovery_is_confined() {
+            let t = topo();
+            let (source, members) = pick(&t);
+            let h = NLevelSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+            let mut repaired = 0;
+            let mut confined = 0;
+            for link in t.graph().link_ids() {
+                let owner = h.owning_domain(link);
+                // Owner must contain at least one endpoint.
+                let l = t.graph().link(link);
+                let dom = &t.domains()[owner.index()];
+                assert!(dom.contains(l.a()) || dom.contains(l.b()));
+                if let Ok(rec) = h.recover(link) {
+                    if rec.domains_involved > 0 {
+                        repaired += 1;
+                        confined += usize::from(rec.domains_involved == 1);
+                        // Restoration paths stay inside the owning domain's
+                        // subgraph: every hop is a domain node or an
+                        // attached child agent.
+                        for path in &rec.restoration_paths {
+                            for n in path {
+                                let nd = t.domain_of(*n);
+                                let ok =
+                                    nd == owner || t.domains()[nd.index()].parent() == Some(owner);
+                                assert!(ok, "restoration hop {n} escaped domain {owner}");
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(repaired > 0, "no failures were repairable");
+            assert_eq!(repaired, confined, "a repair crossed domain boundaries");
+        }
+
+        #[test]
+        fn source_domain_session_is_rooted_at_the_real_source() {
+            let t = topo();
+            let (source, members) = pick(&t);
+            let h = NLevelSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+            let sd = t.domain_of(source);
+            let sess = h.sessions[sd.index()].as_ref().unwrap();
+            let local_root = sess.tree.source();
+            assert_eq!(sess.to_global[local_root.index()], source);
+        }
+
+        #[test]
+        fn three_levels_are_wired_through_agents() {
+            let t = topo();
+            let (source, members) = pick(&t);
+            let h = NLevelSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+            // The root domain's session must include at least one agent
+            // member (a level-1 border) so traffic crosses the core.
+            let root = t.root().id();
+            let sess = h.sessions[root.index()].as_ref().unwrap();
+            assert!(sess.tree.member_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn transit_failure_is_handled_at_level_zero() {
+        let t = topo();
+        let (source, members) = pick_members(&t);
+        let h = HierarchicalSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+        // Fail a transit tree link used by some agent.
+        let sess = &h.transit;
+        let mut candidate = None;
+        for n in sess.tree.on_tree_nodes() {
+            if let Some(p) = sess.tree.parent(n) {
+                let a = sess.to_global[n.index()];
+                let b = sess.to_global[p.index()];
+                candidate = t.graph().link_between(a, b);
+                if candidate.is_some() {
+                    break;
+                }
+            }
+        }
+        let link = candidate.expect("transit session has tree links");
+        let rec = h.recover(link);
+        match rec {
+            Ok(r) => {
+                assert_eq!(r.scope, FailureScope::Transit);
+                // Repaired inside the transit domain only.
+                assert!(r.domains_involved <= 1);
+            }
+            Err(msg) => {
+                // Sparse transit domains may offer no detour; the error
+                // must say so explicitly.
+                assert!(msg.contains("cannot recover"), "{msg}");
+            }
+        }
+    }
+}

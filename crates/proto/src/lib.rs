@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Message-level SMRP: the protocol machinery of §3.2–§3.3 running on the
+//! discrete-event simulator.
+//!
+//! `smrp-core` implements SMRP's *algorithms* (path selection, reshaping,
+//! detour computation); this crate implements SMRP as a *protocol*:
+//!
+//! * [`router`] — the per-node state machine: soft-state multicast routing
+//!   entries refreshed by periodic `Refresh` messages (and expired when
+//!   refreshes stop), hop-by-hop `Setup` propagation for joins and grafts,
+//!   data forwarding down the tree, and heartbeat (`Hello`) exchange with
+//!   the upstream neighbor for failure detection;
+//! * [`runner`] — [`ProtoSession`]: builds a tree with `smrp-core`, loads
+//!   it into routers, pumps data from the source, injects a persistent
+//!   failure and measures each member's **service restoration latency**
+//!   under either recovery strategy:
+//!   [`RecoveryStrategy::LocalDetour`] (SMRP: graft to the nearest
+//!   connected on-tree node as soon as the failure is detected) or
+//!   [`RecoveryStrategy::GlobalDetour`] (PIM/MOSPF: wait out unicast
+//!   reconvergence — tens of seconds per Wang et al.'s ICNP 2000
+//!   measurements cited by the paper — then re-join along the new
+//!   shortest path);
+//! * [`hierarchy`] — the N-level recovery architecture of §3.3.3
+//!   instantiated for 2 levels on transit-stub topologies: per-domain
+//!   SMRP sessions with border *agents*, failure attribution to a domain,
+//!   and confinement metrics.
+
+pub mod hierarchy;
+pub mod membership;
+pub mod messages;
+pub mod query;
+pub mod router;
+pub mod runner;
+
+pub use membership::DynamicSession;
+pub use messages::{ProtoMsg, TimerKind};
+pub use router::{ControlCounters, Router, RouterConfig};
+pub use runner::{OverheadReport, ProtoSession, RecoveryReport, RecoveryStrategy, TreeProtocol};

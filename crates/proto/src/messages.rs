@@ -1,0 +1,86 @@
+//! Wire messages and timers of the SMRP protocol.
+
+use smrp_net::NodeId;
+
+/// Messages exchanged hop-by-hop between routers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoMsg {
+    /// Source-routed state installation, used both for explicit joins
+    /// (`Join_Req` travelling from a new member toward its merger node)
+    /// and for recovery grafts (travelling from the disconnected fragment
+    /// root toward its recovery attach point).
+    ///
+    /// `path[idx]` is the current hop; each hop installs the previous hop
+    /// as a downstream interface and the next hop as its upstream, then
+    /// forwards with `idx + 1`.
+    Setup {
+        /// Full path from the initiating node to the attach point.
+        path: Vec<NodeId>,
+        /// Index of the receiving hop within `path`.
+        idx: usize,
+    },
+    /// Explicit leave (`Leave_Req`): sent upstream; each hop removes the
+    /// sender from its downstream set and forwards upstream while it has
+    /// no remaining reason to stay on the tree.
+    LeaveReq,
+    /// Periodic soft-state refresh sent upstream (PIM-style); parents
+    /// expire downstream interfaces that stop refreshing.
+    Refresh,
+    /// Heartbeat between tree neighbors; loss of consecutive hellos from
+    /// the upstream neighbor signals a persistent failure.
+    Hello,
+    /// Multicast payload flooding down the tree.
+    Data {
+        /// Monotone sequence number stamped by the source.
+        seq: u64,
+    },
+    /// §3.3.1 topology-free join: a query relayed hop-by-hop along each
+    /// relay's unicast shortest path toward the source, looking for the
+    /// first on-tree router.
+    Query {
+        /// The joining node that originated the query.
+        origin: NodeId,
+        /// Nodes visited so far, origin first (doubles as the return
+        /// route and as the loop guard).
+        path: Vec<NodeId>,
+        /// Accumulated propagation delay along `path`.
+        delay: f64,
+    },
+    /// Response from the first on-tree router hit by a [`ProtoMsg::Query`],
+    /// retracing the query path back to the origin.
+    QueryResp {
+        /// Full approach path `origin → … → merger`.
+        approach: Vec<NodeId>,
+        /// Propagation delay of the approach path.
+        approach_delay: f64,
+        /// The merger's advertised `SHR(S, R)`.
+        shr: u32,
+        /// The merger's advertised on-tree delay from the source.
+        tree_delay: f64,
+        /// Index of the current hop within `approach` (counts down to 0).
+        idx: usize,
+    },
+}
+
+/// Node-local timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Send the next `Hello` to tree neighbors.
+    HelloTick,
+    /// Check whether the upstream neighbor went silent.
+    UpstreamCheck,
+    /// Send the next soft-state `Refresh` upstream.
+    RefreshTick,
+    /// Expire downstream interfaces whose refreshes stopped.
+    ExpiryCheck,
+    /// Source only: emit the next `Data` packet.
+    DataTick,
+    /// Member only: check for data starvation (failure further up the
+    /// fragment than this node's own upstream).
+    StarvationCheck,
+    /// Joining node: the §3.3.1 query round is over; pick the best
+    /// responding merger.
+    QueryTimeout,
+    /// Global detour: unicast routing has reconverged; re-join now.
+    ReconvergenceDone,
+}

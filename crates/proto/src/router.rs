@@ -1,0 +1,847 @@
+//! The per-node SMRP router state machine.
+//!
+//! Each router keeps PIM-style *soft state*: an upstream interface toward
+//! the source and a set of downstream interfaces, each with an expiry
+//! deadline pushed forward by periodic [`ProtoMsg::Refresh`] messages.
+//! Data flows strictly from the upstream interface to the downstream ones.
+//! Tree neighbors exchange [`ProtoMsg::Hello`] heartbeats; a router that
+//! stops hearing its upstream declares a persistent failure and executes
+//! its [`RecoveryPlan`] — immediately for a local detour, or after a
+//! simulated unicast-reconvergence delay for the global detour baseline.
+
+use smrp_net::NodeId;
+use smrp_sim::{Ctx, NodeBehavior, SimTime};
+
+use crate::messages::{ProtoMsg, TimerKind};
+
+/// Protocol timing parameters shared by every router in a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterConfig {
+    /// Interval between heartbeats to tree neighbors.
+    pub hello_interval: SimTime,
+    /// Consecutive missed hello intervals before the upstream is declared
+    /// dead.
+    pub miss_limit: u32,
+    /// Interval between soft-state refreshes sent upstream.
+    pub refresh_interval: SimTime,
+    /// Downstream state lifetime without a refresh.
+    pub holdtime: SimTime,
+    /// Source-only: interval between multicast data packets.
+    pub data_interval: SimTime,
+    /// Member-side failure detection: a member that receives no data for
+    /// this long executes its recovery plan even though its own upstream
+    /// heartbeats are healthy (the failure sits further up the fragment).
+    /// Must comfortably exceed the normal heartbeat-detection + graft
+    /// restoration time to avoid spurious grafts.
+    pub starvation_limit: SimTime,
+}
+
+impl Default for RouterConfig {
+    /// Millisecond-scale defaults: 10 ms hellos with a 3-miss limit
+    /// (≈30 ms detection), 50 ms refreshes with a 175 ms holdtime, 5 ms
+    /// data cadence.
+    fn default() -> Self {
+        RouterConfig {
+            hello_interval: SimTime::from_ms(10.0),
+            miss_limit: 3,
+            refresh_interval: SimTime::from_ms(50.0),
+            holdtime: SimTime::from_ms(175.0),
+            data_interval: SimTime::from_ms(5.0),
+            starvation_limit: SimTime::from_ms(400.0),
+        }
+    }
+}
+
+/// What a router should do once it detects that its upstream died.
+///
+/// Plans are installed by the session orchestrator, standing in for the
+/// router's own path computation (the paper assumes topology knowledge;
+/// §3.3.1's query scheme is modelled at the algorithmic level in
+/// `smrp-core`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPlan {
+    /// Restoration path from this router to the attach point.
+    pub path: Vec<NodeId>,
+    /// Delay before the plan can execute (zero for a local detour; the
+    /// unicast reconvergence time for a global detour).
+    pub wait: SimTime,
+}
+
+/// One delivered data packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Arrival time.
+    pub time: SimTime,
+    /// Sequence number stamped by the source.
+    pub seq: u64,
+}
+
+/// SMRP router behavior for [`smrp_sim::NetSim`].
+#[derive(Debug, Clone)]
+pub struct Router {
+    config: RouterConfig,
+    is_source: bool,
+    is_member: bool,
+    on_tree: bool,
+    upstream: Option<NodeId>,
+    downstream: Vec<(NodeId, SimTime)>,
+    last_upstream_heard: SimTime,
+    last_data_heard: SimTime,
+    recovery_plan: Option<RecoveryPlan>,
+    recovering: bool,
+    next_seq: u64,
+    deliveries: Vec<Delivery>,
+    forwarded: u64,
+    periodic_timers_armed: bool,
+    upstream_check_armed: bool,
+    control_sent: ControlCounters,
+    /// Unicast routing state (installed from the routing protocol): next
+    /// hop and distance toward the multicast source.
+    next_hop_to_source: Option<NodeId>,
+    spf_dist_to_source: f64,
+    /// Advertised tree metadata used to answer §3.3.1 queries.
+    shr_value: u32,
+    tree_delay_value: f64,
+    pending_join: Option<PendingJoin>,
+}
+
+/// State of an in-flight §3.3.1 query-based join at the joining node.
+#[derive(Debug, Clone)]
+struct PendingJoin {
+    d_thresh: f64,
+    responses: Vec<QueryAnswer>,
+}
+
+#[derive(Debug, Clone)]
+struct QueryAnswer {
+    approach: Vec<NodeId>,
+    approach_delay: f64,
+    shr: u32,
+    tree_delay: f64,
+}
+
+/// Control-plane messages emitted by a router, by type (§3.3.2's protocol
+/// overhead discussion).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlCounters {
+    /// Heartbeats sent to tree neighbors.
+    pub hellos: u64,
+    /// Soft-state refreshes sent upstream.
+    pub refreshes: u64,
+    /// Setup (join/graft) messages initiated or forwarded.
+    pub setups: u64,
+    /// Explicit leave messages sent upstream.
+    pub leaves: u64,
+}
+
+impl ControlCounters {
+    /// Total control messages.
+    pub fn total(&self) -> u64 {
+        self.hellos + self.refreshes + self.setups + self.leaves
+    }
+}
+
+impl Router {
+    /// Creates an idle, off-tree router.
+    pub fn new(config: RouterConfig) -> Self {
+        Router {
+            config,
+            is_source: false,
+            is_member: false,
+            on_tree: false,
+            upstream: None,
+            downstream: Vec::new(),
+            last_upstream_heard: SimTime::ZERO,
+            last_data_heard: SimTime::ZERO,
+            recovery_plan: None,
+            recovering: false,
+            next_seq: 0,
+            deliveries: Vec::new(),
+            forwarded: 0,
+            periodic_timers_armed: false,
+            upstream_check_armed: false,
+            control_sent: ControlCounters::default(),
+            next_hop_to_source: None,
+            spf_dist_to_source: f64::INFINITY,
+            shr_value: 0,
+            tree_delay_value: 0.0,
+            pending_join: None,
+        }
+    }
+
+    /// Marks this router as the multicast source.
+    pub fn set_source(&mut self) {
+        self.is_source = true;
+        self.on_tree = true;
+    }
+
+    /// Preloads tree state (used when a session loads a core-built tree
+    /// instead of running message-level joins).
+    pub fn load_state(&mut self, upstream: Option<NodeId>, downstream: &[NodeId], member: bool) {
+        self.on_tree = true;
+        self.upstream = upstream;
+        self.downstream = downstream
+            .iter()
+            .map(|&d| (d, self.config.holdtime))
+            .collect();
+        self.is_member = member;
+    }
+
+    /// Installs the action to take when the upstream dies.
+    pub fn install_recovery_plan(&mut self, plan: RecoveryPlan) {
+        self.recovery_plan = Some(plan);
+    }
+
+    /// Whether this router currently has tree state.
+    pub fn is_on_tree(&self) -> bool {
+        self.on_tree
+    }
+
+    /// Whether this router is a member (receiver).
+    pub fn is_member(&self) -> bool {
+        self.is_member
+    }
+
+    /// Current upstream interface.
+    pub fn upstream(&self) -> Option<NodeId> {
+        self.upstream
+    }
+
+    /// Current downstream interfaces.
+    pub fn downstream(&self) -> Vec<NodeId> {
+        self.downstream.iter().map(|&(d, _)| d).collect()
+    }
+
+    /// Data packets delivered to this (member) router.
+    pub fn deliveries(&self) -> &[Delivery] {
+        &self.deliveries
+    }
+
+    /// Packets forwarded downstream by this router.
+    pub fn forwarded_count(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Control messages this router has sent, by type.
+    pub fn control_sent(&self) -> ControlCounters {
+        self.control_sent
+    }
+
+    /// Whether this router detected an upstream failure and initiated (or
+    /// is waiting to initiate) recovery.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Leaves the multicast group: membership is dropped immediately; if no
+    /// downstream routers depend on this node, the next expiry check prunes
+    /// it off the tree and propagates `Leave_Req` upstream (the §3.2.2
+    /// departure procedure over soft state).
+    pub fn leave_group(&mut self) {
+        self.is_member = false;
+    }
+
+    /// Installs unicast routing state: the next hop and distance toward the
+    /// multicast source, as the underlying routing protocol would provide.
+    pub fn set_unicast_routing(&mut self, next_hop: Option<NodeId>, distance: f64) {
+        self.next_hop_to_source = next_hop;
+        self.spf_dist_to_source = distance;
+    }
+
+    /// Updates the tree metadata this router advertises to §3.3.1 queries
+    /// (its `SHR(S, R)` and on-tree delay). §3.3.2's deferred
+    /// recalculation: values only need to be fresh when a query arrives.
+    pub fn set_tree_metadata(&mut self, shr: u32, tree_delay: f64) {
+        self.shr_value = shr;
+        self.tree_delay_value = tree_delay;
+    }
+
+    /// The currently advertised `SHR` value.
+    pub fn advertised_shr(&self) -> u32 {
+        self.shr_value
+    }
+
+    /// Starts a §3.3.1 query-based join: one query per neighbor, each
+    /// relayed along that neighbor's unicast shortest path to the source
+    /// until an on-tree router answers; after `timeout`, the best response
+    /// wins and a `Setup` is issued along its approach path.
+    pub fn start_query_join(&mut self, ctx: &mut Ctx<'_, Self>, d_thresh: f64, timeout: SimTime) {
+        self.pending_join = Some(PendingJoin {
+            d_thresh,
+            responses: Vec::new(),
+        });
+        let me = ctx.me();
+        let neighbors: Vec<NodeId> = ctx.graph().neighbors(me).collect();
+        for nb in neighbors {
+            self.control_sent.setups += 1;
+            ctx.send(
+                nb,
+                ProtoMsg::Query {
+                    origin: me,
+                    path: vec![me],
+                    delay: 0.0,
+                },
+            );
+        }
+        ctx.set_timer(timeout, TimerKind::QueryTimeout);
+    }
+
+    /// Whether a query-based join is still waiting for its timeout.
+    pub fn query_join_pending(&self) -> bool {
+        self.pending_join.is_some()
+    }
+
+    /// First delivery strictly after `t`, if any.
+    pub fn first_delivery_after(&self, t: SimTime) -> Option<Delivery> {
+        self.deliveries.iter().copied().find(|d| d.time > t)
+    }
+
+    /// Arms the periodic timers; the session calls this once per on-tree
+    /// node at start-up (the source also starts the data pump). Safe to
+    /// call again — timers are only armed once.
+    pub fn start_timers(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.last_upstream_heard = ctx.now();
+        self.last_data_heard = ctx.now();
+        self.ensure_periodic_timers(ctx);
+        self.ensure_upstream_check(ctx);
+        if self.is_member && !self.is_source {
+            ctx.set_timer(self.config.starvation_limit, TimerKind::StarvationCheck);
+        }
+        if self.is_source {
+            ctx.set_timer(self.config.data_interval, TimerKind::DataTick);
+        }
+    }
+
+    fn ensure_periodic_timers(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if self.periodic_timers_armed {
+            return;
+        }
+        self.periodic_timers_armed = true;
+        ctx.set_timer(self.config.hello_interval, TimerKind::HelloTick);
+        ctx.set_timer(self.config.refresh_interval, TimerKind::RefreshTick);
+        ctx.set_timer(self.config.holdtime, TimerKind::ExpiryCheck);
+    }
+
+    fn ensure_upstream_check(&mut self, ctx: &mut Ctx<'_, Self>) {
+        if self.upstream.is_none() || self.upstream_check_armed {
+            return;
+        }
+        self.upstream_check_armed = true;
+        ctx.set_timer(self.config.hello_interval, TimerKind::UpstreamCheck);
+    }
+
+    /// Initiates a source-routed state installation along `path`
+    /// (`path[0]` must be this router). Used for joins and grafts.
+    pub fn initiate_setup(&mut self, ctx: &mut Ctx<'_, Self>, path: Vec<NodeId>, member: bool) {
+        debug_assert!(path.len() >= 2, "setup path needs at least two hops");
+        debug_assert_eq!(path[0], ctx.me(), "setup path starts at the initiator");
+        self.on_tree = true;
+        if member {
+            self.is_member = true;
+        }
+        self.upstream = Some(path[1]);
+        self.last_upstream_heard = ctx.now();
+        let next = path[1];
+        self.control_sent.setups += 1;
+        ctx.send(next, ProtoMsg::Setup { path, idx: 1 });
+        self.ensure_periodic_timers(ctx);
+        self.ensure_upstream_check(ctx);
+    }
+
+    fn install_downstream(&mut self, ctx: &Ctx<'_, Self>, node: NodeId) {
+        let expires = ctx.now() + self.config.holdtime;
+        match self.downstream.iter_mut().find(|(d, _)| *d == node) {
+            Some(entry) => entry.1 = expires,
+            None => self.downstream.push((node, expires)),
+        }
+    }
+
+    fn detect_upstream_failure(&mut self, ctx: &mut Ctx<'_, Self>) {
+        self.recovering = true;
+        let Some(plan) = self.recovery_plan.clone() else {
+            return; // nothing can be done (modelled as unrecoverable).
+        };
+        if plan.wait == SimTime::ZERO {
+            self.execute_recovery(ctx);
+        } else {
+            ctx.set_timer(plan.wait, TimerKind::ReconvergenceDone);
+        }
+    }
+
+    fn execute_recovery(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let Some(plan) = self.recovery_plan.take() else {
+            return;
+        };
+        if plan.path.len() < 2 {
+            return;
+        }
+        self.initiate_setup(ctx, plan.path, self.is_member);
+        self.recovering = false;
+    }
+}
+
+impl NodeBehavior for Router {
+    type Msg = ProtoMsg;
+    type Timer = TimerKind;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::Hello => {
+                if self.upstream == Some(from) {
+                    self.last_upstream_heard = ctx.now();
+                }
+            }
+            ProtoMsg::Refresh => {
+                if self.on_tree {
+                    self.install_downstream(ctx, from);
+                }
+            }
+            ProtoMsg::Setup { path, idx } => {
+                debug_assert_eq!(path.get(idx), Some(&ctx.me()));
+                self.install_downstream(ctx, from);
+                if idx + 1 < path.len() {
+                    // Interior hop of an explicit (source-routed) setup:
+                    // (re)orient the upstream along the path and forward.
+                    // Join paths never cross on-tree interiors (the
+                    // selection is sink-constrained), so replacement only
+                    // happens for restoration paths routed through a
+                    // disconnected fragment — where the stale upstream is
+                    // exactly what must be overridden.
+                    self.on_tree = true;
+                    if self.upstream != Some(path[idx + 1]) {
+                        self.upstream = Some(path[idx + 1]);
+                        self.last_upstream_heard = ctx.now();
+                    }
+                    self.ensure_periodic_timers(ctx);
+                    self.ensure_upstream_check(ctx);
+                    self.control_sent.setups += 1;
+                    ctx.send(path[idx + 1], ProtoMsg::Setup { path, idx: idx + 1 });
+                }
+                // Final hop: the setup merges here (PIM semantics) — the
+                // downstream was installed above, nothing to forward.
+            }
+            ProtoMsg::LeaveReq => {
+                self.downstream.retain(|&(d, _)| d != from);
+            }
+            ProtoMsg::Data { seq } => {
+                if self.upstream != Some(from) && !self.is_source {
+                    return; // only accept data from the upstream interface.
+                }
+                self.last_data_heard = ctx.now();
+                if self.is_member {
+                    self.deliveries.push(Delivery {
+                        time: ctx.now(),
+                        seq,
+                    });
+                }
+                for &(d, _) in &self.downstream {
+                    ctx.send(d, ProtoMsg::Data { seq });
+                    self.forwarded += 1;
+                }
+            }
+            ProtoMsg::Query {
+                origin,
+                mut path,
+                delay,
+            } => {
+                let me = ctx.me();
+                let hop_delay = ctx
+                    .graph()
+                    .delay_between(from, me)
+                    .expect("messages arrive over real links");
+                let delay = delay + hop_delay;
+                path.push(me);
+                if self.on_tree {
+                    // First on-tree router: answer with the advertised
+                    // SHR and tree delay, retracing the query path.
+                    let idx = path.len() - 2;
+                    let back = path[idx];
+                    ctx.send(
+                        back,
+                        ProtoMsg::QueryResp {
+                            approach: path,
+                            approach_delay: delay,
+                            shr: self.shr_value,
+                            tree_delay: self.tree_delay_value,
+                            idx,
+                        },
+                    );
+                } else if let Some(next) = self.next_hop_to_source {
+                    // Relay along this node's unicast path to the source,
+                    // unless that would loop.
+                    if !path.contains(&next) {
+                        ctx.send(
+                            next,
+                            ProtoMsg::Query {
+                                origin,
+                                path,
+                                delay,
+                            },
+                        );
+                    }
+                }
+            }
+            ProtoMsg::QueryResp {
+                approach,
+                approach_delay,
+                shr,
+                tree_delay,
+                idx,
+            } => {
+                if idx == 0 {
+                    if let Some(pending) = self.pending_join.as_mut() {
+                        pending.responses.push(QueryAnswer {
+                            approach,
+                            approach_delay,
+                            shr,
+                            tree_delay,
+                        });
+                    }
+                } else {
+                    let back = approach[idx - 1];
+                    ctx.send(
+                        back,
+                        ProtoMsg::QueryResp {
+                            approach,
+                            approach_delay,
+                            shr,
+                            tree_delay,
+                            idx: idx - 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: TimerKind) {
+        match timer {
+            TimerKind::HelloTick => {
+                if self.on_tree {
+                    if let Some(up) = self.upstream {
+                        self.control_sent.hellos += 1;
+                        ctx.send(up, ProtoMsg::Hello);
+                    }
+                    for &(d, _) in &self.downstream {
+                        self.control_sent.hellos += 1;
+                        ctx.send(d, ProtoMsg::Hello);
+                    }
+                }
+                ctx.set_timer(self.config.hello_interval, TimerKind::HelloTick);
+            }
+            TimerKind::UpstreamCheck => {
+                if self.on_tree && self.upstream.is_some() && !self.recovering {
+                    let silence = ctx.now() - self.last_upstream_heard;
+                    let deadline = SimTime::from_ms(
+                        self.config.hello_interval.as_ms() * self.config.miss_limit as f64,
+                    );
+                    if silence > deadline {
+                        self.detect_upstream_failure(ctx);
+                    }
+                }
+                if self.upstream.is_some() {
+                    ctx.set_timer(self.config.hello_interval, TimerKind::UpstreamCheck);
+                } else {
+                    self.upstream_check_armed = false;
+                }
+            }
+            TimerKind::RefreshTick => {
+                if self.on_tree {
+                    if let Some(up) = self.upstream {
+                        self.control_sent.refreshes += 1;
+                        ctx.send(up, ProtoMsg::Refresh);
+                    }
+                }
+                ctx.set_timer(self.config.refresh_interval, TimerKind::RefreshTick);
+            }
+            TimerKind::ExpiryCheck => {
+                let now = ctx.now();
+                self.downstream.retain(|&(_, exp)| exp > now);
+                if self.on_tree && !self.is_source && !self.is_member && self.downstream.is_empty()
+                {
+                    // A relay with no remaining downstream state leaves the
+                    // tree (the soft-state analogue of pruning).
+                    if let Some(up) = self.upstream.take() {
+                        self.control_sent.leaves += 1;
+                        ctx.send(up, ProtoMsg::LeaveReq);
+                    }
+                    self.on_tree = false;
+                }
+                ctx.set_timer(self.config.holdtime, TimerKind::ExpiryCheck);
+            }
+            TimerKind::DataTick => {
+                if self.is_source {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    if self.is_member {
+                        self.deliveries.push(Delivery {
+                            time: ctx.now(),
+                            seq,
+                        });
+                    }
+                    for &(d, _) in &self.downstream {
+                        ctx.send(d, ProtoMsg::Data { seq });
+                        self.forwarded += 1;
+                    }
+                    ctx.set_timer(self.config.data_interval, TimerKind::DataTick);
+                }
+            }
+            TimerKind::StarvationCheck => {
+                if self.is_member
+                    && self.on_tree
+                    && !self.recovering
+                    && self.recovery_plan.is_some()
+                    && ctx.now() - self.last_data_heard > self.config.starvation_limit
+                {
+                    // The stream died but this node's own upstream is alive:
+                    // the failure sits higher in a fragment whose root could
+                    // not repair it. Recover independently (§3.1: each
+                    // disconnected member locates a restoration path).
+                    self.detect_upstream_failure(ctx);
+                }
+                if self.is_member {
+                    ctx.set_timer(self.config.starvation_limit, TimerKind::StarvationCheck);
+                }
+            }
+            TimerKind::QueryTimeout => {
+                let Some(pending) = self.pending_join.take() else {
+                    return;
+                };
+                // Apply the §3.2.2 criterion over the responses: minimum
+                // SHR within the delay bound, ties by total delay; fall
+                // back to the shortest response when nothing fits.
+                let bound = (1.0 + pending.d_thresh) * self.spf_dist_to_source;
+                let total = |a: &QueryAnswer| a.tree_delay + a.approach_delay;
+                let best = pending
+                    .responses
+                    .iter()
+                    .filter(|a| total(a) <= bound + 1e-9)
+                    .min_by(|x, y| x.shr.cmp(&y.shr).then(total(x).total_cmp(&total(y))))
+                    .or_else(|| {
+                        pending
+                            .responses
+                            .iter()
+                            .min_by(|x, y| total(x).total_cmp(&total(y)))
+                    });
+                if let Some(best) = best {
+                    self.initiate_setup(ctx, best.approach.clone(), true);
+                }
+            }
+            TimerKind::ReconvergenceDone => {
+                self.execute_recovery(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smrp_net::Graph;
+    use smrp_sim::NetSim;
+
+    fn config() -> RouterConfig {
+        RouterConfig::default()
+    }
+
+    /// Line: S - R - M.
+    fn line() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::with_nodes(3);
+        let ids: Vec<_> = g.node_ids().collect();
+        g.add_link(ids[0], ids[1], 1.0).unwrap();
+        g.add_link(ids[1], ids[2], 1.0).unwrap();
+        (g, ids)
+    }
+
+    fn loaded_line_sim<'a>(g: &'a Graph, ids: &[NodeId]) -> NetSim<'a, Router> {
+        let mut routers: Vec<Router> = (0..g.node_count()).map(|_| Router::new(config())).collect();
+        routers[ids[0].index()].set_source();
+        routers[ids[0].index()].load_state(None, &[ids[1]], false);
+        routers[ids[1].index()].load_state(Some(ids[0]), &[ids[2]], false);
+        routers[ids[2].index()].load_state(Some(ids[1]), &[], true);
+        let mut sim = NetSim::new(g, routers);
+        for &n in ids {
+            sim.with_node(n, |r, ctx| r.start_timers(ctx));
+        }
+        sim
+    }
+
+    #[test]
+    fn data_flows_down_the_tree() {
+        let (g, ids) = line();
+        let mut sim = loaded_line_sim(&g, &ids);
+        sim.run_until(SimTime::from_ms(100.0));
+        let member = sim.node(ids[2]);
+        assert!(
+            member.deliveries().len() >= 15,
+            "got {}",
+            member.deliveries().len()
+        );
+        // Sequence numbers arrive in order without duplication.
+        let seqs: Vec<u64> = member.deliveries().iter().map(|d| d.seq).collect();
+        for w in seqs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn soft_state_survives_refreshes() {
+        let (g, ids) = line();
+        let mut sim = loaded_line_sim(&g, &ids);
+        // Far beyond the holdtime: refreshes must keep state alive.
+        sim.run_until(SimTime::from_ms(1000.0));
+        assert!(sim.node(ids[1]).is_on_tree());
+        assert_eq!(sim.node(ids[1]).downstream(), vec![ids[2]]);
+        assert!(sim
+            .node(ids[2])
+            .first_delivery_after(SimTime::from_ms(900.0))
+            .is_some());
+    }
+
+    #[test]
+    fn member_silence_expires_branch_state() {
+        let (g, ids) = line();
+        let mut sim = loaded_line_sim(&g, &ids);
+        sim.run_until(SimTime::from_ms(50.0));
+        // Kill the member: its refreshes stop; R must eventually prune
+        // itself off the tree.
+        sim.fail_node_now(ids[2]);
+        sim.run_until(SimTime::from_ms(800.0));
+        assert!(!sim.node(ids[1]).is_on_tree(), "relay should have pruned");
+        assert!(sim.node(ids[0]).downstream().is_empty());
+    }
+
+    #[test]
+    fn upstream_failure_triggers_local_detour() {
+        // Square: S - R - M plus a detour M - X - S.
+        let mut g = Graph::with_nodes(4);
+        let ids: Vec<_> = g.node_ids().collect();
+        let [s, r, m, x] = [ids[0], ids[1], ids[2], ids[3]];
+        g.add_link(s, r, 1.0).unwrap();
+        g.add_link(r, m, 1.0).unwrap();
+        g.add_link(m, x, 1.0).unwrap();
+        g.add_link(x, s, 1.0).unwrap();
+        let mut routers: Vec<Router> = (0..4).map(|_| Router::new(config())).collect();
+        routers[s.index()].set_source();
+        routers[s.index()].load_state(None, &[r], false);
+        routers[r.index()].load_state(Some(s), &[m], false);
+        routers[m.index()].load_state(Some(r), &[], true);
+        routers[m.index()].install_recovery_plan(RecoveryPlan {
+            path: vec![m, x, s],
+            wait: SimTime::ZERO,
+        });
+        let mut sim = NetSim::new(&g, routers);
+        for &n in &ids {
+            sim.with_node(n, |rt, ctx| rt.start_timers(ctx));
+        }
+        sim.run_until(SimTime::from_ms(60.0));
+        let fail_at = sim.now();
+        sim.fail_node_now(r);
+        sim.run_until(SimTime::from_ms(400.0));
+        let member = sim.node(m);
+        let resumed = member
+            .first_delivery_after(fail_at + SimTime::from_ms(1.0))
+            .expect("service must restore through the detour");
+        // Detection takes ~3 hello intervals; setup + data another few ms.
+        let latency = (resumed.time - fail_at).as_ms();
+        assert!(latency > 20.0 && latency < 120.0, "latency {latency}ms");
+        assert_eq!(member.upstream(), Some(x));
+        assert!(sim.node(x).is_on_tree());
+    }
+
+    #[test]
+    fn global_detour_waits_for_reconvergence() {
+        let mut g = Graph::with_nodes(4);
+        let ids: Vec<_> = g.node_ids().collect();
+        let [s, r, m, x] = [ids[0], ids[1], ids[2], ids[3]];
+        g.add_link(s, r, 1.0).unwrap();
+        g.add_link(r, m, 1.0).unwrap();
+        g.add_link(m, x, 1.0).unwrap();
+        g.add_link(x, s, 1.0).unwrap();
+        let mut routers: Vec<Router> = (0..4).map(|_| Router::new(config())).collect();
+        routers[s.index()].set_source();
+        routers[s.index()].load_state(None, &[r], false);
+        routers[r.index()].load_state(Some(s), &[m], false);
+        routers[m.index()].load_state(Some(r), &[], true);
+        let reconvergence = SimTime::from_ms(500.0);
+        routers[m.index()].install_recovery_plan(RecoveryPlan {
+            path: vec![m, x, s],
+            wait: reconvergence,
+        });
+        let mut sim = NetSim::new(&g, routers);
+        for &n in &ids {
+            sim.with_node(n, |rt, ctx| rt.start_timers(ctx));
+        }
+        sim.run_until(SimTime::from_ms(60.0));
+        let fail_at = sim.now();
+        sim.fail_node_now(r);
+        sim.run_until(SimTime::from_ms(2000.0));
+        let resumed = sim
+            .node(m)
+            .first_delivery_after(fail_at + SimTime::from_ms(1.0))
+            .expect("service restores after reconvergence");
+        let latency = (resumed.time - fail_at).as_ms();
+        assert!(
+            latency > 500.0,
+            "global detour cannot beat the reconvergence delay ({latency}ms)"
+        );
+    }
+
+    #[test]
+    fn message_level_join_builds_state() {
+        let (g, ids) = line();
+        let mut routers: Vec<Router> = (0..3).map(|_| Router::new(config())).collect();
+        routers[ids[0].index()].set_source();
+        let mut sim = NetSim::new(&g, routers);
+        sim.with_node(ids[0], |r, ctx| r.start_timers(ctx));
+        // M joins via R toward S with an explicit Setup.
+        sim.with_node(ids[2], |r, ctx| {
+            r.initiate_setup(ctx, vec![ids[2], ids[1], ids[0]], true)
+        });
+        sim.run_until(SimTime::from_ms(100.0));
+        assert!(sim.node(ids[1]).is_on_tree());
+        assert_eq!(sim.node(ids[1]).upstream(), Some(ids[0]));
+        assert_eq!(sim.node(ids[0]).downstream(), vec![ids[1]]);
+        assert!(
+            !sim.node(ids[2]).deliveries().is_empty(),
+            "member receives data after joining"
+        );
+    }
+
+    #[test]
+    fn leave_req_removes_downstream() {
+        let (g, ids) = line();
+        let mut sim = loaded_line_sim(&g, &ids);
+        sim.with_node(ids[1], |_, ctx| ctx.send(ids[0], ProtoMsg::LeaveReq));
+        sim.run_until(SimTime::from_ms(5.0));
+        assert!(sim.node(ids[0]).downstream().is_empty());
+    }
+
+    #[test]
+    fn unrecoverable_without_a_plan() {
+        let (g, ids) = line();
+        let mut sim = loaded_line_sim(&g, &ids);
+        sim.run_until(SimTime::from_ms(50.0));
+        let fail_at = sim.now();
+        sim.fail_node_now(ids[1]);
+        sim.run_until(SimTime::from_ms(500.0));
+        assert!(sim.node(ids[2]).is_recovering());
+        assert!(sim
+            .node(ids[2])
+            .first_delivery_after(fail_at + SimTime::from_ms(1.0))
+            .is_none());
+    }
+
+    #[test]
+    fn data_from_non_upstream_is_ignored() {
+        let (g, ids) = line();
+        let mut sim = loaded_line_sim(&g, &ids);
+        // Forge a data packet from the member up to the relay.
+        sim.with_node(ids[2], |_, ctx| {
+            ctx.send(ids[1], ProtoMsg::Data { seq: 999 })
+        });
+        sim.run_until(SimTime::from_ms(3.0));
+        // The relay must not have forwarded seq 999 back down.
+        assert!(sim.node(ids[2]).deliveries().iter().all(|d| d.seq != 999));
+    }
+}

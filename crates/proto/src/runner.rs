@@ -1,0 +1,490 @@
+//! Protocol-level failure/recovery experiments.
+//!
+//! [`ProtoSession`] ties the layers together: `smrp-core` builds the
+//! multicast tree (SMRP or the SPF baseline), the tree is loaded into
+//! [`Router`]s on a [`NetSim`], the source pumps data, a persistent failure
+//! is injected mid-run, and the report captures each member's **service
+//! restoration latency** — the motivating quantity of §1: local detours
+//! restore service in heartbeat-detection time, while SPF-based recovery
+//! waits for unicast routing to reconverge (tens of seconds, per the
+//! ICNP 2000 measurements the paper cites).
+
+use smrp_core::recovery::{self, DetourKind};
+use smrp_core::{MulticastTree, SmrpConfig, SmrpError, SmrpSession, SpfSession};
+use smrp_net::{FailureScenario, Graph, NodeId};
+use smrp_sim::{NetSim, SimTime, TraceLog};
+
+use crate::router::{RecoveryPlan, Router, RouterConfig};
+
+/// Which algorithm builds the multicast tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TreeProtocol {
+    /// SMRP with the given configuration.
+    Smrp(SmrpConfig),
+    /// The shortest-path-first baseline (PIM/MOSPF-style).
+    Spf,
+}
+
+/// How disconnected fragments restore service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryStrategy {
+    /// SMRP: graft to the nearest connected on-tree node immediately after
+    /// detection.
+    LocalDetour,
+    /// Baseline: wait for unicast reconvergence, then re-join along the new
+    /// shortest path.
+    GlobalDetour {
+        /// Modelled unicast (OSPF) reconvergence delay.
+        reconvergence: SimTime,
+    },
+}
+
+/// Result of one protocol-level failure experiment.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// When the failure was injected.
+    pub fail_at: SimTime,
+    /// Per affected member: restoration latency (`None` if service never
+    /// resumed within the run).
+    pub restorations: Vec<(NodeId, Option<SimTime>)>,
+    /// Members that never lost service.
+    pub unaffected: Vec<NodeId>,
+    /// Total messages delivered by the simulator during the run.
+    pub messages_delivered: u64,
+    /// Total messages dropped (failed links/nodes).
+    pub messages_dropped: u64,
+}
+
+impl RecoveryReport {
+    /// Whether every affected member restored service.
+    pub fn all_restored(&self) -> bool {
+        self.restorations.iter().all(|(_, l)| l.is_some())
+    }
+
+    /// Mean restoration latency in milliseconds over restored members
+    /// (`None` if nothing restored).
+    pub fn mean_latency_ms(&self) -> Option<f64> {
+        let restored: Vec<f64> = self
+            .restorations
+            .iter()
+            .filter_map(|(_, l)| l.map(SimTime::as_ms))
+            .collect();
+        if restored.is_empty() {
+            None
+        } else {
+            Some(restored.iter().sum::<f64>() / restored.len() as f64)
+        }
+    }
+
+    /// Worst restoration latency in milliseconds among restored members.
+    pub fn max_latency_ms(&self) -> Option<f64> {
+        self.restorations
+            .iter()
+            .filter_map(|(_, l)| l.map(SimTime::as_ms))
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+/// Steady-state control-plane overhead of a session (§3.3.2).
+#[derive(Debug, Clone)]
+pub struct OverheadReport {
+    /// Observation window.
+    pub duration: SimTime,
+    /// Control messages sent across all routers, by type.
+    pub control: crate::router::ControlCounters,
+    /// Data packets delivered to members.
+    pub data_delivered: u64,
+    /// Data packets forwarded by routers (link crossings).
+    pub data_forwarded: u64,
+    /// Number of on-tree routers carrying state.
+    pub on_tree_nodes: usize,
+}
+
+impl OverheadReport {
+    /// Control messages per data packet delivered (the §3.3.2 "fairly
+    /// small overhead" quantity).
+    pub fn control_per_delivery(&self) -> f64 {
+        if self.data_delivered == 0 {
+            return f64::INFINITY;
+        }
+        self.control.total() as f64 / self.data_delivered as f64
+    }
+
+    /// Control messages per on-tree router per second.
+    pub fn control_rate_per_router(&self) -> f64 {
+        let secs = self.duration.as_ms() / 1000.0;
+        if secs <= 0.0 || self.on_tree_nodes == 0 {
+            return 0.0;
+        }
+        self.control.total() as f64 / self.on_tree_nodes as f64 / secs
+    }
+}
+
+/// A protocol-level multicast session ready for failure experiments.
+#[derive(Debug, Clone)]
+pub struct ProtoSession<'g> {
+    graph: &'g Graph,
+    source: NodeId,
+    tree: MulticastTree,
+    router_config: RouterConfig,
+}
+
+impl<'g> ProtoSession<'g> {
+    /// Builds the multicast tree for `members` with the chosen protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree-construction failures from `smrp-core`.
+    pub fn build(
+        graph: &'g Graph,
+        source: NodeId,
+        members: &[NodeId],
+        protocol: TreeProtocol,
+    ) -> Result<Self, SmrpError> {
+        let tree = match protocol {
+            TreeProtocol::Smrp(config) => {
+                let mut sess = SmrpSession::new(graph, source, config)?;
+                for &m in members {
+                    sess.join(m)?;
+                }
+                sess.tree().clone()
+            }
+            TreeProtocol::Spf => {
+                let mut sess = SpfSession::new(graph, source)?;
+                for &m in members {
+                    sess.join(m)?;
+                }
+                sess.tree().clone()
+            }
+        };
+        Ok(ProtoSession {
+            graph,
+            source,
+            tree,
+            router_config: RouterConfig::default(),
+        })
+    }
+
+    /// Overrides the protocol timing parameters.
+    pub fn set_router_config(&mut self, config: RouterConfig) {
+        self.router_config = config;
+    }
+
+    /// The tree the routers will be loaded with.
+    pub fn tree(&self) -> &MulticastTree {
+        &self.tree
+    }
+
+    /// The multicast source.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Instantiates routers preloaded with the session tree.
+    fn routers(&self) -> Vec<Router> {
+        let mut routers: Vec<Router> = (0..self.graph.node_count())
+            .map(|_| Router::new(self.router_config))
+            .collect();
+        for n in self.tree.on_tree_nodes() {
+            let upstream = self.tree.parent(n);
+            let downstream: Vec<NodeId> = self.tree.children(n).to_vec();
+            routers[n.index()].load_state(upstream, &downstream, self.tree.is_member(n));
+        }
+        routers[self.source.index()].set_source();
+        routers
+    }
+
+    /// Fragment roots: usable on-tree nodes whose upstream link is broken
+    /// by `scenario`. These are the nodes that detect the failure and
+    /// initiate recovery for their subtree.
+    pub fn fragment_roots(&self, scenario: &FailureScenario) -> Vec<NodeId> {
+        let mut roots = Vec::new();
+        for n in self.tree.on_tree_nodes() {
+            if !scenario.node_usable(n) {
+                continue;
+            }
+            let Some(p) = self.tree.parent(n) else {
+                continue;
+            };
+            let Some(l) = self.graph.link_between(n, p) else {
+                continue;
+            };
+            if !scenario.link_usable(self.graph, l) {
+                roots.push(n);
+            }
+        }
+        roots
+    }
+
+    /// Runs the session with no failures for `duration` and reports the
+    /// control-plane overhead (§3.3.2): how many hellos, refreshes and
+    /// setups the tree costs per unit of useful data delivered.
+    pub fn run_steady(&self, duration: SimTime) -> OverheadReport {
+        let routers = self.routers();
+        let mut sim = NetSim::new(self.graph, routers);
+        sim.set_trace(TraceLog::disabled());
+        for n in self.tree.on_tree_nodes() {
+            sim.with_node(n, |r, ctx| r.start_timers(ctx));
+        }
+        sim.run_until(duration);
+
+        let mut control = crate::router::ControlCounters::default();
+        let mut data_delivered = 0u64;
+        let mut data_forwarded = 0u64;
+        for n in self.graph.node_ids() {
+            let r = sim.node(n);
+            let c = r.control_sent();
+            control.hellos += c.hellos;
+            control.refreshes += c.refreshes;
+            control.setups += c.setups;
+            control.leaves += c.leaves;
+            data_forwarded += r.forwarded_count();
+            if r.is_member() {
+                data_delivered += r.deliveries().len() as u64;
+            }
+        }
+        OverheadReport {
+            duration,
+            control,
+            data_delivered,
+            data_forwarded,
+            on_tree_nodes: self.tree.on_tree_nodes().count(),
+        }
+    }
+
+    /// Runs a failure experiment: warm up, inject `scenario` at `fail_at`,
+    /// run until `until`, report restoration latencies for affected
+    /// members.
+    ///
+    /// Recovery plans are computed with the `smrp-core` recovery engine and
+    /// installed on the fragment roots (standing in for their own path
+    /// computation at detection time).
+    pub fn run_failure(
+        &self,
+        scenario: &FailureScenario,
+        strategy: RecoveryStrategy,
+        fail_at: SimTime,
+        until: SimTime,
+    ) -> RecoveryReport {
+        let mut routers = self.routers();
+
+        let (kind, wait) = match strategy {
+            RecoveryStrategy::LocalDetour => (DetourKind::Local, SimTime::ZERO),
+            RecoveryStrategy::GlobalDetour { reconvergence } => (DetourKind::Global, reconvergence),
+        };
+        for root in self.fragment_roots(scenario) {
+            match recovery::recover(self.graph, &self.tree, scenario, root, kind) {
+                Ok(rec) => {
+                    routers[root.index()].install_recovery_plan(RecoveryPlan {
+                        path: rec.restoration_path().nodes().to_vec(),
+                        wait,
+                    });
+                }
+                Err(_) => {
+                    // The fragment root itself is cornered (e.g. its only
+                    // link is the failed one). Members inside the fragment
+                    // then recover individually, triggered by data
+                    // starvation (§3.1: each disconnected member locates
+                    // its own restoration path).
+                    for n in self.tree.subtree_nodes(root) {
+                        if !self.tree.is_member(n) {
+                            continue;
+                        }
+                        if let Ok(rec) =
+                            recovery::recover(self.graph, &self.tree, scenario, n, kind)
+                        {
+                            routers[n.index()].install_recovery_plan(RecoveryPlan {
+                                path: rec.restoration_path().nodes().to_vec(),
+                                wait,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut sim = NetSim::new(self.graph, routers);
+        sim.set_trace(TraceLog::disabled());
+        for n in self.tree.on_tree_nodes() {
+            sim.with_node(n, |r, ctx| r.start_timers(ctx));
+        }
+        for l in scenario.failed_links() {
+            sim.schedule_link_failure(fail_at, l);
+        }
+        for n in scenario.failed_nodes() {
+            sim.schedule_node_failure(fail_at, n);
+        }
+        sim.run_until(until);
+
+        let affected = recovery::affected_members(self.graph, &self.tree, scenario);
+        let affected_set: Vec<NodeId> = affected.clone();
+        // A packet that was already in flight when the failure hit still
+        // arrives and must not count as restored service: only packets the
+        // source *sent* after the failure qualify. The source emits seq `s`
+        // at `(s + 1) · data_interval`.
+        let interval = self.router_config.data_interval.as_ms();
+        let sent_at = |seq: u64| SimTime::from_ms(interval * (seq as f64 + 1.0));
+        let restorations = affected
+            .into_iter()
+            .map(|m| {
+                let latency = sim
+                    .node(m)
+                    .deliveries()
+                    .iter()
+                    .find(|d| sent_at(d.seq) > fail_at)
+                    .map(|d| d.time - fail_at);
+                (m, latency)
+            })
+            .collect();
+        let unaffected = self
+            .tree
+            .members()
+            .filter(|m| !affected_set.contains(m))
+            .collect();
+        RecoveryReport {
+            fail_at,
+            restorations,
+            unaffected,
+            messages_delivered: sim.delivered_count(),
+            messages_dropped: sim.dropped_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smrp_core::paper;
+
+    #[test]
+    fn figure1_protocol_recovery_local_vs_global() {
+        let (graph, nodes) = paper::figure1_graph();
+        let session =
+            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        let l_ad = graph.link_between(nodes.a, nodes.d).unwrap();
+        let scenario = FailureScenario::link(l_ad);
+
+        let fail_at = SimTime::from_ms(100.0);
+        let until = SimTime::from_ms(5000.0);
+        let local = session.run_failure(&scenario, RecoveryStrategy::LocalDetour, fail_at, until);
+        let global = session.run_failure(
+            &scenario,
+            RecoveryStrategy::GlobalDetour {
+                reconvergence: SimTime::from_ms(1000.0),
+            },
+            fail_at,
+            until,
+        );
+        assert!(local.all_restored(), "local: {:?}", local.restorations);
+        assert!(global.all_restored(), "global: {:?}", global.restorations);
+        let l = local.mean_latency_ms().unwrap();
+        let g = global.mean_latency_ms().unwrap();
+        assert!(
+            l * 5.0 < g,
+            "local detour ({l}ms) should be far faster than waiting for \
+             reconvergence ({g}ms)"
+        );
+    }
+
+    #[test]
+    fn unaffected_members_keep_receiving() {
+        let (graph, nodes) = paper::figure1_graph();
+        let session =
+            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        let l_ad = graph.link_between(nodes.a, nodes.d).unwrap();
+        let scenario = FailureScenario::link(l_ad);
+        let report = session.run_failure(
+            &scenario,
+            RecoveryStrategy::LocalDetour,
+            SimTime::from_ms(50.0),
+            SimTime::from_ms(1000.0),
+        );
+        assert_eq!(report.unaffected, vec![nodes.c]);
+        assert_eq!(report.restorations.len(), 1);
+        assert_eq!(report.restorations[0].0, nodes.d);
+    }
+
+    #[test]
+    fn fragment_roots_identify_detection_points() {
+        let (graph, nodes) = paper::figure1_graph();
+        let session =
+            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        let l_sa = graph.link_between(nodes.s, nodes.a).unwrap();
+        let roots = session.fragment_roots(&FailureScenario::link(l_sa));
+        assert_eq!(roots, vec![nodes.a]);
+        let roots = session.fragment_roots(&FailureScenario::node(nodes.a));
+        let mut roots = roots;
+        roots.sort();
+        assert_eq!(roots, vec![nodes.c, nodes.d]);
+    }
+
+    #[test]
+    fn smrp_tree_protocol_builds_disjoint_paths() {
+        let (graph, nodes) = paper::figure1_graph();
+        let config = SmrpConfig {
+            d_thresh: 0.5,
+            ..SmrpConfig::default()
+        };
+        let session = ProtoSession::build(
+            &graph,
+            nodes.s,
+            &[nodes.c, nodes.d],
+            TreeProtocol::Smrp(config),
+        )
+        .unwrap();
+        // As in Figure 2: D hangs off B.
+        assert_eq!(
+            session.tree().path_from_source(nodes.d).unwrap().nodes(),
+            &[nodes.s, nodes.b, nodes.d]
+        );
+        // Failing L_SA now leaves D untouched, and C recovers quickly.
+        let l_sa = graph.link_between(nodes.s, nodes.a).unwrap();
+        let report = session.run_failure(
+            &FailureScenario::link(l_sa),
+            RecoveryStrategy::LocalDetour,
+            SimTime::from_ms(50.0),
+            SimTime::from_ms(2000.0),
+        );
+        assert_eq!(report.unaffected, vec![nodes.d]);
+        assert!(report.all_restored());
+    }
+
+    #[test]
+    fn steady_state_overhead_is_bounded() {
+        let (graph, nodes) = paper::figure1_graph();
+        let session =
+            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        let report = session.run_steady(SimTime::from_ms(1000.0));
+        assert!(report.data_delivered > 100, "members received data");
+        assert!(report.control.hellos > 0);
+        assert!(report.control.refreshes > 0);
+        assert_eq!(report.control.setups, 0, "no joins/grafts at steady state");
+        assert_eq!(report.control.leaves, 0);
+        // Hellos dominate but stay within an order of magnitude of the
+        // data volume with the default timers.
+        let ratio = report.control_per_delivery();
+        assert!(ratio.is_finite());
+        assert!(ratio < 10.0, "control per delivery too high: {ratio}");
+        assert!(report.control_rate_per_router() > 0.0);
+    }
+
+    #[test]
+    fn unrecoverable_member_reports_none() {
+        // Tree S - A - C where C's only other connectivity is through A.
+        let mut g = Graph::with_nodes(3);
+        let ids: Vec<_> = g.node_ids().collect();
+        g.add_link(ids[0], ids[1], 1.0).unwrap();
+        g.add_link(ids[1], ids[2], 1.0).unwrap();
+        let session = ProtoSession::build(&g, ids[0], &[ids[2]], TreeProtocol::Spf).unwrap();
+        let scenario = FailureScenario::node(ids[1]);
+        let report = session.run_failure(
+            &scenario,
+            RecoveryStrategy::LocalDetour,
+            SimTime::from_ms(50.0),
+            SimTime::from_ms(1000.0),
+        );
+        assert_eq!(report.restorations, vec![(ids[2], None)]);
+        assert!(!report.all_restored());
+        assert!(report.mean_latency_ms().is_none());
+    }
+}

@@ -1,0 +1,609 @@
+//! The simulation engine: nodes, message delivery, timers, failures.
+
+use smrp_net::{FailureScenario, Graph, LinkId, NodeId};
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+use crate::trace::{DropReason, TraceEvent, TraceLog};
+
+/// Protocol logic of one node.
+///
+/// A behavior reacts to message arrivals and timer firings through a
+/// [`Ctx`], which lets it send messages to *adjacent* nodes (the simulator
+/// enforces hop-by-hop communication) and arm node-local timers.
+pub trait NodeBehavior: Sized {
+    /// Message type exchanged between nodes.
+    type Msg: Clone + std::fmt::Debug;
+    /// Timer tag type.
+    type Timer: Clone + std::fmt::Debug;
+
+    /// Called when a message from neighbor `from` arrives.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a previously armed timer fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: Self::Timer);
+}
+
+enum Command<M, T> {
+    Send { to: NodeId, msg: M },
+    Timer { delay: SimTime, timer: T },
+}
+
+/// Handler-side view of the simulation.
+///
+/// Collects the handler's outputs (sends, timers) and exposes read-only
+/// simulation state; the engine applies the outputs after the handler
+/// returns.
+pub struct Ctx<'a, N: NodeBehavior> {
+    now: SimTime,
+    me: NodeId,
+    graph: &'a Graph,
+    failures: &'a FailureScenario,
+    commands: Vec<Command<N::Msg, N::Timer>>,
+}
+
+impl<'a, N: NodeBehavior> Ctx<'a, N> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this handler runs on.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The topology.
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// Whether the link from this node to `neighbor` is currently usable
+    /// (adjacent and not failed). Protocols must *not* use this as an
+    /// oracle — failure detection is the protocol's job — but it is handy
+    /// for modelling layer-2 loss-of-light notifications.
+    pub fn link_up(&self, neighbor: NodeId) -> bool {
+        self.graph
+            .link_between(self.me, neighbor)
+            .is_some_and(|l| self.failures.link_usable(self.graph, l))
+    }
+
+    /// Queues a message to an adjacent node. Delivery happens after the
+    /// link's propagation delay (plus the engine's per-hop processing
+    /// delay); messages over failed links are silently lost, as on a real
+    /// cut cable.
+    pub fn send(&mut self, to: NodeId, msg: N::Msg) {
+        self.commands.push(Command::Send { to, msg });
+    }
+
+    /// Arms a timer on this node `delay` from now.
+    pub fn set_timer(&mut self, delay: SimTime, timer: N::Timer) {
+        self.commands.push(Command::Timer { delay, timer });
+    }
+}
+
+enum SimEvent<M, T> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        link: LinkId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        timer: T,
+    },
+    FailLink(LinkId),
+    FailNode(NodeId),
+}
+
+/// The network simulator: a [`Graph`], one [`NodeBehavior`] per node, an
+/// event queue and a failure mask.
+///
+/// # Example
+///
+/// ```
+/// use smrp_net::{Graph, NodeId};
+/// use smrp_sim::{Ctx, NetSim, NodeBehavior, SimTime};
+///
+/// struct Echo { got: Option<String> }
+/// impl NodeBehavior for Echo {
+///     type Msg = String;
+///     type Timer = ();
+///     fn on_message(&mut self, _ctx: &mut Ctx<'_, Self>, _from: NodeId, msg: String) {
+///         self.got = Some(msg);
+///     }
+///     fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _t: ()) {}
+/// }
+///
+/// # fn main() -> Result<(), smrp_net::NetError> {
+/// let mut g = Graph::with_nodes(2);
+/// let ids: Vec<_> = g.node_ids().collect();
+/// g.add_link(ids[0], ids[1], 5.0)?;
+/// let nodes = (0..2).map(|_| Echo { got: None }).collect();
+/// let mut sim = NetSim::new(&g, nodes);
+/// sim.with_node(ids[0], |_n, ctx| ctx.send(ids[1], "hello".to_string()));
+/// sim.run_to_completion(100);
+/// assert_eq!(sim.node(ids[1]).got.as_deref(), Some("hello"));
+/// assert_eq!(sim.now(), SimTime::from_ms(5.0));
+/// # Ok(())
+/// # }
+/// ```
+pub struct NetSim<'g, N: NodeBehavior> {
+    graph: &'g Graph,
+    nodes: Vec<N>,
+    queue: EventQueue<SimEvent<N::Msg, N::Timer>>,
+    now: SimTime,
+    failures: FailureScenario,
+    processing_delay: SimTime,
+    trace: TraceLog,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl<'g, N: NodeBehavior> NetSim<'g, N> {
+    /// Creates a simulator with one behavior per graph node (in node-id
+    /// order) and a 4096-entry trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the graph's node count.
+    pub fn new(graph: &'g Graph, nodes: Vec<N>) -> Self {
+        assert_eq!(
+            nodes.len(),
+            graph.node_count(),
+            "one behavior per graph node is required"
+        );
+        NetSim {
+            graph,
+            nodes,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            failures: FailureScenario::none(),
+            processing_delay: SimTime::ZERO,
+            trace: TraceLog::new(4096),
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Sets the per-hop processing delay added on top of link propagation.
+    pub fn set_processing_delay(&mut self, delay: SimTime) {
+        self.processing_delay = delay;
+    }
+
+    /// Replaces the trace log (e.g. [`TraceLog::disabled`] for long runs).
+    pub fn set_trace(&mut self, trace: TraceLog) {
+        self.trace = trace;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Read access to a node's behavior state.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// The current failure scenario.
+    pub fn failures(&self) -> &FailureScenario {
+        &self.failures
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Fails a link immediately.
+    pub fn fail_link_now(&mut self, link: LinkId) {
+        self.failures.fail_link(link);
+    }
+
+    /// Fails a node immediately.
+    pub fn fail_node_now(&mut self, node: NodeId) {
+        self.failures.fail_node(node);
+    }
+
+    /// Schedules a link failure at absolute time `at`.
+    pub fn schedule_link_failure(&mut self, at: SimTime, link: LinkId) {
+        self.queue.schedule(at, SimEvent::FailLink(link));
+    }
+
+    /// Schedules a node failure at absolute time `at`.
+    pub fn schedule_node_failure(&mut self, at: SimTime, node: NodeId) {
+        self.queue.schedule(at, SimEvent::FailNode(node));
+    }
+
+    /// Runs `f` against a node with a live [`Ctx`], applying any sends and
+    /// timers it issues. This is how simulations are bootstrapped (initial
+    /// joins, first timers).
+    pub fn with_node<F: FnOnce(&mut N, &mut Ctx<'_, N>)>(&mut self, id: NodeId, f: F) {
+        let mut ctx = Ctx {
+            now: self.now,
+            me: id,
+            graph: self.graph,
+            failures: &self.failures,
+            commands: Vec::new(),
+        };
+        f(&mut self.nodes[id.index()], &mut ctx);
+        let commands = ctx.commands;
+        self.apply(id, commands);
+    }
+
+    fn apply(&mut self, from: NodeId, commands: Vec<Command<N::Msg, N::Timer>>) {
+        for c in commands {
+            match c {
+                Command::Send { to, msg } => {
+                    if !self.failures.node_usable(from) {
+                        self.dropped += 1;
+                        self.trace.push(TraceEvent::Dropped {
+                            time: self.now,
+                            from,
+                            to,
+                            reason: DropReason::SenderDown,
+                        });
+                        continue;
+                    }
+                    let Some(link) = self.graph.link_between(from, to) else {
+                        self.dropped += 1;
+                        self.trace.push(TraceEvent::Dropped {
+                            time: self.now,
+                            from,
+                            to,
+                            reason: DropReason::NotAdjacent,
+                        });
+                        continue;
+                    };
+                    self.trace.push(TraceEvent::Sent {
+                        time: self.now,
+                        from,
+                        to,
+                        what: format!("{msg:?}"),
+                    });
+                    let delay =
+                        SimTime::from_ms(self.graph.link(link).delay()) + self.processing_delay;
+                    self.queue.schedule(
+                        self.now + delay,
+                        SimEvent::Deliver {
+                            from,
+                            to,
+                            link,
+                            msg,
+                        },
+                    );
+                }
+                Command::Timer { delay, timer } => {
+                    self.queue
+                        .schedule(self.now + delay, SimEvent::Timer { node: from, timer });
+                }
+            }
+        }
+    }
+
+    /// Processes one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((time, event)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = time;
+        match event {
+            SimEvent::Deliver {
+                from,
+                to,
+                link,
+                msg,
+            } => {
+                if !self.failures.link_usable(self.graph, link) {
+                    self.dropped += 1;
+                    self.trace.push(TraceEvent::Dropped {
+                        time,
+                        from,
+                        to,
+                        reason: DropReason::LinkDown,
+                    });
+                    return true;
+                }
+                if !self.failures.node_usable(to) {
+                    self.dropped += 1;
+                    self.trace.push(TraceEvent::Dropped {
+                        time,
+                        from,
+                        to,
+                        reason: DropReason::NodeDown,
+                    });
+                    return true;
+                }
+                self.delivered += 1;
+                self.trace.push(TraceEvent::Delivered {
+                    time,
+                    from,
+                    to,
+                    what: format!("{msg:?}"),
+                });
+                self.with_node(to, |n, ctx| n.on_message(ctx, from, msg));
+            }
+            SimEvent::Timer { node, timer } => {
+                if !self.failures.node_usable(node) {
+                    return true; // dead nodes do not tick.
+                }
+                self.trace.push(TraceEvent::TimerFired {
+                    time,
+                    node,
+                    what: format!("{timer:?}"),
+                });
+                self.with_node(node, |n, ctx| n.on_timer(ctx, timer));
+            }
+            SimEvent::FailLink(link) => {
+                self.failures.fail_link(link);
+            }
+            SimEvent::FailNode(node) => {
+                self.failures.fail_node(node);
+            }
+        }
+        true
+    }
+
+    /// Processes all events up to and including `limit`, then sets the
+    /// clock to `limit`.
+    pub fn run_until(&mut self, limit: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > limit {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(limit);
+    }
+
+    /// Runs until the queue drains or `max_events` were processed; returns
+    /// the number processed.
+    pub fn run_to_completion(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+}
+
+impl<'g, N: NodeBehavior> std::fmt::Debug for NetSim<'g, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetSim")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .field("delivered", &self.delivered)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts received pings and echoes them back once.
+    #[derive(Default)]
+    struct PingPong {
+        received: u32,
+        echoed: bool,
+    }
+
+    #[derive(Debug, Clone)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    impl NodeBehavior for PingPong {
+        type Msg = Msg;
+        type Timer = u8;
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Msg) {
+            self.received += 1;
+            if matches!(msg, Msg::Ping) && !self.echoed {
+                self.echoed = true;
+                ctx.send(from, Msg::Pong);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: u8) {
+            if timer == 1 {
+                // Re-arm once to exercise chained timers.
+                ctx.set_timer(SimTime::from_ms(1.0), 2);
+            }
+            self.received += 100;
+        }
+    }
+
+    fn line_graph() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::with_nodes(3);
+        let ids: Vec<_> = g.node_ids().collect();
+        g.add_link(ids[0], ids[1], 2.0).unwrap();
+        g.add_link(ids[1], ids[2], 3.0).unwrap();
+        (g, ids)
+    }
+
+    fn fresh(g: &Graph) -> Vec<PingPong> {
+        (0..g.node_count()).map(|_| PingPong::default()).collect()
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let (g, ids) = line_graph();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[1], Msg::Ping));
+        sim.run_to_completion(10);
+        assert_eq!(sim.node(ids[1]).received, 1);
+        assert_eq!(sim.node(ids[0]).received, 1); // the pong.
+        assert_eq!(sim.now(), SimTime::from_ms(4.0));
+        assert_eq!(sim.delivered_count(), 2);
+    }
+
+    #[test]
+    fn processing_delay_adds_per_hop() {
+        let (g, ids) = line_graph();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        sim.set_processing_delay(SimTime::from_ms(0.5));
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[1], Msg::Ping));
+        sim.run_to_completion(10);
+        assert_eq!(sim.now(), SimTime::from_ms(5.0)); // 2×(2.0 + 0.5).
+    }
+
+    #[test]
+    fn non_adjacent_send_is_dropped() {
+        let (g, ids) = line_graph();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[2], Msg::Ping));
+        sim.run_to_completion(10);
+        assert_eq!(sim.node(ids[2]).received, 0);
+        assert_eq!(sim.dropped_count(), 1);
+        assert!(matches!(
+            sim.trace().entries().last(),
+            Some(TraceEvent::Dropped {
+                reason: DropReason::NotAdjacent,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn failed_link_loses_in_flight_messages() {
+        let (g, ids) = line_graph();
+        let link = g.link_between(ids[0], ids[1]).unwrap();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[1], Msg::Ping));
+        // Cut the cable while the packet is in flight.
+        sim.schedule_link_failure(SimTime::from_ms(1.0), link);
+        sim.run_to_completion(10);
+        assert_eq!(sim.node(ids[1]).received, 0);
+        assert_eq!(sim.dropped_count(), 1);
+    }
+
+    #[test]
+    fn failed_node_neither_receives_nor_ticks() {
+        let (g, ids) = line_graph();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        sim.with_node(ids[1], |_, ctx| ctx.set_timer(SimTime::from_ms(5.0), 9));
+        sim.fail_node_now(ids[1]);
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[1], Msg::Ping));
+        sim.run_to_completion(10);
+        assert_eq!(sim.node(ids[1]).received, 0);
+    }
+
+    #[test]
+    fn failed_sender_emits_nothing() {
+        let (g, ids) = line_graph();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        sim.fail_node_now(ids[0]);
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[1], Msg::Ping));
+        sim.run_to_completion(10);
+        assert_eq!(sim.node(ids[1]).received, 0);
+        assert!(matches!(
+            sim.trace().entries().last(),
+            Some(TraceEvent::Dropped {
+                reason: DropReason::SenderDown,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn timers_fire_and_chain() {
+        let (g, ids) = line_graph();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        sim.with_node(ids[2], |_, ctx| ctx.set_timer(SimTime::from_ms(1.0), 1));
+        sim.run_to_completion(10);
+        // Timer 1 fires (+100) and chains timer 2 (+100).
+        assert_eq!(sim.node(ids[2]).received, 200);
+        assert_eq!(sim.now(), SimTime::from_ms(2.0));
+    }
+
+    #[test]
+    fn run_until_stops_at_the_limit() {
+        let (g, ids) = line_graph();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        sim.with_node(ids[0], |_, ctx| {
+            ctx.set_timer(SimTime::from_ms(1.0), 3);
+            ctx.set_timer(SimTime::from_ms(10.0), 3);
+        });
+        sim.run_until(SimTime::from_ms(5.0));
+        assert_eq!(sim.node(ids[0]).received, 100);
+        assert_eq!(sim.now(), SimTime::from_ms(5.0));
+        sim.run_until(SimTime::from_ms(20.0));
+        assert_eq!(sim.node(ids[0]).received, 200);
+    }
+
+    #[test]
+    fn ctx_link_up_reflects_failures() {
+        let (g, ids) = line_graph();
+        let link = g.link_between(ids[0], ids[1]).unwrap();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        let mut up_before = false;
+        let mut up_unrelated = false;
+        sim.with_node(ids[0], |_, ctx| {
+            up_before = ctx.link_up(ids[1]);
+            // Non-adjacent nodes are never "up".
+            up_unrelated = ctx.link_up(ids[2]);
+        });
+        assert!(up_before);
+        assert!(!up_unrelated);
+        sim.fail_link_now(link);
+        let mut up_after = true;
+        sim.with_node(ids[0], |_, ctx| up_after = ctx.link_up(ids[1]));
+        assert!(!up_after);
+    }
+
+    #[test]
+    fn counters_and_debug_output() {
+        let (g, ids) = line_graph();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[1], Msg::Ping));
+        sim.run_to_completion(10);
+        let text = format!("{sim:?}");
+        assert!(text.contains("NetSim"));
+        assert!(text.contains("delivered"));
+        assert_eq!(sim.delivered_count(), 2); // ping + pong.
+        assert_eq!(sim.dropped_count(), 0);
+        assert!(sim.trace().len() >= 4); // 2 sends + 2 deliveries.
+    }
+
+    #[test]
+    fn scheduled_node_failure_takes_effect_at_time() {
+        let (g, ids) = line_graph();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        sim.schedule_node_failure(SimTime::from_ms(3.0), ids[1]);
+        // A ping sent at t=0 arrives at t=2, before the failure.
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[1], Msg::Ping));
+        sim.run_until(SimTime::from_ms(10.0));
+        assert_eq!(sim.node(ids[1]).received, 1);
+        // After the scheduled failure, nothing more is delivered.
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[1], Msg::Ping));
+        sim.run_until(SimTime::from_ms(20.0));
+        assert_eq!(sim.node(ids[1]).received, 1);
+        assert!(sim.failures().failed_nodes().any(|n| n == ids[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one behavior per graph node")]
+    fn node_count_mismatch_panics() {
+        let (g, _) = line_graph();
+        let _ = NetSim::new(&g, vec![PingPong::default()]);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event network simulator.
+//!
+//! The paper evaluates SMRP in ns2; this crate is the substitution
+//! documented in `DESIGN.md`: an event-ordered, link-delay-accurate
+//! message-passing simulator. Nothing below the routing layer (TCP/IP
+//! framing, queuing) affects the paper's metrics, so the simulator models
+//! exactly what matters:
+//!
+//! * virtual time ([`SimTime`]) with a deterministic event queue
+//!   ([`EventQueue`]) — ties broken by insertion sequence;
+//! * hop-by-hop message delivery over the links of a
+//!   [`smrp_net::Graph`], honoring per-link propagation delay and a
+//!   configurable per-hop processing delay;
+//! * node-local timers;
+//! * persistent failures via [`smrp_net::FailureScenario`]: messages
+//!   crossing a failed link or addressed to a failed node are dropped,
+//!   failed nodes neither process nor send;
+//! * a bounded trace of everything that happened, for tests and the
+//!   `protocol_trace` example.
+//!
+//! Protocol logic plugs in through the [`NodeBehavior`] trait; see
+//! `smrp-proto` for the SMRP router implementation.
+
+pub mod engine;
+pub mod event;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Ctx, NetSim, NodeBehavior};
+pub use event::EventQueue;
+pub use time::SimTime;
+pub use trace::{TraceEvent, TraceLog};

@@ -1,0 +1,135 @@
+//! Virtual simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, in milliseconds.
+///
+/// `SimTime` is a totally ordered wrapper over `f64` (NaN is rejected at
+/// construction), so it can key the event queue directly.
+///
+/// ```
+/// use smrp_sim::SimTime;
+/// let t = SimTime::ZERO + SimTime::from_ms(2.5);
+/// assert_eq!(t.as_ms(), 2.5);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or negative values — virtual time is monotone.
+    pub fn from_ms(ms: f64) -> Self {
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "time must be finite and non-negative"
+        );
+        SimTime(ms)
+    }
+
+    /// The value in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Saturating difference: virtual time cannot go negative.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0)
+    }
+}
+
+impl Default for SimTime {
+    fn default() -> Self {
+        SimTime::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_ms(1.0);
+        let b = SimTime::from_ms(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(SimTime::ZERO.min(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ms(1.5);
+        let b = SimTime::from_ms(0.5);
+        assert_eq!((a + b).as_ms(), 2.0);
+        assert_eq!((a - b).as_ms(), 1.0);
+        // Saturating subtraction.
+        assert_eq!((b - a).as_ms(), 0.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_ms(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_time_panics() {
+        let _ = SimTime::from_ms(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_time_panics() {
+        let _ = SimTime::from_ms(f64::NAN);
+    }
+
+    #[test]
+    fn display_has_unit() {
+        assert_eq!(SimTime::from_ms(1.25).to_string(), "1.250ms");
+    }
+}

@@ -1,0 +1,181 @@
+//! Bounded simulation trace.
+
+use smrp_net::NodeId;
+
+use crate::time::SimTime;
+
+/// One traced occurrence in the simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A message left a node toward a neighbor.
+    Sent {
+        /// Departure time.
+        time: SimTime,
+        /// Sending node.
+        from: NodeId,
+        /// Receiving neighbor.
+        to: NodeId,
+        /// Short description of the message.
+        what: String,
+    },
+    /// A message arrived and was processed.
+    Delivered {
+        /// Arrival time.
+        time: SimTime,
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Short description of the message.
+        what: String,
+    },
+    /// A message was dropped.
+    Dropped {
+        /// Time of the drop.
+        time: SimTime,
+        /// Sending node.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Why the message was dropped.
+        reason: DropReason,
+    },
+    /// A node-local timer fired.
+    TimerFired {
+        /// Firing time.
+        time: SimTime,
+        /// Owning node.
+        node: NodeId,
+        /// Short description of the timer.
+        what: String,
+    },
+}
+
+impl TraceEvent {
+    /// The virtual time of the event.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TraceEvent::Sent { time, .. }
+            | TraceEvent::Delivered { time, .. }
+            | TraceEvent::Dropped { time, .. }
+            | TraceEvent::TimerFired { time, .. } => *time,
+        }
+    }
+}
+
+/// Why a message never reached its receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The link between sender and receiver has failed.
+    LinkDown,
+    /// The receiving node has failed.
+    NodeDown,
+    /// The sending node has failed (a dead router emits nothing).
+    SenderDown,
+    /// Sender and receiver are not adjacent in the topology.
+    NotAdjacent,
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DropReason::LinkDown => "link down",
+            DropReason::NodeDown => "receiver down",
+            DropReason::SenderDown => "sender down",
+            DropReason::NotAdjacent => "nodes not adjacent",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A bounded in-memory trace; older entries are discarded once the cap is
+/// reached (the count of discarded entries is retained).
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    entries: Vec<TraceEvent>,
+    capacity: usize,
+    discarded: u64,
+}
+
+impl TraceLog {
+    /// Creates a log bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            entries: Vec::new(),
+            capacity,
+            discarded: 0,
+        }
+    }
+
+    /// Creates a disabled log that records nothing.
+    pub fn disabled() -> Self {
+        TraceLog::new(0)
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.entries.len() >= self.capacity {
+            self.discarded += 1;
+            return;
+        }
+        self.entries.push(event);
+    }
+
+    /// Recorded entries, oldest first.
+    pub fn entries(&self) -> &[TraceEvent] {
+        &self.entries
+    }
+
+    /// How many events were discarded after the cap was hit.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ms: f64) -> TraceEvent {
+        TraceEvent::TimerFired {
+            time: SimTime::from_ms(ms),
+            node: NodeId::new(0),
+            what: "t".into(),
+        }
+    }
+
+    #[test]
+    fn records_until_capacity() {
+        let mut log = TraceLog::new(2);
+        log.push(ev(1.0));
+        log.push(ev(2.0));
+        log.push(ev(3.0));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.discarded(), 1);
+        assert_eq!(log.entries()[0].time(), SimTime::from_ms(1.0));
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.push(ev(1.0));
+        assert!(log.is_empty());
+        assert_eq!(log.discarded(), 1);
+    }
+
+    #[test]
+    fn drop_reason_display() {
+        assert_eq!(DropReason::LinkDown.to_string(), "link down");
+        assert_eq!(DropReason::NotAdjacent.to_string(), "nodes not adjacent");
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the discrete-event simulator.
+
+use proptest::prelude::*;
+
+use smrp_net::{Graph, NodeId};
+use smrp_sim::{Ctx, EventQueue, NetSim, NodeBehavior, SimTime};
+
+#[derive(Default, Clone)]
+struct Recorder {
+    received: Vec<(u64, NodeId)>,
+}
+
+#[derive(Debug, Clone)]
+struct Tag(u64);
+
+impl NodeBehavior for Recorder {
+    type Msg = Tag;
+    type Timer = u64;
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: Tag) {
+        let _ = ctx;
+        self.received.push((msg.0, from));
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, t: u64) {
+        self.received.push((t, NodeId::new(usize::MAX >> 8)));
+    }
+}
+
+fn ring(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        let a = NodeId::new(i);
+        let b = NodeId::new((i + 1) % n);
+        if g.link_between(a, b).is_none() {
+            g.add_link(a, b, 1.0 + (i % 3) as f64).unwrap();
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn event_queue_pops_sorted_and_fifo(
+        times in proptest::collection::vec(0u32..1000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ms(t as f64), (t, i));
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((time, (_t, i))) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(time >= lt);
+                if time == lt {
+                    prop_assert!(i > li, "FIFO violated on equal timestamps");
+                }
+            }
+            last = Some((time, i));
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        n in 3usize..8,
+        sends in proptest::collection::vec((0usize..8, 0u64..100), 1..20),
+    ) {
+        let g = ring(n);
+        let run = || {
+            let nodes = (0..n).map(|_| Recorder::default()).collect();
+            let mut sim = NetSim::new(&g, nodes);
+            for &(who, tag) in &sends {
+                let who = NodeId::new(who % n);
+                let next = NodeId::new((who.index() + 1) % n);
+                sim.with_node(who, |_, ctx| {
+                    ctx.send(next, Tag(tag));
+                    ctx.set_timer(SimTime::from_ms(tag as f64), tag);
+                });
+            }
+            sim.run_to_completion(10_000);
+            (0..n)
+                .map(|i| sim.node(NodeId::new(i)).received.clone())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.len(), y.len());
+            for (p, q) in x.iter().zip(y) {
+                prop_assert_eq!(p.0, q.0);
+                prop_assert_eq!(p.1, q.1);
+            }
+        }
+    }
+
+    #[test]
+    fn delivered_plus_dropped_accounts_for_all_sends(
+        n in 3usize..8,
+        sends in proptest::collection::vec(0usize..8, 1..30),
+        fail_node in 0usize..8,
+    ) {
+        let g = ring(n);
+        let nodes = (0..n).map(|_| Recorder::default()).collect();
+        let mut sim = NetSim::new(&g, nodes);
+        sim.fail_node_now(NodeId::new(fail_node % n));
+        for &who in &sends {
+            let who = NodeId::new(who % n);
+            let next = NodeId::new((who.index() + 1) % n);
+            sim.with_node(who, |_, ctx| ctx.send(next, Tag(1)));
+        }
+        sim.run_to_completion(10_000);
+        prop_assert_eq!(
+            (sim.delivered_count() + sim.dropped_count()) as usize,
+            sends.len()
+        );
+    }
+
+    #[test]
+    fn run_until_never_rewinds_the_clock(
+        limits in proptest::collection::vec(0u32..500, 1..20),
+    ) {
+        let g = ring(4);
+        let nodes = (0..4).map(|_| Recorder::default()).collect();
+        let mut sim = NetSim::new(&g, nodes);
+        sim.with_node(NodeId::new(0), |_, ctx| {
+            for i in 0..10 {
+                ctx.set_timer(SimTime::from_ms(i as f64 * 37.0), i);
+            }
+        });
+        let mut prev = SimTime::ZERO;
+        for &l in &limits {
+            let limit = SimTime::from_ms(l as f64);
+            sim.run_until(limit);
+            prop_assert!(sim.now() >= prev);
+            prop_assert!(sim.now() >= limit.min(sim.now()));
+            prev = sim.now();
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: build a topology, run an SMRP session, survive a failure.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use smrp_repro::core::recovery::{self, DetourKind};
+use smrp_repro::core::{SmrpConfig, SmrpSession, SpfSession};
+use smrp_repro::net::waxman::WaxmanConfig;
+use smrp_repro::net::FailureScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A 100-node Waxman topology, as in the paper's simulation setup.
+    let graph = WaxmanConfig::new(100)
+        .alpha(0.2)
+        .seed(2026)
+        .generate()?
+        .into_graph();
+    println!(
+        "topology: {} nodes, {} links, average degree {:.2}",
+        graph.node_count(),
+        graph.link_count(),
+        graph.average_degree()
+    );
+
+    // 2. An SMRP session with the paper's default D_thresh = 0.3.
+    let source = graph.node_ids().next().expect("graph is non-empty");
+    let mut smrp = SmrpSession::new(&graph, source, SmrpConfig::default())?;
+    let mut spf = SpfSession::new(&graph, source)?;
+
+    let members: Vec<_> = graph
+        .node_ids()
+        .filter(|n| n.index() % 7 == 3)
+        .take(12)
+        .collect();
+    for &m in &members {
+        let out = smrp.join(m)?;
+        spf.join(m)?;
+        println!(
+            "member {m}: merger {} (SHR {}), delay {:.1} vs SPF {:.1}",
+            out.merger,
+            smrp.tree().shr(out.merger),
+            out.selected_delay,
+            out.spf_delay
+        );
+    }
+    println!(
+        "tree cost: SMRP {:.0} vs SPF {:.0} links-worth",
+        smrp.tree().cost(&graph),
+        spf.tree().cost(&graph)
+    );
+
+    // 3. Worst-case failure for the first member: the link next to the
+    //    source on its path (§4.3.1), then recover both ways.
+    let member = members[0];
+    let failed = recovery::worst_case_failure_for(&graph, smrp.tree(), member)
+        .expect("member path has a source-incident link");
+    let scenario = FailureScenario::link(failed);
+    println!("\ninjecting worst-case failure for {member}: {scenario}");
+
+    let local = recovery::recover(&graph, smrp.tree(), &scenario, member, DetourKind::Local)?;
+    let global = recovery::recover(&graph, smrp.tree(), &scenario, member, DetourKind::Global)?;
+    println!(
+        "local detour:  attach {} via {} (RD = {:.1})",
+        local.attach(),
+        local.restoration_path(),
+        local.recovery_distance()
+    );
+    println!(
+        "global detour: attach {} via {} (RD = {:.1})",
+        global.attach(),
+        global.restoration_path(),
+        global.recovery_distance()
+    );
+    println!(
+        "local detour is {:.0}% shorter",
+        (1.0 - local.recovery_distance() / global.recovery_distance()) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! Facade crate for the SMRP reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See the workspace `README.md` for an overview and
+//! `DESIGN.md` for the system inventory.
+
+pub use smrp_core as core;
+pub use smrp_experiments as experiments;
+pub use smrp_metrics as metrics;
+pub use smrp_net as net;
+pub use smrp_proto as proto;
+pub use smrp_sim as sim;

@@ -1,0 +1,110 @@
+//! The paper's headline claims, checked end-to-end at reduced sample
+//! sizes (paper-scale runs live in the experiment binaries/benches).
+
+use smrp_repro::experiments::{fig7, fig8, Effort};
+
+#[test]
+fn figure7_local_detours_are_shorter() {
+    let r = fig7::run(Effort::Quick);
+    // "most points are below the line y = x".
+    assert!(
+        r.below_diagonal > 0.5,
+        "only {:.0}% of points below the diagonal",
+        r.below_diagonal * 100.0
+    );
+    // "the length of the recovery path via local detour is reduced by an
+    // average of 33%" — the shape, not the exact constant: a double-digit
+    // mean reduction.
+    assert!(
+        r.mean_reduction > 0.10,
+        "mean reduction only {:.1}%",
+        r.mean_reduction * 100.0
+    );
+}
+
+#[test]
+fn figure8_improvement_with_moderate_penalty() {
+    let r = fig8::run(Effort::Quick);
+    let headline = r.headline();
+    // "a fairly large improvement ... with a moderate amount of overhead":
+    // the recovery-distance improvement must exceed the delay penalty at
+    // the paper's headline configuration.
+    assert!(
+        headline.rd_rel.mean > headline.delay_rel.mean,
+        "improvement {:.1}% did not exceed the delay penalty {:.1}%",
+        headline.rd_rel.mean * 100.0,
+        headline.delay_rel.mean * 100.0
+    );
+    // "The performance improvement increases ... with the parameter
+    // D_thresh": last point at least as good as the first.
+    let first = &r.points[0];
+    let last = r.points.last().unwrap();
+    assert!(last.rd_rel.mean >= first.rd_rel.mean - 0.05);
+    // Penalties ordered too: a looser bound cannot cost less delay.
+    assert!(last.delay_rel.mean >= first.delay_rel.mean - 0.02);
+}
+
+#[test]
+fn headline_ordering_is_robust_across_seeds() {
+    // Guard against seed cherry-picking: for several independent base
+    // seeds, the qualitative Figure 8 ordering must hold — SMRP improves
+    // recovery distance and the improvement beats the delay penalty.
+    use smrp_repro::experiments::measure::{measure_scenario, smrp_config};
+    use smrp_repro::experiments::scenario::ScenarioConfig;
+    use smrp_repro::metrics::Stats;
+
+    for seed in [1u64, 0xDEAD, 0xFEED_BEEF, 42_424_242] {
+        let cfg = ScenarioConfig {
+            nodes: 80,
+            group_size: 20,
+            base_seed: seed,
+            ..ScenarioConfig::default()
+        };
+        let mut rd = Stats::new();
+        let mut delay = Stats::new();
+        for scenario in cfg.scenarios(4, 2).unwrap() {
+            let out = measure_scenario(&scenario, smrp_config(0.3)).unwrap();
+            if let Some(v) = out.mean_rd_relative() {
+                rd.push(v);
+            }
+            if let Some(v) = out.mean_delay_relative() {
+                delay.push(v);
+            }
+        }
+        assert!(
+            rd.mean() > 0.0,
+            "seed {seed:#x}: no recovery improvement ({:.3})",
+            rd.mean()
+        );
+        assert!(
+            rd.mean() > delay.mean() * 0.8,
+            "seed {seed:#x}: improvement {:.3} dwarfed by penalty {:.3}",
+            rd.mean(),
+            delay.mean()
+        );
+    }
+}
+
+#[test]
+fn d_thresh_zero_degenerates_to_spf_delays() {
+    // With D_thresh = 0, SMRP may only pick paths as short as SPF's, so the
+    // delay penalty must be ~zero (ties on delay can still pick different
+    // but equally long paths).
+    use smrp_repro::experiments::measure::{measure_scenario, smrp_config};
+    use smrp_repro::experiments::scenario::ScenarioConfig;
+
+    let cfg = ScenarioConfig {
+        nodes: 50,
+        group_size: 10,
+        ..ScenarioConfig::default()
+    };
+    for scenario in cfg.scenarios(2, 2).unwrap() {
+        let out = measure_scenario(&scenario, smrp_config(0.0)).unwrap();
+        let penalty = out.mean_delay_relative().unwrap_or(0.0);
+        assert!(
+            penalty.abs() < 1e-6,
+            "D_thresh = 0 produced a {:.4}% delay penalty",
+            penalty * 100.0
+        );
+    }
+}
