@@ -1,0 +1,309 @@
+//! Join/leave/reshape churn: incremental maintenance vs the seed scheme.
+//!
+//! Measures the end-to-end cost of driving an SMRP session through a
+//! membership churn workload at n ∈ {100, 400, 1600} Waxman topologies,
+//! comparing two implementations of the bookkeeping layer:
+//!
+//! * **incremental** — the current code path: Eq. 2 delta propagation on
+//!   every tree mutation plus the session's cached source SPT for
+//!   `D_SPF` lookups and neighbor-query relay routes.
+//! * **naive** — the replaced scheme, emulated faithfully at the tree
+//!   level: a full `recompute_stats()` after every mutation, one full
+//!   source-SPT Dijkstra per join/reshape (the old
+//!   `dijkstra::distance` call), and — under the §3.3.1 neighbor-query
+//!   mode — one source-SPT Dijkstra per off-tree neighbor per candidate
+//!   enumeration (the loop-invariant recomputation that used to sit
+//!   inside `neighbor_query_candidates`).
+//!
+//! Both drivers execute the identical deterministic op sequence and the
+//! bench asserts they produce byte-identical trees, so the timing diff
+//! isolates the bookkeeping change. Results are printed and written to
+//! `BENCH_join_churn.json` at the repository root.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde::Serialize;
+use smrp_bench::header;
+use smrp_core::select::{self, SelectionMode};
+use smrp_core::{MulticastTree, SmrpConfig, SmrpSession};
+use smrp_net::dijkstra::ShortestPathTree;
+use smrp_net::waxman::WaxmanConfig;
+use smrp_net::{Graph, NodeId};
+
+const D_THRESH: f64 = 0.3;
+const GROUP: usize = 30;
+const CHURN_ROUNDS: usize = 30;
+const REPS: u32 = 3;
+
+fn topology(nodes: usize) -> Graph {
+    WaxmanConfig::new(nodes)
+        .alpha(0.2)
+        .seed(4242)
+        .generate()
+        .expect("valid parameters")
+        .into_graph()
+}
+
+fn members(graph: &Graph) -> (NodeId, Vec<NodeId>) {
+    let n = graph.node_count();
+    let source = NodeId::new(0);
+    let members = (1..=GROUP)
+        .map(|i| NodeId::new(i * (n - 1) / GROUP))
+        .collect();
+    (source, members)
+}
+
+/// One churn op. The sequence is fixed up front so both drivers replay it.
+#[derive(Clone, Copy)]
+enum Op {
+    Join(NodeId),
+    Leave(NodeId),
+    Reshape(NodeId),
+}
+
+fn workload(graph: &Graph) -> (NodeId, Vec<Op>) {
+    let (source, group) = members(graph);
+    let mut ops: Vec<Op> = group.iter().map(|&m| Op::Join(m)).collect();
+    for i in 0..CHURN_ROUNDS {
+        let a = group[i % group.len()];
+        let b = group[(i * 7 + 3) % group.len()];
+        ops.push(Op::Leave(a));
+        ops.push(Op::Join(a));
+        ops.push(Op::Reshape(b));
+    }
+    (source, ops)
+}
+
+/// Replays the workload on the current (incremental + cached-SPT) stack.
+fn run_incremental(
+    graph: &Graph,
+    source: NodeId,
+    ops: &[Op],
+    mode: SelectionMode,
+) -> MulticastTree {
+    let config = SmrpConfig {
+        d_thresh: D_THRESH,
+        auto_reshape: false,
+        selection: mode,
+        ..SmrpConfig::default()
+    };
+    let mut sess = SmrpSession::new(graph, source, config).expect("valid session");
+    for &op in ops {
+        match op {
+            Op::Join(n) => drop(sess.join(n)),
+            Op::Leave(n) => drop(sess.leave(n)),
+            Op::Reshape(n) => drop(sess.reshape_member(n)),
+        }
+    }
+    sess.tree().clone()
+}
+
+/// Tree-level driver emulating the seed bookkeeping: same selection logic,
+/// but with the per-call Dijkstras and per-mutation full recomputations the
+/// incremental scheme removed.
+struct Naive<'g> {
+    graph: &'g Graph,
+    tree: MulticastTree,
+    mode: SelectionMode,
+}
+
+impl<'g> Naive<'g> {
+    fn new(graph: &'g Graph, source: NodeId, mode: SelectionMode) -> Self {
+        Naive {
+            graph,
+            tree: MulticastTree::new(graph, source).expect("valid source"),
+            mode,
+        }
+    }
+
+    /// The old `dijkstra::distance(graph, source, _)`: a full SPT per call.
+    fn fresh_spt(&self) -> ShortestPathTree {
+        ShortestPathTree::compute(self.graph, self.tree.source())
+    }
+
+    /// The loop-invariant SPT recomputation the seed ran once per off-tree
+    /// neighbor inside `neighbor_query_candidates`.
+    fn neighbor_loop_overhead(&self, nr: NodeId) {
+        if self.mode == SelectionMode::NeighborQuery {
+            for nb in self.graph.neighbors(nr) {
+                if !self.tree.is_on_tree(nb) {
+                    black_box(ShortestPathTree::compute(self.graph, self.tree.source()));
+                }
+            }
+        }
+    }
+
+    fn join(&mut self, node: NodeId) {
+        if self.tree.is_member(node) || node == self.tree.source() {
+            return;
+        }
+        let spt = self.fresh_spt();
+        if self.tree.is_on_tree(node) {
+            self.tree.set_member(node, true).expect("known node");
+            self.tree.recompute_stats();
+            return;
+        }
+        self.neighbor_loop_overhead(node);
+        let Ok(sel) =
+            select::select_path(self.graph, &self.tree, &spt, node, D_THRESH, self.mode, &[])
+        else {
+            return;
+        };
+        self.tree.attach_path(&sel.candidate.approach);
+        self.tree.recompute_stats();
+        self.tree.set_member(node, true).expect("known node");
+        self.tree.recompute_stats();
+    }
+
+    fn leave(&mut self, node: NodeId) {
+        if !self.tree.is_member(node) {
+            return;
+        }
+        self.tree.set_member(node, false).expect("known node");
+        self.tree.recompute_stats();
+        self.tree.prune_from(node);
+        self.tree.recompute_stats();
+    }
+
+    /// Mirrors `SmrpSession::reshape_member` with seed-era bookkeeping.
+    fn reshape(&mut self, member: NodeId) {
+        if !self.tree.is_member(member) || self.tree.parent(member).is_none() {
+            return;
+        }
+        let mut reduced = self.tree.clone();
+        let Ok(old_merger) = reduced.detach_subtree(member) else {
+            return;
+        };
+        reduced.recompute_stats();
+        let subtree = reduced.subtree_nodes(member);
+        let spt = self.fresh_spt();
+        let Some(spf_delay) = spt.distance(member) else {
+            return;
+        };
+        let mut excluded = subtree;
+        excluded.retain(|&n| n != member);
+        self.neighbor_loop_overhead(member);
+        let candidates =
+            select::enumerate_candidates(self.graph, &reduced, &spt, member, self.mode, &excluded);
+        let Ok(sel) = select::apply_criterion(candidates, spf_delay, D_THRESH, member) else {
+            return;
+        };
+        if !sel.within_bound || reduced.shr(sel.candidate.merger) >= reduced.shr(old_merger) {
+            return;
+        }
+        self.tree.detach_subtree(member).expect("member has parent");
+        self.tree.recompute_stats();
+        self.tree.attach_path(&sel.candidate.approach);
+        self.tree.recompute_stats();
+    }
+}
+
+fn run_naive(graph: &Graph, source: NodeId, ops: &[Op], mode: SelectionMode) -> MulticastTree {
+    let mut naive = Naive::new(graph, source, mode);
+    for &op in ops {
+        match op {
+            Op::Join(n) => naive.join(n),
+            Op::Leave(n) => naive.leave(n),
+            Op::Reshape(n) => naive.reshape(n),
+        }
+    }
+    naive.tree
+}
+
+fn time_ms<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+#[derive(Serialize)]
+struct ModeRow {
+    selection: &'static str,
+    incremental_ms: f64,
+    naive_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct SizeRow {
+    nodes: usize,
+    ops: usize,
+    modes: Vec<ModeRow>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    workload: String,
+    group_size: usize,
+    reps: u32,
+    sizes: Vec<SizeRow>,
+}
+
+fn main() {
+    header(
+        "join_churn: incremental SHR/N + cached source SPT vs seed bookkeeping",
+        "delta propagation and SPT reuse remove the per-operation full \
+         recomputations; the gap widens with topology size",
+    );
+
+    let mut report = Report {
+        workload: format!(
+            "{GROUP} joins, then {CHURN_ROUNDS} rounds of leave + rejoin + reshape \
+             on Waxman(alpha=0.2) topologies"
+        ),
+        group_size: GROUP,
+        reps: REPS,
+        sizes: Vec::new(),
+    };
+
+    for nodes in [100usize, 400, 1600] {
+        let graph = topology(nodes);
+        let (source, ops) = workload(&graph);
+        let mut size_row = SizeRow {
+            nodes,
+            ops: ops.len(),
+            modes: Vec::new(),
+        };
+        for (mode, name) in [
+            (SelectionMode::FullTopology, "full-topology"),
+            (SelectionMode::NeighborQuery, "neighbor-query"),
+        ] {
+            // Both drivers must agree before their timings mean anything.
+            let inc_tree = run_incremental(&graph, source, &ops, mode);
+            let naive_tree = run_naive(&graph, source, &ops, mode);
+            assert_eq!(
+                inc_tree.links(&graph),
+                naive_tree.links(&graph),
+                "incremental and naive drivers diverged (n={nodes}, {name})"
+            );
+            for u in inc_tree.source_connected_nodes() {
+                assert_eq!(inc_tree.shr(u), naive_tree.shr(u));
+            }
+
+            let incremental_ms =
+                time_ms(|| drop(black_box(run_incremental(&graph, source, &ops, mode))));
+            let naive_ms = time_ms(|| drop(black_box(run_naive(&graph, source, &ops, mode))));
+            let speedup = naive_ms / incremental_ms;
+            println!(
+                "n={nodes:<5} {name:<15} incremental {incremental_ms:>9.2} ms   \
+                 naive {naive_ms:>9.2} ms   speedup {speedup:>6.2}x"
+            );
+            size_row.modes.push(ModeRow {
+                selection: name,
+                incremental_ms,
+                naive_ms,
+                speedup,
+            });
+        }
+        report.sizes.push(size_row);
+    }
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_join_churn.json");
+    smrp_experiments::report::write_json(&path, &report).expect("write BENCH_join_churn.json");
+    println!("wrote {}", path.display());
+}

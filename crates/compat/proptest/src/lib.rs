@@ -1,0 +1,460 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! The build environment for this workspace is hermetic (no crates.io
+//! access), so this crate provides the slice of proptest the workspace's
+//! property tests use: range/tuple/`Just`/mapped/union/vec strategies, the
+//! `proptest!` test-harness macro with `#![proptest_config(..)]`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` family.
+//!
+//! Differences from upstream worth knowing: generation is driven by a
+//! fixed-seed deterministic RNG (every run explores the same cases), there
+//! is no shrinking (the failing inputs are printed as generated), and
+//! rejected cases (`prop_assume!`) are simply skipped rather than retried.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SampleUniform, SeedableRng};
+
+/// Deterministic RNG driving strategy generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// A fixed-seed generator; every test run explores the same cases.
+    pub fn deterministic() -> Self {
+        TestRng(SmallRng::seed_from_u64(0x5eed_cafe_f00d_d00d))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed — the property is violated.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!` — not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from any message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection from any message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result type each generated case evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to generate per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy producing always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Half-open numeric ranges are strategies drawing uniformly.
+impl<T: SampleUniform + Debug> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String patterns are strategies generating matching strings (real
+/// proptest accepts any regex; this subset covers a single character class
+/// with a `{min,max}` repetition, e.g. `"[a-z0-9 ]{0,12}"` — anything else
+/// is treated as a literal).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let Some((class, min, max)) = parse_class_repeat(self) else {
+            return (*self).to_string();
+        };
+        let len = rng.gen_range(min..max + 1);
+        (0..len)
+            .map(|_| class[rng.gen_range(0..class.len())])
+            .collect()
+    }
+}
+
+/// Parses `[<chars>]{min,max}` into (alphabet, min, max); `a-z` ranges are
+/// expanded, every other character inside the class is literal.
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let (class_src, tail) = rest.split_at(close);
+    let counts = tail.strip_prefix("]{")?.strip_suffix('}')?;
+    let (min_s, max_s) = counts.split_once(',')?;
+    let (min, max) = (min_s.parse().ok()?, max_s.parse().ok()?);
+    if min > max {
+        return None;
+    }
+    let src: Vec<char> = class_src.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < src.len() {
+        if i + 2 < src.len() && src[i + 1] == '-' {
+            for c in src[i]..=src[i + 2] {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(src[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        None
+    } else {
+        Some((alphabet, min, max))
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T: Debug> Union<T> {
+    /// Builds a union; panics on an empty variant list.
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof!: no variants");
+        Union(variants)
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Rng, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `len` and elements
+    /// drawn from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of `elem` values with length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{})",
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{a:?} != {b:?}");
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{a:?} != {b:?}: {}", format!($($fmt)+));
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{a:?} == {b:?}");
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Defines `#[test]` functions over generated inputs.
+///
+/// Each case's body runs in a closure returning [`TestCaseResult`], so
+/// `prop_assert!`-family macros and early `return Ok(())` work as in
+/// upstream proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $config; $($rest)*);
+    };
+    (@run $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config: $crate::ProptestConfig = $config;
+            let mut __pt_rng = $crate::TestRng::deterministic();
+            let mut __pt_ran: u32 = 0;
+            let mut __pt_attempts: u32 = 0;
+            while __pt_ran < __pt_config.cases && __pt_attempts < __pt_config.cases * 20 {
+                __pt_attempts += 1;
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __pt_rng);)*
+                let __pt_inputs = format!("{:?}", ($(&$arg,)*));
+                let __pt_result: $crate::TestCaseResult = (move || {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                match __pt_result {
+                    Ok(()) => __pt_ran += 1,
+                    Err($crate::TestCaseError::Reject(_)) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed: {}\n  inputs: {}",
+                            msg, __pt_inputs
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy as _;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pick {
+        A(usize),
+        B,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_vecs_and_maps_compose(
+            pair in (0usize..4, 10u32..20),
+            v in crate::collection::vec(0usize..100, 2..6),
+        ) {
+            prop_assert!(pair.0 < 4 && (10..20).contains(&pair.1));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn early_ok_return_is_accepted(x in 0usize..10) {
+            if x > 3 {
+                return Ok(());
+            }
+            prop_assert!(x <= 3);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_variants() {
+        let strat = prop_oneof![(0usize..5).prop_map(Pick::A), Just(Pick::B)];
+        let mut rng = crate::TestRng::deterministic();
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                Pick::A(x) => {
+                    assert!(x < 5);
+                    saw_a = true;
+                }
+                Pick::B => saw_b = true,
+            }
+        }
+        assert!(saw_a && saw_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! sibling offline `serde` stub's value-based data model. Supports exactly
+//! the shapes this workspace uses: named-field structs, tuple/newtype
+//! structs, unit structs, and enums whose variants are all unit variants.
+//! Generic types and `#[serde(...)]` attributes are rejected with a clear
+//! compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a derive input item.
+enum Input {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skips leading outer attributes (`#[...]`) and a visibility modifier
+/// (`pub`, `pub(...)`), returning the index of the next significant token.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(t) if is_punct(t, '#') => {
+                // `#` followed by a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a brace-group body into comma-separated pieces, ignoring commas
+/// nested inside `<...>` (delimiter groups are already nested by the lexer).
+fn split_top_level(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut pieces = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in toks {
+        if is_punct(t, '<') {
+            angle_depth += 1;
+        } else if is_punct(t, '>') {
+            angle_depth = angle_depth.saturating_sub(1);
+        } else if is_punct(t, ',') && angle_depth == 0 {
+            pieces.push(std::mem::take(&mut cur));
+            continue;
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        pieces.push(cur);
+    }
+    pieces
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        panic!("serde derive (offline stub): generic type `{name}` is not supported");
+    }
+
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut fields = Vec::new();
+                for piece in split_top_level(&body) {
+                    let j = skip_attrs_and_vis(&piece, 0);
+                    match piece.get(j) {
+                        Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                        None => {}
+                        other => panic!("serde derive: bad field in `{name}`: {other:?}"),
+                    }
+                }
+                Input::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let arity = split_top_level(&body).len();
+                Input::TupleStruct { name, arity }
+            }
+            Some(t) if is_punct(t, ';') => Input::UnitStruct { name },
+            other => panic!("serde derive: bad struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for piece in split_top_level(&body) {
+                    let j = skip_attrs_and_vis(&piece, 0);
+                    match (piece.get(j), piece.get(j + 1)) {
+                        (Some(TokenTree::Ident(id)), None) => variants.push(id.to_string()),
+                        (None, _) => {}
+                        other => panic!(
+                            "serde derive (offline stub): enum `{name}` has a non-unit \
+                             variant ({other:?}); only unit variants are supported"
+                        ),
+                    }
+                }
+                Input::UnitEnum { name, variants }
+            }
+            other => panic!("serde derive: bad enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Derives `serde::Serialize` (offline stub data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::serialize(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let entries: String = (0..arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Input::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde derive: generated impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (offline stub data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                             ::serde::field(value, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(value: &::serde::Value) \
+                     -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::deserialize(value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let inits: String = (0..arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&seq[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         let seq = value.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                         if seq.len() != {arity} {{\n\
+                             return Err(::serde::Error::custom(\
+                                 \"wrong tuple arity for {name}\"));\n\
+                         }}\n\
+                         Ok({name}({inits}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(_value: &::serde::Value) \
+                     -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Input::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match value.as_str() {{\n\
+                             Some(s) => match s {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::Error::custom(format!(\
+                                     \"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             None => Err(::serde::Error::custom(\
+                                 \"expected string variant for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde derive: generated impl failed to parse")
+}

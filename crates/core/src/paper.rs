@@ -263,6 +263,7 @@ mod tests {
         let cands = crate::select::enumerate_candidates(
             &g,
             sess.tree(),
+            sess.spt(),
             n.g,
             SelectionMode::FullTopology,
             &[],

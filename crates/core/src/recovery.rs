@@ -19,6 +19,8 @@
 //! The worst-case failure model of §4.3.1 — "the link closest to the source
 //! node on R's multicast path" — is provided by [`worst_case_failure_for`].
 
+use std::collections::HashSet;
+
 use smrp_net::dijkstra::{self, Constraints};
 use smrp_net::{FailureScenario, Graph, LinkId, NodeId, Path};
 
@@ -248,11 +250,20 @@ pub fn recover(
 
     let attach = restoration.target();
     let recovery_distance = restoration.delay(graph);
-    let tree_links = tree.links(graph);
+    // Links the restoration path must newly establish: everything except
+    // tree links that are still usable. Failed tree links drop out of the
+    // set up front (they can no longer carry traffic even if the path
+    // could somehow name them), and hashing makes the filter O(path
+    // length) instead of a quadratic scan over the tree's link list.
+    let usable_tree_links: HashSet<LinkId> = tree
+        .links(graph)
+        .into_iter()
+        .filter(|&l| scenario.link_usable(graph, l))
+        .collect();
     let new_links: Vec<LinkId> = restoration
         .links(graph)
         .into_iter()
-        .filter(|l| !tree_links.contains(l) || !scenario.link_usable(graph, *l))
+        .filter(|l| !usable_tree_links.contains(l))
         .collect();
     let attach_delay = tree
         .delay_to(graph, attach)
@@ -333,6 +344,27 @@ mod tests {
         assert_eq!(rec.attach(), s);
         assert_eq!(rec.recovery_distance(), 3.0);
         assert_eq!(rec.new_links().len(), 2);
+    }
+
+    #[test]
+    fn new_links_exclude_reused_usable_tree_links() {
+        // Figure 1 topology, source-incident failure S-A: member C's local
+        // detour to the surviving tree (just S) runs C-A-D-B-S, reusing the
+        // still-usable tree links C-A and A-D inside the disconnected
+        // fragment. Only D-B and B-S need to be newly established.
+        let (g, t, [s, a, b, c, d]) = figure1();
+        let l_sa = g.link_between(s, a).unwrap();
+        let scenario = FailureScenario::link(l_sa);
+        let rec = recover(&g, &t, &scenario, c, DetourKind::Local).unwrap();
+        assert_eq!(rec.restoration_path().nodes(), &[c, a, d, b, s]);
+        assert_eq!(rec.attach(), s);
+        let mut new_links = rec.new_links().to_vec();
+        new_links.sort();
+        let mut expected = vec![g.link_between(d, b).unwrap(), g.link_between(b, s).unwrap()];
+        expected.sort();
+        assert_eq!(new_links, expected);
+        // The failed tree link itself never shows up as reusable.
+        assert!(!rec.new_links().contains(&l_sa));
     }
 
     #[test]

@@ -30,7 +30,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use smrp_net::dijkstra::{Constraints, ShortestPathTree};
+use smrp_net::dijkstra::ShortestPathTree;
 use smrp_net::{Graph, NodeId, Path};
 
 use crate::error::SmrpError;
@@ -109,16 +109,24 @@ impl PartialOrd for HeapEntry {
 /// Nodes listed in `excluded` are treated as if they were not on the tree
 /// and may not be traversed (used by reshaping to keep the moving subtree
 /// out of consideration).
+///
+/// `spt` is the unicast shortest-path tree rooted at the multicast source
+/// (the routers' steady-state routing table in the paper's model). It is
+/// consulted by [`SelectionMode::NeighborQuery`] to trace how neighbors
+/// relay the query toward the source; callers with a live session should
+/// pass [`crate::session::SmrpSession::spt`] so the (possibly
+/// failure-constrained) cached tree is reused instead of recomputed.
 pub fn enumerate_candidates(
     graph: &Graph,
     tree: &MulticastTree,
+    spt: &ShortestPathTree,
     nr: NodeId,
     mode: SelectionMode,
     excluded: &[NodeId],
 ) -> Vec<JoinCandidate> {
     match mode {
         SelectionMode::FullTopology => sink_constrained_candidates(graph, tree, nr, excluded),
-        SelectionMode::NeighborQuery => neighbor_query_candidates(graph, tree, nr, excluded),
+        SelectionMode::NeighborQuery => neighbor_query_candidates(graph, tree, spt, nr, excluded),
     }
 }
 
@@ -219,6 +227,7 @@ fn sink_constrained_candidates(
 fn neighbor_query_candidates(
     graph: &Graph,
     tree: &MulticastTree,
+    spt: &ShortestPathTree,
     nr: NodeId,
     excluded: &[NodeId],
 ) -> Vec<JoinCandidate> {
@@ -236,12 +245,8 @@ fn neighbor_query_candidates(
         if is_sink(tree, &connected, neighbor, excluded) {
             merger = Some(neighbor);
         } else {
-            // Follow the neighbor's unicast shortest path toward the source.
-            let spt = ShortestPathTree::compute_constrained(
-                graph,
-                tree.source(),
-                Constraints::unrestricted(),
-            );
+            // Follow the neighbor's unicast shortest path toward the source,
+            // read off the caller's cached source SPT.
             let Some(path) = spt.path_to(neighbor) else {
                 continue;
             };
@@ -370,20 +375,25 @@ fn pick_by_delay<'a>(a: &'a JoinCandidate, b: &'a JoinCandidate) -> &'a JoinCand
 
 /// Convenience: enumerate candidates and apply the criterion in one step.
 ///
+/// `spt` must be the unicast shortest-path tree rooted at the multicast
+/// source under the constraints currently in force; it supplies
+/// `D_SPF(S, NR)` for the delay bound (and the relay routes in
+/// [`SelectionMode::NeighborQuery`]) without rerunning Dijkstra per join.
+///
 /// # Errors
 ///
 /// [`SmrpError::NoFeasiblePath`] when `nr` cannot reach the tree at all.
 pub fn select_path(
     graph: &Graph,
     tree: &MulticastTree,
+    spt: &ShortestPathTree,
     nr: NodeId,
     d_thresh: f64,
     mode: SelectionMode,
     excluded: &[NodeId],
 ) -> Result<Selection, SmrpError> {
-    let spf_delay = smrp_net::dijkstra::distance(graph, tree.source(), nr)
-        .ok_or(SmrpError::NoFeasiblePath(nr))?;
-    let candidates = enumerate_candidates(graph, tree, nr, mode, excluded);
+    let spf_delay = spt.distance(nr).ok_or(SmrpError::NoFeasiblePath(nr))?;
+    let candidates = enumerate_candidates(graph, tree, spt, nr, mode, excluded);
     apply_criterion(candidates, spf_delay, d_thresh, nr)
 }
 
@@ -391,6 +401,11 @@ pub fn select_path(
 mod tests {
     use super::*;
     use smrp_net::Graph;
+
+    /// Source SPT helper for tests without a session.
+    fn spt_of(g: &Graph, t: &MulticastTree) -> ShortestPathTree {
+        ShortestPathTree::compute(g, t.source())
+    }
 
     /// Small Y topology: S at the top, tree S-A with member M under A;
     /// joining node J can reach A directly (short) or S via B (longer).
@@ -412,7 +427,8 @@ mod tests {
     #[test]
     fn full_topology_enumerates_first_hit_mergers() {
         let (g, t, [s, a, m, j, _]) = y_graph();
-        let cands = enumerate_candidates(&g, &t, j, SelectionMode::FullTopology, &[]);
+        let cands =
+            enumerate_candidates(&g, &t, &spt_of(&g, &t), j, SelectionMode::FullTopology, &[]);
         let mergers: Vec<_> = cands.iter().map(|c| c.merger).collect();
         // A is first-hit via the direct link; S via B; M only via A so it
         // must NOT appear (merge would really happen at A).
@@ -424,7 +440,8 @@ mod tests {
     #[test]
     fn candidate_totals_combine_tree_and_approach_delay() {
         let (g, t, [s, a, _, j, _]) = y_graph();
-        let cands = enumerate_candidates(&g, &t, j, SelectionMode::FullTopology, &[]);
+        let cands =
+            enumerate_candidates(&g, &t, &spt_of(&g, &t), j, SelectionMode::FullTopology, &[]);
         let via_a = cands.iter().find(|c| c.merger == a).unwrap();
         assert_eq!(via_a.total_delay, 1.0 + 1.0); // tree S->A plus J->A.
         assert_eq!(via_a.approach.nodes(), &[j, a]);
@@ -438,7 +455,16 @@ mod tests {
         let (g, t, [s, a, _, j, _]) = y_graph();
         // SPF delay S->J is 2.0 (S-A-J). With a generous bound, the S merger
         // (SHR 0) wins over A (SHR 2) despite being longer.
-        let sel = select_path(&g, &t, j, 0.3, SelectionMode::FullTopology, &[]).unwrap();
+        let sel = select_path(
+            &g,
+            &t,
+            &spt_of(&g, &t),
+            j,
+            0.3,
+            SelectionMode::FullTopology,
+            &[],
+        )
+        .unwrap();
         assert_eq!(sel.spf_delay, 2.0);
         assert_eq!(sel.candidate.merger, s);
         assert!(sel.within_bound);
@@ -449,7 +475,16 @@ mod tests {
     fn criterion_respects_tight_bound() {
         let (g, t, [_, a, _, j, _]) = y_graph();
         // Bound (1+0.1)*2.0 = 2.2 rules out the 2.5 path via S; A (2.0) wins.
-        let sel = select_path(&g, &t, j, 0.1, SelectionMode::FullTopology, &[]).unwrap();
+        let sel = select_path(
+            &g,
+            &t,
+            &spt_of(&g, &t),
+            j,
+            0.1,
+            SelectionMode::FullTopology,
+            &[],
+        )
+        .unwrap();
         assert_eq!(sel.candidate.merger, a);
         assert!(sel.within_bound);
     }
@@ -472,7 +507,16 @@ mod tests {
         // Remove the direct link from candidates by excluding nothing: the
         // direct S merger candidate has delay 1.0 and is fine. So instead
         // tighten: exclude S to force the long merger.
-        let sel = select_path(&g, &t, j, 0.0, SelectionMode::FullTopology, &[s]).unwrap();
+        let sel = select_path(
+            &g,
+            &t,
+            &spt_of(&g, &t),
+            j,
+            0.0,
+            SelectionMode::FullTopology,
+            &[s],
+        )
+        .unwrap();
         assert_eq!(sel.candidate.merger, m);
         assert!(!sel.within_bound);
     }
@@ -484,7 +528,15 @@ mod tests {
         g.add_link(ids[0], ids[1], 1.0).unwrap();
         let t = MulticastTree::new(&g, ids[0]).unwrap();
         assert!(matches!(
-            select_path(&g, &t, ids[2], 0.3, SelectionMode::FullTopology, &[]),
+            select_path(
+                &g,
+                &t,
+                &spt_of(&g, &t),
+                ids[2],
+                0.3,
+                SelectionMode::FullTopology,
+                &[]
+            ),
             Err(SmrpError::NoFeasiblePath(_))
         ));
     }
@@ -492,8 +544,16 @@ mod tests {
     #[test]
     fn neighbor_query_finds_subset() {
         let (g, t, [_, a, _, j, _]) = y_graph();
-        let full = enumerate_candidates(&g, &t, j, SelectionMode::FullTopology, &[]);
-        let query = enumerate_candidates(&g, &t, j, SelectionMode::NeighborQuery, &[]);
+        let full =
+            enumerate_candidates(&g, &t, &spt_of(&g, &t), j, SelectionMode::FullTopology, &[]);
+        let query = enumerate_candidates(
+            &g,
+            &t,
+            &spt_of(&g, &t),
+            j,
+            SelectionMode::NeighborQuery,
+            &[],
+        );
         assert!(!query.is_empty());
         // Every query candidate's merger also appears in the full set.
         for c in &query {
@@ -508,12 +568,26 @@ mod tests {
     #[test]
     fn excluded_nodes_are_not_candidates_or_relays() {
         let (g, t, [s, a, _, j, b]) = y_graph();
-        let cands = enumerate_candidates(&g, &t, j, SelectionMode::FullTopology, &[a]);
+        let cands = enumerate_candidates(
+            &g,
+            &t,
+            &spt_of(&g, &t),
+            j,
+            SelectionMode::FullTopology,
+            &[a],
+        );
         assert!(cands.iter().all(|c| c.merger != a));
         // S is still reachable via B.
         assert!(cands.iter().any(|c| c.merger == s));
         // Excluding B as well leaves only paths through A, which is banned.
-        let cands = enumerate_candidates(&g, &t, j, SelectionMode::FullTopology, &[a, b]);
+        let cands = enumerate_candidates(
+            &g,
+            &t,
+            &spt_of(&g, &t),
+            j,
+            SelectionMode::FullTopology,
+            &[a, b],
+        );
         assert!(cands.is_empty());
     }
 
@@ -533,12 +607,30 @@ mod tests {
         t.set_member(a, true).unwrap();
         t.attach_path(&Path::new(vec![b, s]));
         t.set_member(b, true).unwrap();
-        let sel = select_path(&g, &t, j, 1.0, SelectionMode::FullTopology, &[]).unwrap();
+        let sel = select_path(
+            &g,
+            &t,
+            &spt_of(&g, &t),
+            j,
+            1.0,
+            SelectionMode::FullTopology,
+            &[],
+        )
+        .unwrap();
         // S has SHR 0 and total delay 2.0 == via-A/B (1+1); S also ties on
         // SHR? No: S SHR=0 < A/B SHR=1, so S wins by SHR despite equal delay.
         assert_eq!(sel.candidate.merger, s);
         // Force the A/B tie by excluding S.
-        let sel = select_path(&g, &t, j, 1.0, SelectionMode::FullTopology, &[s]).unwrap();
+        let sel = select_path(
+            &g,
+            &t,
+            &spt_of(&g, &t),
+            j,
+            1.0,
+            SelectionMode::FullTopology,
+            &[s],
+        )
+        .unwrap();
         assert_eq!(sel.candidate.merger, a, "lower node id wins the tie");
     }
 }

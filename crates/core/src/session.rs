@@ -18,6 +18,7 @@
 //! value of SHR may be inaccurate and should be adjusted before the path
 //! comparison is made").
 
+use smrp_net::dijkstra::{Constraints, ShortestPathTree};
 use smrp_net::{Graph, NodeId, Path};
 
 use crate::error::SmrpError;
@@ -115,6 +116,12 @@ pub struct SmrpSession<'g> {
     config: SmrpConfig,
     /// Condition I baseline per member (`SHR` at last join/reshape).
     shr_baseline: Vec<u32>,
+    /// Cached unicast shortest-path tree from the source (the routers'
+    /// steady-state routing table). Computed once at construction and
+    /// reused by every join/reshape for `D_SPF` lookups and neighbor-query
+    /// relay routes; refreshed explicitly via [`SmrpSession::refresh_spt`]
+    /// when the usable topology changes (e.g. a failure scenario strikes).
+    spt: ShortestPathTree,
 }
 
 impl<'g> SmrpSession<'g> {
@@ -126,17 +133,45 @@ impl<'g> SmrpSession<'g> {
     pub fn new(graph: &'g Graph, source: NodeId, config: SmrpConfig) -> Result<Self, SmrpError> {
         config.validate()?;
         let tree = MulticastTree::new(graph, source)?;
+        let spt = ShortestPathTree::compute(graph, source);
         Ok(SmrpSession {
             graph,
             tree,
             config,
             shr_baseline: vec![0; graph.node_count()],
+            spt,
         })
     }
 
     /// The underlying multicast tree.
     pub fn tree(&self) -> &MulticastTree {
         &self.tree
+    }
+
+    /// The cached unicast shortest-path tree from the source.
+    ///
+    /// This is the `D_SPF` oracle used by the join bound and, under
+    /// [`SelectionMode::NeighborQuery`], the unicast routes along which
+    /// neighbors relay join queries. It reflects the constraints passed to
+    /// the most recent [`SmrpSession::refresh_spt`] call (initially: the
+    /// unrestricted topology).
+    pub fn spt(&self) -> &ShortestPathTree {
+        &self.spt
+    }
+
+    /// Recomputes the cached source SPT under `constraints`, reusing its
+    /// buffers.
+    ///
+    /// **Invalidation contract:** the session never detects topology
+    /// changes on its own — whoever injects a [`smrp_net::FailureScenario`]
+    /// (or repairs one) must call this before driving further joins or
+    /// reshapes through the session, typically with
+    /// [`Constraints::avoiding_failures`]. Recovery itself
+    /// ([`crate::recovery`]) deliberately does *not* read this cache: its
+    /// detours are per-scenario constrained searches, so a recovery pass
+    /// can never consume a stale SPT even if the caller forgets to refresh.
+    pub fn refresh_spt(&mut self, constraints: Constraints<'_>) {
+        self.spt.recompute_constrained(self.graph, constraints);
     }
 
     /// The topology this session runs over.
@@ -199,13 +234,16 @@ impl<'g> SmrpSession<'g> {
 
         let (merger, spf_delay, within_bound) = if self.tree.is_on_tree(node) {
             // Already a relay: becoming a member needs no new links.
-            let spf = smrp_net::dijkstra::distance(self.graph, self.tree.source(), node)
+            let spf = self
+                .spt
+                .distance(node)
                 .ok_or(SmrpError::NoFeasiblePath(node))?;
             (node, spf, true)
         } else {
             let sel = select::select_path(
                 self.graph,
                 &self.tree,
+                &self.spt,
                 node,
                 self.config.d_thresh,
                 self.config.selection,
@@ -305,13 +343,16 @@ impl<'g> SmrpSession<'g> {
 
         // Candidates against the reduced tree; the moving subtree may be
         // neither merger nor relay.
-        let spf_delay = smrp_net::dijkstra::distance(self.graph, self.tree.source(), member)
+        let spf_delay = self
+            .spt
+            .distance(member)
             .ok_or(SmrpError::NoFeasiblePath(member))?;
         let mut excluded = subtree.clone();
         excluded.retain(|&n| n != member);
         let candidates = select::enumerate_candidates(
             self.graph,
             &reduced,
+            &self.spt,
             member,
             self.config.selection,
             &excluded,
@@ -334,7 +375,16 @@ impl<'g> SmrpSession<'g> {
         // Commit: detach for real and reattach along the new path.
         self.tree.detach_subtree(member)?;
         self.tree.attach_path(&sel.candidate.approach);
-        self.shr_baseline[member.index()] = self.tree.shr(member);
+        // The move changed SHR for *every* member carried along in the
+        // subtree, not just the reshaped one; all of their Condition I
+        // baselines restart from the post-move values. Refreshing only the
+        // moved member would leave the others comparing against SHR values
+        // of a path that no longer exists.
+        for n in self.tree.subtree_nodes(member) {
+            if self.tree.is_member(n) {
+                self.shr_baseline[n.index()] = self.tree.shr(n);
+            }
+        }
         Ok(ReshapeOutcome::Switched {
             old_merger,
             new_merger,
@@ -525,6 +575,69 @@ mod tests {
             sess.reshape_member(ids[1]),
             Err(SmrpError::NotMember(_))
         ));
+    }
+
+    #[test]
+    fn reshape_refreshes_baselines_of_all_carried_members() {
+        // Regression test: when a reshape moves a whole branch, every
+        // member riding along gets a fresh Condition I baseline, not just
+        // the member that initiated the move.
+        let (g, ids) = ladder();
+        let [s, a1, a2, b1, b2] = [ids[0], ids[1], ids[2], ids[3], ids[4]];
+        let mut sess = SmrpSession::new(
+            &g,
+            s,
+            SmrpConfig {
+                auto_reshape: false,
+                ..SmrpConfig::default()
+            },
+        )
+        .unwrap();
+        sess.join(a2).unwrap();
+        sess.join(b1).unwrap();
+        sess.join(b2).unwrap();
+        // Sabotage: hang the b-rail branch (members b1 and b2) under a1 via
+        // the rung, crowding S-a1.
+        sess.tree.detach_subtree(b1).unwrap();
+        sess.tree.attach_path(&smrp_net::Path::new(vec![b1, a1]));
+        sess.tree.validate(&g).unwrap();
+        let stale_b2 = sess.shr_baseline[b2.index()];
+        assert_ne!(stale_b2, sess.tree().shr(b2), "sabotage must stale b2");
+
+        let out = sess.reshape_member(b1).unwrap();
+        assert!(matches!(out, ReshapeOutcome::Switched { .. }));
+        sess.tree().validate(&g).unwrap();
+        // b1 is back on its own rail and carried b2 with it; both baselines
+        // must match the post-move SHR values.
+        assert_eq!(
+            sess.tree().path_from_source(b2).unwrap().nodes(),
+            &[s, b1, b2]
+        );
+        for m in [b1, b2] {
+            assert_eq!(
+                sess.shr_baseline[m.index()],
+                sess.tree().shr(m),
+                "carried member's baseline not refreshed"
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_spt_tracks_failure_scenarios() {
+        let (g, ids) = ladder();
+        let [s, a1, a2, ..] = [ids[0], ids[1], ids[2], ids[3], ids[4]];
+        let mut sess = SmrpSession::new(&g, s, SmrpConfig::default()).unwrap();
+        // Steady state: a2 is two hops away along its rail.
+        assert_eq!(sess.spt().distance(a2), Some(2.0));
+        // a1 fails: until the caller refreshes, the cache is stale by
+        // design; after the refresh the detour via the other rail shows up.
+        let scenario = smrp_net::FailureScenario::node(a1);
+        sess.refresh_spt(Constraints::avoiding_failures(&scenario));
+        assert_eq!(sess.spt().distance(a2), Some(3.0)); // s-b1-b2-a2.
+        assert_eq!(sess.spt().distance(a1), None);
+        // Repair: back to the unrestricted table.
+        sess.refresh_spt(Constraints::unrestricted());
+        assert_eq!(sess.spt().distance(a2), Some(2.0));
     }
 
     #[test]

@@ -17,12 +17,36 @@
 //! Mutation happens through a small set of operations —
 //! [`MulticastTree::attach_path`], [`MulticastTree::set_member`],
 //! [`MulticastTree::prune_from`], [`MulticastTree::detach_subtree`] — out of which the
-//! join/leave/reshape procedures of [`crate::session`] are composed. After
-//! any mutation the aggregate state is recomputed with
-//! [`recompute_stats`](MulticastTree::recompute_stats); topologies in this
-//! problem domain are small (the paper simulates 100 nodes), so an `O(N)`
-//! refresh keeps the invariants simple and is never the bottleneck
-//! (candidate enumeration's Dijkstra dominates).
+//! join/leave/reshape procedures of [`crate::session`] are composed.
+//!
+//! # Incremental maintenance
+//!
+//! Aggregate state is maintained *incrementally* from the Eq. 2 recurrence
+//! rather than recomputed from scratch. A mutation that changes the member
+//! count of the subtree hanging below a pivot node `P` by `δ`:
+//!
+//! * adds `δ` to `N_R` of every node on the tree path `S → P` (each such
+//!   node gains the `δ` members in its subtree);
+//! * adds `i·δ` to `SHR(S,R)` of every node `R` whose tree path crosses `i`
+//!   of those updated links — i.e. nodes hanging off the `S → P` path at
+//!   depth `i` (Eq. 1: the path sum picks up `δ` once per shared updated
+//!   link).
+//!
+//! [`attach_path`](MulticastTree::attach_path) combines that upward
+//! propagation (with `δ` = grafted-fragment member count) with a direct
+//! Eq. 2 seeding pass over the grafted suffix; pruning a relay chain needs
+//! no propagation at all because prunable relays carry `N_R = 0` by
+//! definition. Each mutation therefore touches only the source→pivot path
+//! and the subtrees hanging off it instead of the whole connected
+//! component.
+//!
+//! [`recompute_stats`](MulticastTree::recompute_stats) retains the
+//! from-scratch evaluation and serves as the oracle: under
+//! `debug_assertions` (or the `audit-stats` feature) every mutating
+//! operation re-derives `N`/`SHR` from scratch afterwards and asserts the
+//! incremental state matches; [`validate`](MulticastTree::validate)
+//! additionally re-checks `SHR` against the Eq. 1 link-sharing definition,
+//! independent of the Eq. 2 recurrence.
 
 use serde::{Deserialize, Serialize};
 use smrp_net::{Graph, LinkId, NodeId, Path};
@@ -245,7 +269,10 @@ impl MulticastTree {
     /// or the root of a fragment previously detached with
     /// [`detach_subtree`](Self::detach_subtree).
     ///
-    /// Recomputes aggregate state before returning.
+    /// Updates aggregate state incrementally (see the [module
+    /// documentation](self)): the grafted fragment's member count is
+    /// propagated up the `S → merger` path and the grafted suffix is seeded
+    /// directly from the Eq. 2 recurrence.
     ///
     /// # Panics
     ///
@@ -277,8 +304,114 @@ impl MulticastTree {
             self.on_tree[child.index()] = true;
             self.children[up.index()].push(child);
         }
-        self.recompute_stats();
+
+        // Members carried in by the graft. A reattached fragment keeps
+        // correct internal `N` values, but a fresh node may hold stale state
+        // from an earlier on-tree stint, so recount from member flags.
+        let delta: i64 = self
+            .subtree_nodes(new_root)
+            .iter()
+            .map(|&v| i64::from(self.member[v.index()]))
+            .sum();
+        // Every chain node's subtree is exactly the grafted fragment.
+        for &v in &nodes[..nodes.len() - 1] {
+            self.n[v.index()] = delta as u32;
+        }
+        // Upward propagation along S → merger. The freshly grafted chain is
+        // excluded from the downstream SHR sweep — it is seeded exactly
+        // below.
+        let chain_child = nodes[nodes.len() - 2];
+        self.propagate_member_delta(merger, delta, Some(chain_child));
+        // Seed the grafted suffix (chain + fragment) top-down via Eq. 2.
+        let mut stack = vec![chain_child];
+        while let Some(u) = stack.pop() {
+            let p = self.parent[u.index()].expect("grafted nodes have parents");
+            self.shr[u.index()] = self.shr[p.index()] + self.n[u.index()];
+            stack.extend(self.children[u.index()].iter().copied());
+        }
+        self.audit_stats();
     }
+
+    /// Propagates a change of `delta` members in the subtree hanging below
+    /// `pivot` (Eq. 2 delta rule, see the [module documentation](self)):
+    /// `N` gains `delta` along the whole `S → pivot` path, and `SHR` of
+    /// every node hanging off that path at depth `i` gains `i·delta`.
+    ///
+    /// `exclude` names one child of `pivot` to skip in the downstream SHR
+    /// sweep ([`attach_path`](Self::attach_path) seeds that freshly grafted
+    /// child exactly instead).
+    fn propagate_member_delta(&mut self, pivot: NodeId, delta: i64, exclude: Option<NodeId>) {
+        if delta == 0 {
+            return;
+        }
+        // Tree path source → pivot, source first.
+        let mut path = vec![pivot];
+        let mut cur = pivot;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.source, "pivot {pivot} must be source-connected");
+        path.reverse();
+
+        for depth in 0..path.len() {
+            let v = path[depth];
+            self.n[v.index()] = (i64::from(self.n[v.index()]) + delta) as u32;
+            if depth == 0 {
+                continue; // SHR(S,S) is pinned at 0.
+            }
+            let bump = depth as i64 * delta;
+            self.shr[v.index()] = (i64::from(self.shr[v.index()]) + bump) as u32;
+            // Subtrees hanging off the path at this depth cross exactly
+            // `depth` updated links.
+            let next_on_path = path.get(depth + 1).copied();
+            let offs: Vec<NodeId> = self.children[v.index()]
+                .iter()
+                .copied()
+                .filter(|&c| Some(c) != next_on_path && !(v == pivot && Some(c) == exclude))
+                .collect();
+            for c in offs {
+                self.bump_subtree_shr(c, bump);
+            }
+        }
+    }
+
+    /// Adds `bump` to `SHR` of every node in the subtree rooted at `root`.
+    fn bump_subtree_shr(&mut self, root: NodeId, bump: i64) {
+        let mut stack = vec![root];
+        while let Some(u) = stack.pop() {
+            self.shr[u.index()] = (i64::from(self.shr[u.index()]) + bump) as u32;
+            stack.extend(self.children[u.index()].iter().copied());
+        }
+    }
+
+    /// Asserts the incremental `N`/`SHR` state equals a from-scratch
+    /// [`recompute_stats`](Self::recompute_stats) evaluation (the oracle).
+    ///
+    /// Compiled in under `debug_assertions` or the `audit-stats` feature;
+    /// a no-op in plain release builds.
+    #[cfg(any(debug_assertions, feature = "audit-stats"))]
+    fn audit_stats(&mut self) {
+        let n_inc = self.n.clone();
+        let shr_inc = self.shr.clone();
+        self.recompute_stats();
+        for u in self.source_connected_nodes() {
+            assert_eq!(
+                n_inc[u.index()],
+                self.n[u.index()],
+                "incremental N_{u} diverged from the from-scratch oracle"
+            );
+            assert_eq!(
+                shr_inc[u.index()],
+                self.shr[u.index()],
+                "incremental SHR({u}) diverged from the from-scratch oracle"
+            );
+        }
+    }
+
+    #[cfg(not(any(debug_assertions, feature = "audit-stats")))]
+    #[inline]
+    fn audit_stats(&mut self) {}
 
     /// Marks an on-tree node as a member, or clears membership.
     ///
@@ -298,7 +431,8 @@ impl MulticastTree {
             if !self.member[node.index()] {
                 self.member[node.index()] = true;
                 self.member_count += 1;
-                self.recompute_stats();
+                self.propagate_member_delta(node, 1, None);
+                self.audit_stats();
             }
         } else {
             if !self.member[node.index()] {
@@ -306,7 +440,8 @@ impl MulticastTree {
             }
             self.member[node.index()] = false;
             self.member_count -= 1;
-            self.recompute_stats();
+            self.propagate_member_delta(node, -1, None);
+            self.audit_stats();
         }
         Ok(())
     }
@@ -318,6 +453,8 @@ impl MulticastTree {
     /// `Leave_Req`: state is cleared hop by hop until a router with a
     /// non-null member set underneath is reached.
     pub fn prune_from(&mut self, node: NodeId) {
+        // Pruned relays carry `N_R = 0` (childless non-members), so removing
+        // them changes no other node's `N` or `SHR` — no propagation needed.
         let mut cur = node;
         loop {
             let i = cur.index();
@@ -331,6 +468,8 @@ impl MulticastTree {
             let up = self.parent[i];
             self.on_tree[i] = false;
             self.parent[i] = None;
+            self.n[i] = 0;
+            self.shr[i] = 0;
             match up {
                 Some(p) => {
                     self.children[p.index()].retain(|&c| c != cur);
@@ -339,7 +478,7 @@ impl MulticastTree {
                 None => break,
             }
         }
-        self.recompute_stats();
+        self.audit_stats();
     }
 
     /// Detaches the subtree rooted at `node` from its parent, pruning any
@@ -364,8 +503,12 @@ impl MulticastTree {
         let Some(old_parent) = self.parent[node.index()] else {
             return Err(SmrpError::UnknownNode(node));
         };
+        let removed = i64::from(self.n[node.index()]);
         self.parent[node.index()] = None;
         self.children[old_parent.index()].retain(|&c| c != node);
+        // The fragment keeps its internal `N` values (its subtrees did not
+        // change); upstream, the surviving path loses `removed` members.
+        self.propagate_member_delta(old_parent, -removed, None);
 
         // Find where the surviving chain ends before pruning mutates it.
         let mut keeper = old_parent;
@@ -392,10 +535,13 @@ impl MulticastTree {
     }
 
     /// Recomputes `N_R` and `SHR(S,R)` for the source-connected component
-    /// via the recurrence of Eq. 2.
+    /// via the recurrence of Eq. 2, from scratch.
     ///
-    /// Called automatically by the mutating operations; public so advanced
-    /// callers composing raw mutations can refresh state.
+    /// The mutating operations maintain this state incrementally; this
+    /// from-scratch evaluation is the *oracle* they are audited against
+    /// (under `debug_assertions` or the `audit-stats` feature) and remains
+    /// public so advanced callers composing raw mutations can refresh
+    /// state, or benchmarks can emulate the non-incremental scheme.
     pub fn recompute_stats(&mut self) {
         // Post-order accumulation of N, then pre-order SHR.
         let order = self.source_connected_nodes(); // parents before children

@@ -1,6 +1,8 @@
 //! Property tests for the SMRP core algorithms.
 
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use smrp_core::recovery::{self, DetourKind};
 use smrp_core::select::{self, SelectionMode};
@@ -39,7 +41,7 @@ proptest! {
         let nr = NodeId::new(joiner % graph.node_count());
         prop_assume!(!sess.tree().is_on_tree(nr));
         let cands = select::enumerate_candidates(
-            &graph, sess.tree(), nr, SelectionMode::FullTopology, &[]);
+            &graph, sess.tree(), sess.spt(), nr, SelectionMode::FullTopology, &[]);
         let mut seen = Vec::new();
         for c in &cands {
             // Unique mergers.
@@ -63,7 +65,7 @@ proptest! {
         // The neighbor-query scheme never invents mergers the full scheme
         // cannot reach.
         let query = select::enumerate_candidates(
-            &graph, sess.tree(), nr, SelectionMode::NeighborQuery, &[]);
+            &graph, sess.tree(), sess.spt(), nr, SelectionMode::NeighborQuery, &[]);
         for c in &query {
             prop_assert!(sess.tree().is_on_tree(c.merger));
             prop_assert!(c.approach.validate(&graph).is_ok());
@@ -139,6 +141,44 @@ proptest! {
                     prop_assert!(rec.new_end_to_end_delay() >= rec.recovery_distance());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn incremental_stats_match_oracle_under_churn(seed in 0u64..200, nodes in 16usize..40) {
+        // Drive a session through a random join/leave/reshape churn and,
+        // after every step, compare the incrementally maintained N_R/SHR
+        // against a from-scratch recomputation on a clone of the tree.
+        let graph = waxman(seed.wrapping_add(6000), nodes);
+        let ids: Vec<NodeId> = graph.node_ids().collect();
+        let source = ids[0];
+        let mut sess = SmrpSession::new(&graph, source, SmrpConfig::default()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+        for _ in 0..40 {
+            let node = ids[rng.gen_range(1..ids.len())];
+            // Ops may legitimately fail (joining a member, leaving a
+            // non-member, unreachable node); only the bookkeeping after
+            // whatever did happen matters here.
+            match rng.gen_range(0u32..4) {
+                0 | 1 => drop(sess.join(node)),
+                2 => drop(sess.leave(node)),
+                _ => drop(sess.reshape_member(node)),
+            }
+            let mut oracle = sess.tree().clone();
+            oracle.recompute_stats();
+            for u in sess.tree().source_connected_nodes() {
+                prop_assert_eq!(
+                    sess.tree().subtree_members(u),
+                    oracle.subtree_members(u),
+                    "incremental N diverged at {}", u
+                );
+                prop_assert_eq!(
+                    sess.tree().shr(u),
+                    oracle.shr(u),
+                    "incremental SHR diverged at {}", u
+                );
+            }
+            sess.tree().validate(&graph).unwrap();
         }
     }
 

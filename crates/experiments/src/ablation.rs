@@ -49,8 +49,11 @@ fn config(selection: SelectionMode, auto_reshape: bool, threshold: u32) -> SmrpC
 
 /// Runs the ablation grid.
 pub fn run(effort: Effort) -> AblationResult {
-    let topologies = effort.scale(10).max(2) as u32;
-    let member_sets = effort.scale(5).max(1) as u32;
+    // Like the figure sweeps, variant comparisons are mean-vs-mean over a
+    // high-variance per-scenario metric; keep a floor of 5×3 scenarios so
+    // `Effort::Quick` stays statistically meaningful.
+    let topologies = effort.scale(10).max(5) as u32;
+    let member_sets = effort.scale(5).max(3) as u32;
     let base = ScenarioConfig::default();
 
     let variants = [

@@ -115,7 +115,9 @@ fn run_backbone(
 
 /// Runs the real-topology evaluation.
 pub fn run(effort: Effort) -> RealnetResult {
-    let sets = effort.scale(10).max(2) as u32;
+    // Fixed backbones leave member placement as the only randomness; keep
+    // enough sets under `Effort::Quick` for the mean comparison to settle.
+    let sets = effort.scale(10).max(6) as u32;
     RealnetResult {
         rows: vec![
             run_backbone("Abilene (Internet2)", import::abilene(), 5, sets, true),

@@ -146,16 +146,35 @@ impl ShortestPathTree {
         constraints: Constraints<'_>,
     ) -> Self {
         let n = graph.node_count();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut spt = ShortestPathTree {
+            source,
+            dist: vec![f64::INFINITY; n],
+            parent: vec![None; n],
+        };
+        spt.recompute_constrained(graph, constraints);
+        spt
+    }
+
+    /// Re-runs Dijkstra from the same source, reusing this tree's buffers.
+    ///
+    /// This is the refresh half of the caching contract used by the session
+    /// types: callers cache one source SPT, answer distance/path queries
+    /// from it, and call this (typically via their `refresh_spt` hook) when
+    /// the set of usable links/nodes changes — e.g. when a
+    /// [`FailureScenario`] strikes — so no stale routing state survives.
+    pub fn recompute_constrained(&mut self, graph: &Graph, constraints: Constraints<'_>) {
+        let n = graph.node_count();
+        assert_eq!(n, self.dist.len(), "graph size changed under the SPT");
+        self.dist.fill(f64::INFINITY);
+        self.parent.fill(None);
         let mut done = vec![false; n];
         let mut heap = BinaryHeap::new();
 
-        if constraints.node_allowed(source) {
-            dist[source.index()] = 0.0;
+        if constraints.node_allowed(self.source) {
+            self.dist[self.source.index()] = 0.0;
             heap.push(HeapEntry {
                 dist: 0.0,
-                node: source,
+                node: self.source,
             });
         }
 
@@ -172,21 +191,15 @@ impl ShortestPathTree {
                     continue;
                 }
                 let nd = d + graph.link(l).delay();
-                let slot = &mut dist[v.index()];
+                let slot = &mut self.dist[v.index()];
                 // Deterministic tie-break: on equal distance keep the parent
                 // with the lower node id.
-                if nd < *slot || (nd == *slot && parent[v.index()].is_some_and(|p| u < p)) {
+                if nd < *slot || (nd == *slot && self.parent[v.index()].is_some_and(|p| u < p)) {
                     *slot = nd;
-                    parent[v.index()] = Some(u);
+                    self.parent[v.index()] = Some(u);
                     heap.push(HeapEntry { dist: nd, node: v });
                 }
             }
-        }
-
-        ShortestPathTree {
-            source,
-            dist,
-            parent,
         }
     }
 

@@ -83,6 +83,7 @@ impl<'g> DynamicSession<'g> {
         let selection = select::select_path(
             self.graph,
             self.control.tree(),
+            self.control.spt(),
             member,
             self.control.config().d_thresh,
             SelectionMode::FullTopology,

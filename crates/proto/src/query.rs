@@ -92,8 +92,17 @@ mod tests {
         );
 
         // The wire decision matches the algorithmic §3.3.1 selection.
-        let algo = select::select_path(&graph, &tree, n.g, 0.3, SelectionMode::NeighborQuery, &[])
-            .unwrap();
+        let spt = ShortestPathTree::compute(&graph, tree.source());
+        let algo = select::select_path(
+            &graph,
+            &tree,
+            &spt,
+            n.g,
+            0.3,
+            SelectionMode::NeighborQuery,
+            &[],
+        )
+        .unwrap();
         let wire_upstream = sim.node(n.g).upstream().unwrap();
         assert_eq!(
             wire_upstream,
