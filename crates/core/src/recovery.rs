@@ -146,6 +146,36 @@ pub fn surviving_connected(
     out
 }
 
+/// Per-node mask of *physical* reachability from `source` under
+/// `scenario`: `true` when any route of usable links and nodes connects the
+/// node to the source, on-tree or not.
+///
+/// This is the recoverability oracle: an affected member with a `false`
+/// entry is partitioned from the source and no protocol can restore it; a
+/// usable member with a `true` entry must be restorable by some detour.
+pub fn reachable_from_source(
+    graph: &Graph,
+    source: NodeId,
+    scenario: &FailureScenario,
+) -> Vec<bool> {
+    let mut mask = vec![false; graph.node_count()];
+    if !scenario.node_usable(source) {
+        return mask;
+    }
+    mask[source.index()] = true;
+    let mut stack = vec![source];
+    while let Some(u) = stack.pop() {
+        for &(v, l) in graph.adjacency(u) {
+            if mask[v.index()] || !scenario.node_usable(v) || !scenario.link_usable(graph, l) {
+                continue;
+            }
+            mask[v.index()] = true;
+            stack.push(v);
+        }
+    }
+    mask
+}
+
 /// Members whose tree path to the source was broken by `scenario` (the
 /// member node itself may also have failed; such members are included).
 pub fn affected_members(
@@ -458,6 +488,74 @@ mod tests {
         let (g, t, [s, _, _, _, _]) = figure1();
         let scenario = FailureScenario::node(s);
         assert!(surviving_connected(&g, &t, &scenario).is_empty());
+    }
+
+    #[test]
+    fn simultaneous_node_and_link_failure_still_recovers_locally() {
+        // Fail node A *and* link C-D at once: C and D are both cut off,
+        // and the C-D shortcut they would otherwise detour over is gone.
+        // Both must route around through B independently.
+        let (g, t, [s, a, b, c, d]) = figure1();
+        let scenario = FailureScenario::node(a).with_link(g.link_between(c, d).unwrap());
+        let mut affected = affected_members(&g, &t, &scenario);
+        affected.sort();
+        assert_eq!(affected, vec![c, d]);
+        // C has no usable route at all: C's links are C-A (node down) and
+        // C-D (link down).
+        assert_eq!(
+            recover(&g, &t, &scenario, c, DetourKind::Local),
+            Err(RecoveryError::Unrecoverable(c))
+        );
+        // D still reaches the surviving tree {S} via B.
+        let rec = recover(&g, &t, &scenario, d, DetourKind::Local).unwrap();
+        assert_eq!(rec.restoration_path().nodes(), &[d, b, s]);
+        assert_eq!(rec.attach(), s);
+        assert_eq!(rec.recovery_distance(), 3.0);
+        // The reachability oracle agrees member-by-member.
+        let reach = reachable_from_source(&g, s, &scenario);
+        assert!(!reach[c.index()]);
+        assert!(reach[d.index()]);
+        assert!(!reach[a.index()], "failed nodes are unreachable");
+    }
+
+    #[test]
+    fn mixed_failure_merged_from_parts_equals_direct_construction() {
+        let (g, t, [_, a, _, c, d]) = figure1();
+        let l_ad = g.link_between(a, d).unwrap();
+        let direct = FailureScenario::link(l_ad).with_node(c);
+        let merged = FailureScenario::link(l_ad).merged(&FailureScenario::node(c));
+        assert_eq!(direct, merged);
+        // D's local detour must now avoid both the failed link and the
+        // failed node C (which blocks the D->C shortcut of Figure 1).
+        let rec = recover(&g, &t, &merged, d, DetourKind::Local).unwrap();
+        assert!(rec.restoration_path().nodes().iter().all(|&n| n != c));
+        assert!(!rec.restoration_path().nodes().contains(&a) || rec.attach() == a);
+    }
+
+    #[test]
+    fn reachability_oracle_matches_recover_outcomes() {
+        // Every affected, usable member: reachable ⇔ recoverable.
+        let (g, t, [s, a, _, _, d]) = figure1();
+        for scenario in [
+            FailureScenario::node(a),
+            FailureScenario::node(a).with_node(d),
+            FailureScenario::link(g.link_between(s, a).unwrap())
+                .with_link(g.link_between(d, NodeId::new(2)).unwrap()),
+        ] {
+            let reach = reachable_from_source(&g, s, &scenario);
+            for m in affected_members(&g, &t, &scenario) {
+                if !scenario.node_usable(m) {
+                    assert!(!reach[m.index()], "failed member {m} cannot be reachable");
+                    continue;
+                }
+                let recovered = recover(&g, &t, &scenario, m, DetourKind::Local).is_ok();
+                assert_eq!(
+                    reach[m.index()],
+                    recovered,
+                    "oracle and recover() disagree on {m} under {scenario}"
+                );
+            }
+        }
     }
 
     #[test]

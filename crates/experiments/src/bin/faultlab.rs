@@ -1,0 +1,153 @@
+//! Correlated fault-injection campaigns (the `smrp-faultlab` subsystem).
+//!
+//! Evaluates thousands of seeded correlated-failure scenarios against both
+//! SMRP (local detour) and the SPF baseline (global detour), audits every
+//! recovery against the protocol's safety invariants, and writes a stable
+//! JSON campaign report. Exits non-zero if any invariant is violated, so
+//! CI can gate on it.
+//!
+//! Usage:
+//! `cargo run -p smrp-experiments --release --bin faultlab -- [options]`
+//!
+//! * `--smoke` — small CI campaign (n=100, 240 scenarios);
+//! * `--scenarios N` — number of fault cases (default 1000);
+//! * `--nodes N` — topology size (default 400);
+//! * `--group N` — multicast group size (default 30);
+//! * `--seed S` — base seed (default 0x5EED);
+//! * `--jobs N` — worker threads (default: available parallelism);
+//! * `--out PATH` — report path (default `results/faultlab.json`).
+//!
+//! The report depends only on the configuration — never on `--jobs`, the
+//! machine, or wall-clock — so identical seeds yield byte-identical files.
+
+use std::process::ExitCode;
+
+use smrp_experiments::results_dir;
+use smrp_faultlab::{run_campaign, CampaignConfig, CampaignReport};
+
+struct Args {
+    config: CampaignConfig,
+    jobs: usize,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = CampaignConfig {
+        nodes: 400,
+        group_size: 30,
+        scenarios: 1000,
+        ..CampaignConfig::default()
+    };
+    let mut jobs = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut out: Option<std::path::PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--smoke" => {
+                config.nodes = 100;
+                config.scenarios = 240;
+            }
+            "--scenarios" => {
+                config.scenarios = value("--scenarios")?
+                    .parse()
+                    .map_err(|e| format!("--scenarios: {e}"))?;
+            }
+            "--nodes" => {
+                config.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--group" => {
+                config.group_size = value("--group")?
+                    .parse()
+                    .map_err(|e| format!("--group: {e}"))?;
+            }
+            "--seed" => {
+                let raw = value("--seed")?;
+                config.base_seed = raw
+                    .strip_prefix("0x")
+                    .map_or_else(|| raw.parse(), |hex| u64::from_str_radix(hex, 16))
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--jobs" => {
+                jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--out" => {
+                out = Some(value("--out")?.into());
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Args {
+        config,
+        jobs,
+        out: out.unwrap_or_else(|| results_dir().join("faultlab.json")),
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("faultlab: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let started = std::time::Instant::now();
+    let run = match run_campaign(&args.config, args.jobs) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("faultlab: campaign failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = started.elapsed();
+    let report = CampaignReport::from_run(&run);
+
+    // Timing goes to the terminal only; the report file stays byte-stable.
+    print!("{}", report.synopsis());
+    println!(
+        "  {} cases in {:.2}s on {} jobs ({:.1} cases/s)",
+        report.cases,
+        elapsed.as_secs_f64(),
+        args.jobs,
+        f64::from(report.cases) / elapsed.as_secs_f64().max(1e-9)
+    );
+
+    if let Some(dir) = args.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("faultlab: could not create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&args.out, json + "\n") {
+        eprintln!("faultlab: could not write {}: {e}", args.out.display());
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", args.out.display());
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        for repro in &report.reproducers {
+            eprintln!(
+                "violation: case {} ({}, seed {:#x}) under {}: {:?}",
+                repro.case.id, repro.case.family, repro.case.seed, repro.proto, repro.violations
+            );
+        }
+        eprintln!(
+            "faultlab: {} invariant violations — reproducers are in {}",
+            report.total_violations,
+            args.out.display()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,536 @@
+//! Parallel Monte-Carlo campaign execution.
+//!
+//! A campaign draws a seeded topology and member set, generates a mixed
+//! stream of correlated fault cases, and evaluates every case against both
+//! SMRP (local detour) and the SPF baseline (global detour): recovery plans
+//! are computed and audited, the message-level simulator measures
+//! restoration latency, and each (case, protocol) pair is classified into
+//! one [`Outcome`].
+//!
+//! Evaluation fans out over worker threads with a shared work-stealing
+//! index; results are keyed by case id and aggregated in id order, so the
+//! campaign output is byte-identical for any `--jobs` value.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use smrp_core::recovery::{self, DetourKind};
+use smrp_core::SmrpConfig;
+use smrp_net::waxman::WaxmanConfig;
+use smrp_net::{Graph, NetError, NodeId};
+use smrp_proto::{FailureTiming, ProtoSession, RecoveryStrategy, TreeProtocol};
+use smrp_sim::SimTime;
+
+use crate::audit::{audit_recovery, Violation};
+use crate::generate::{generate_mix, FaultCase, GeneratorConfig};
+
+/// The protocol a case was evaluated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtoKind {
+    /// SMRP with local-detour recovery.
+    Smrp,
+    /// Shortest-path-first baseline with global-detour recovery.
+    Spf,
+}
+
+impl ProtoKind {
+    /// Both protocols, in evaluation order.
+    pub const ALL: [ProtoKind; 2] = [ProtoKind::Smrp, ProtoKind::Spf];
+
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtoKind::Smrp => "smrp",
+            ProtoKind::Spf => "spf",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How one (case, protocol) evaluation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The failure never touched the session tree; no member lost service.
+    Unaffected,
+    /// Every affected member restored service, and every graft was a
+    /// fragment-root local detour.
+    RestoredLocalDetour,
+    /// Every affected member restored service, but not through clean root
+    /// grafts: cornered roots delegated to per-member recovery, the global
+    /// strategy waited out reconvergence, or a transient repair healed the
+    /// outage.
+    FellBackGlobal,
+    /// Some member could not be restored because no usable route to the
+    /// source exists (or the source itself failed) — unrecoverable by any
+    /// protocol.
+    SourcePartitioned,
+    /// A reachable member never regained service within the run: the
+    /// failure was not detected or the recovery never completed.
+    DetectionMissed,
+    /// The invariant auditor rejected the recovery (see the attached
+    /// violations — these are protocol bugs, not scenario properties).
+    InvariantViolation,
+}
+
+impl Outcome {
+    /// Every outcome class, in report order.
+    pub const ALL: [Outcome; 6] = [
+        Outcome::Unaffected,
+        Outcome::RestoredLocalDetour,
+        Outcome::FellBackGlobal,
+        Outcome::SourcePartitioned,
+        Outcome::DetectionMissed,
+        Outcome::InvariantViolation,
+    ];
+
+    /// Stable kebab-case name (used as report keys).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Outcome::Unaffected => "unaffected",
+            Outcome::RestoredLocalDetour => "restored-local-detour",
+            Outcome::FellBackGlobal => "fell-back-global",
+            Outcome::SourcePartitioned => "source-partitioned",
+            Outcome::DetectionMissed => "detection-missed",
+            Outcome::InvariantViolation => "invariant-violation",
+        }
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Knobs of a whole campaign. Serialized verbatim into the report header
+/// (minus anything execution-dependent: job count and wall-clock never
+/// enter the report, keeping it byte-stable across machines).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Topology size (Waxman unit-square graph).
+    pub nodes: usize,
+    /// Multicast group size.
+    pub group_size: usize,
+    /// Waxman `α` (edge-density knob).
+    pub alpha: f64,
+    /// Number of fault cases to generate and evaluate.
+    pub scenarios: usize,
+    /// Base RNG seed; topology, member set and every fault case derive
+    /// their own sub-seeds from it.
+    pub base_seed: u64,
+    /// Scenario-generator knobs.
+    pub generator: GeneratorConfig,
+    /// When the failure is injected, in milliseconds.
+    pub fail_at_ms: f64,
+    /// Simulation horizon per case, in milliseconds.
+    pub run_until_ms: f64,
+    /// Unicast reconvergence delay charged to the SPF baseline's global
+    /// detour, in milliseconds.
+    pub reconvergence_ms: f64,
+}
+
+impl Default for CampaignConfig {
+    /// A paper-scale default: `N = 100`, 30 members, 1000 mixed cases.
+    fn default() -> Self {
+        CampaignConfig {
+            nodes: 100,
+            group_size: 30,
+            alpha: 0.2,
+            scenarios: 1000,
+            base_seed: 0x5EED,
+            generator: GeneratorConfig::default(),
+            fail_at_ms: 100.0,
+            run_until_ms: 3000.0,
+            reconvergence_ms: 800.0,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Generates the campaign topology (same seeded-Waxman idiom as the
+    /// repo's experiment scenarios).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator configuration errors.
+    pub fn topology(&self) -> Result<Graph, NetError> {
+        Ok(WaxmanConfig::new(self.nodes)
+            .alpha(self.alpha)
+            .seed(self.base_seed ^ 0x9E37_79B9)
+            .generate()?
+            .into_graph())
+    }
+
+    /// Samples the source and member set for the campaign topology.
+    pub fn pick_members(&self, graph: &Graph) -> (NodeId, Vec<NodeId>) {
+        let mut rng = SmallRng::seed_from_u64(self.base_seed.wrapping_add(0xA5A5_A5A5));
+        let mut ids: Vec<NodeId> = graph.node_ids().collect();
+        ids.shuffle(&mut rng);
+        let take = self.group_size.min(ids.len() - 1);
+        (ids[0], ids[1..=take].to_vec())
+    }
+}
+
+/// The evaluation of one case against one protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtoOutcome {
+    /// The classification.
+    pub outcome: Outcome,
+    /// Members whose tree path the failure broke.
+    pub affected: u32,
+    /// Affected members that regained service within the run.
+    pub restored: u32,
+    /// Restoration latency of each restored member, in milliseconds,
+    /// in member-id order.
+    pub latencies_ms: Vec<f64>,
+    /// Invariant violations the auditor found (normally empty).
+    pub violations: Vec<Violation>,
+}
+
+/// The evaluation of one generated fault case against both protocols.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// The case that was evaluated (id, family, seed, scenario, timing).
+    pub case: FaultCase,
+    /// SMRP under local-detour recovery.
+    pub smrp: ProtoOutcome,
+    /// SPF baseline under global-detour recovery.
+    pub spf: ProtoOutcome,
+}
+
+impl CaseResult {
+    /// The evaluation for `proto`.
+    pub fn for_proto(&self, proto: ProtoKind) -> &ProtoOutcome {
+        match proto {
+            ProtoKind::Smrp => &self.smrp,
+            ProtoKind::Spf => &self.spf,
+        }
+    }
+
+    /// Whether either protocol's auditor flagged this case.
+    pub fn has_violations(&self) -> bool {
+        !self.smrp.violations.is_empty() || !self.spf.violations.is_empty()
+    }
+}
+
+/// Evaluates one case against one protocol session.
+fn evaluate_proto(
+    graph: &Graph,
+    session: &ProtoSession<'_>,
+    cfg: &CampaignConfig,
+    case: &FaultCase,
+    proto: ProtoKind,
+) -> ProtoOutcome {
+    let scenario = &case.scenario;
+    let source = session.source();
+    let (kind, strategy) = match proto {
+        ProtoKind::Smrp => (DetourKind::Local, RecoveryStrategy::LocalDetour),
+        ProtoKind::Spf => (
+            DetourKind::Global,
+            RecoveryStrategy::GlobalDetour {
+                reconvergence: SimTime::from_ms(cfg.reconvergence_ms),
+            },
+        ),
+    };
+
+    let affected = recovery::affected_members(graph, session.tree(), scenario);
+    if affected.is_empty() {
+        // Fast path: the failure misses the tree entirely; nothing to
+        // recover, nothing to simulate.
+        return ProtoOutcome {
+            outcome: Outcome::Unaffected,
+            affected: 0,
+            restored: 0,
+            latencies_ms: Vec::new(),
+            violations: Vec::new(),
+        };
+    }
+
+    let plans = session.plan_recoveries(scenario, kind);
+    let violations = audit_recovery(graph, session.tree(), scenario, &plans);
+    if !violations.is_empty() {
+        return ProtoOutcome {
+            outcome: Outcome::InvariantViolation,
+            affected: affected.len() as u32,
+            restored: 0,
+            latencies_ms: Vec::new(),
+            violations,
+        };
+    }
+
+    if !scenario.node_usable(source) {
+        // The source itself died: no protocol can restore anything, and
+        // there is no data plane worth simulating.
+        return ProtoOutcome {
+            outcome: Outcome::SourcePartitioned,
+            affected: affected.len() as u32,
+            restored: 0,
+            latencies_ms: Vec::new(),
+            violations: Vec::new(),
+        };
+    }
+
+    let timing = if case.timing.transient {
+        FailureTiming::transient(
+            SimTime::from_ms(cfg.fail_at_ms),
+            SimTime::from_ms(cfg.fail_at_ms + case.timing.repair_after_ms),
+        )
+    } else {
+        FailureTiming::persistent(SimTime::from_ms(cfg.fail_at_ms))
+    };
+    let report = session.run_failure_timed(
+        scenario,
+        strategy,
+        timing,
+        SimTime::from_ms(cfg.run_until_ms),
+    );
+
+    let latencies_ms: Vec<f64> = report
+        .restorations
+        .iter()
+        .filter_map(|(_, l)| l.map(SimTime::as_ms))
+        .collect();
+    let restored = latencies_ms.len() as u32;
+
+    let outcome = if report.all_restored() {
+        let clean_local = proto == ProtoKind::Smrp
+            && plans.all_root_grafts()
+            && plans.unrecoverable.is_empty()
+            && !case.timing.transient;
+        if clean_local {
+            Outcome::RestoredLocalDetour
+        } else {
+            Outcome::FellBackGlobal
+        }
+    } else {
+        let reach = recovery::reachable_from_source(graph, source, scenario);
+        let unrestored_partitioned = report
+            .restorations
+            .iter()
+            .filter(|(_, l)| l.is_none())
+            .all(|(m, _)| !scenario.node_usable(*m) || !reach[m.index()]);
+        // Transient outages heal, so an unrestored-but-reachable member
+        // under repair is still a detection miss, and a partitioned member
+        // that the repair would have reconnected counts as partitioned
+        // only if it stayed unrestored to the end of the run — which the
+        // simulator already told us.
+        if unrestored_partitioned && !case.timing.transient {
+            Outcome::SourcePartitioned
+        } else {
+            Outcome::DetectionMissed
+        }
+    };
+
+    ProtoOutcome {
+        outcome,
+        affected: affected.len() as u32,
+        restored,
+        latencies_ms,
+        violations: Vec::new(),
+    }
+}
+
+/// Evaluates one fault case against both protocol sessions.
+pub fn evaluate_case(
+    graph: &Graph,
+    smrp: &ProtoSession<'_>,
+    spf: &ProtoSession<'_>,
+    cfg: &CampaignConfig,
+    case: &FaultCase,
+) -> CaseResult {
+    CaseResult {
+        case: case.clone(),
+        smrp: evaluate_proto(graph, smrp, cfg, case, ProtoKind::Smrp),
+        spf: evaluate_proto(graph, spf, cfg, case, ProtoKind::Spf),
+    }
+}
+
+/// The raw output of a campaign run: one [`CaseResult`] per generated
+/// case, in case-id order regardless of scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRun {
+    /// The evaluated configuration.
+    pub config: CampaignConfig,
+    /// Per-case results, sorted by case id.
+    pub results: Vec<CaseResult>,
+}
+
+/// Runs a full campaign on `jobs` worker threads.
+///
+/// Determinism contract: the result depends only on `cfg` — cases are
+/// generated up front from the base seed, workers pull cases off a shared
+/// atomic index, and results are reassembled in case-id order, so any job
+/// count (including 1) produces an identical [`CampaignRun`].
+///
+/// # Errors
+///
+/// Propagates topology-generation and tree-construction failures.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a bug in the evaluator itself).
+pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> Result<CampaignRun, NetError> {
+    let jobs = jobs.max(1);
+    let graph = cfg.topology()?;
+    let (source, members) = cfg.pick_members(&graph);
+    // Generated topologies are connected and the member picker only hands
+    // out existing nodes, so tree construction cannot fail here.
+    let smrp = ProtoSession::build(
+        &graph,
+        source,
+        &members,
+        TreeProtocol::Smrp(SmrpConfig::default()),
+    )
+    .expect("SMRP session builds on a connected topology");
+    let spf = ProtoSession::build(&graph, source, &members, TreeProtocol::Spf)
+        .expect("SPF session builds on a connected topology");
+
+    let cases = generate_mix(&graph, &cfg.generator, cfg.scenarios, cfg.base_seed);
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<CaseResult>> = Mutex::new(Vec::with_capacity(cases.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(cases.len().max(1)) {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(case) = cases.get(i) else { break };
+                    local.push(evaluate_case(&graph, &smrp, &spf, cfg, case));
+                }
+                results.lock().expect("no poisoned workers").extend(local);
+            });
+        }
+    });
+
+    let mut results = results.into_inner().expect("workers joined");
+    results.sort_by_key(|r| r.case.id);
+    Ok(CampaignRun {
+        config: cfg.clone(),
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::FaultFamily;
+
+    fn small_config() -> CampaignConfig {
+        CampaignConfig {
+            nodes: 30,
+            group_size: 8,
+            alpha: 0.3,
+            scenarios: 24,
+            base_seed: 42,
+            run_until_ms: 2000.0,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_classifies_every_case() {
+        let run = run_campaign(&small_config(), 2).unwrap();
+        assert_eq!(run.results.len(), 24);
+        for (i, r) in run.results.iter().enumerate() {
+            assert_eq!(r.case.id as usize, i);
+            // Every evaluation lands in exactly one class, and restored
+            // counts stay within affected counts.
+            for proto in ProtoKind::ALL {
+                let o = r.for_proto(proto);
+                assert!(o.restored <= o.affected);
+                assert_eq!(o.restored as usize, o.latencies_ms.len());
+                if o.outcome == Outcome::Unaffected {
+                    assert_eq!(o.affected, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_has_no_invariant_violations() {
+        let run = run_campaign(&small_config(), 2).unwrap();
+        for r in &run.results {
+            assert!(!r.has_violations(), "case {}: {:?}", r.case.id, r);
+        }
+    }
+
+    #[test]
+    fn jobs_do_not_change_results() {
+        let cfg = small_config();
+        let a = run_campaign(&cfg, 1).unwrap();
+        let b = run_campaign(&cfg, 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_link_cut_on_figure1_restores_locally() {
+        // A campaign over the 5-node paper graph would be noise; instead
+        // check the classifier directly on the canonical Figure 1 cut.
+        let (graph, nodes) = smrp_core::paper::figure1_graph();
+        let smrp = ProtoSession::build(
+            &graph,
+            nodes.s,
+            &[nodes.c, nodes.d],
+            TreeProtocol::Smrp(SmrpConfig::default()),
+        )
+        .unwrap();
+        let spf =
+            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        let l_ad = graph.link_between(nodes.a, nodes.d).unwrap();
+        let cfg = CampaignConfig::default();
+        let case = FaultCase {
+            id: 0,
+            family: FaultFamily::KLink,
+            seed: 1,
+            scenario: smrp_net::FailureScenario::link(l_ad),
+            timing: crate::generate::Timing::persistent(),
+        };
+        let result = evaluate_case(&graph, &smrp, &spf, &cfg, &case);
+        assert_eq!(result.smrp.outcome, Outcome::RestoredLocalDetour);
+        assert_eq!(result.spf.outcome, Outcome::FellBackGlobal);
+        assert!(result.smrp.latencies_ms.iter().all(|&l| l > 0.0));
+        // Local detour beats waiting out reconvergence.
+        let s_max = result.smrp.latencies_ms.iter().cloned().fold(0.0, f64::max);
+        let g_min = result
+            .spf
+            .latencies_ms
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min);
+        assert!(s_max < g_min, "smrp {s_max}ms vs spf {g_min}ms");
+    }
+
+    #[test]
+    fn source_failure_is_partitioned_for_both_protocols() {
+        let (graph, nodes) = smrp_core::paper::figure1_graph();
+        let smrp = ProtoSession::build(
+            &graph,
+            nodes.s,
+            &[nodes.c, nodes.d],
+            TreeProtocol::Smrp(SmrpConfig::default()),
+        )
+        .unwrap();
+        let spf =
+            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        let case = FaultCase {
+            id: 0,
+            family: FaultFamily::KNode,
+            seed: 1,
+            scenario: smrp_net::FailureScenario::node(nodes.s),
+            timing: crate::generate::Timing::persistent(),
+        };
+        let result = evaluate_case(&graph, &smrp, &spf, &CampaignConfig::default(), &case);
+        assert_eq!(result.smrp.outcome, Outcome::SourcePartitioned);
+        assert_eq!(result.spf.outcome, Outcome::SourcePartitioned);
+    }
+}

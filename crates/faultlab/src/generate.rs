@@ -1,0 +1,423 @@
+//! Deterministic, seeded generation of correlated fault scenarios.
+//!
+//! The repo's hand-built [`FailureScenario`]s exercise one link or one node
+//! at a time (the paper's Figure 1 regime). Real outages are often multiple
+//! and correlated — a conduit cut takes every fiber in it, a power event
+//! takes every router in a region — so the generator produces *families* of
+//! failures:
+//!
+//! * [`FaultFamily::KLink`] — `k` independent random link cuts;
+//! * [`FaultFamily::KNode`] — `k` independent random router crashes;
+//! * [`FaultFamily::Srlg`] — a shared-risk link group: links whose
+//!   geometric midpoints share a conduit cell all fail together;
+//! * [`FaultFamily::Regional`] — every node within radius `r` of a random
+//!   epicenter fails (a regional outage).
+//!
+//! Every case derives its own RNG seed from `(base_seed, case id)`, so a
+//! campaign is reproducible from its base seed alone and any single case is
+//! reproducible from its serialized [`FaultCase`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use smrp_net::{FailureScenario, Graph, LinkId, NodeId};
+
+/// The family a generated scenario belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultFamily {
+    /// `k` uniformly random link failures.
+    KLink,
+    /// `k` uniformly random node failures.
+    KNode,
+    /// One shared-risk link group (conduit) fails wholesale.
+    Srlg,
+    /// All nodes within a radius of a random epicenter fail.
+    Regional,
+}
+
+impl FaultFamily {
+    /// All families, in the round-robin order the mixed generator uses.
+    pub const ALL: [FaultFamily; 4] = [
+        FaultFamily::KLink,
+        FaultFamily::KNode,
+        FaultFamily::Srlg,
+        FaultFamily::Regional,
+    ];
+
+    /// Stable lowercase name (used in reports and tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultFamily::KLink => "k-link",
+            FaultFamily::KNode => "k-node",
+            FaultFamily::Srlg => "srlg",
+            FaultFamily::Regional => "regional",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether the failure persists or heals mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Timing {
+    /// `true`: the failure is repaired `repair_after_ms` after injection
+    /// (a maintenance window or flapping component); `false`: the paper's
+    /// persistent regime.
+    pub transient: bool,
+    /// Outage duration for transient cases (ignored when persistent).
+    pub repair_after_ms: f64,
+}
+
+impl Timing {
+    /// The paper's persistent regime.
+    pub fn persistent() -> Self {
+        Timing {
+            transient: false,
+            repair_after_ms: 0.0,
+        }
+    }
+}
+
+/// Knobs of the scenario generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Links cut per `KLink` case.
+    pub k_link: usize,
+    /// Nodes crashed per `KNode` case.
+    pub k_node: usize,
+    /// Conduit-grid resolution for SRLG derivation: the unit square is cut
+    /// into `srlg_grid × srlg_grid` cells and links whose midpoints share a
+    /// cell share fate.
+    pub srlg_grid: usize,
+    /// Epicenter radius for regional failures, in the topology's coordinate
+    /// units (the Waxman unit square).
+    pub regional_radius: f64,
+    /// Fraction of cases drawn as transient instead of persistent.
+    pub transient_fraction: f64,
+    /// Outage duration of transient cases, in milliseconds.
+    pub repair_after_ms: f64,
+}
+
+impl Default for GeneratorConfig {
+    /// Two-failure correlation by default (`k = 2`), a 5×5 conduit grid, a
+    /// 0.15-radius region and a 20% transient share with 250 ms outages.
+    fn default() -> Self {
+        GeneratorConfig {
+            k_link: 2,
+            k_node: 2,
+            srlg_grid: 5,
+            regional_radius: 0.15,
+            transient_fraction: 0.2,
+            repair_after_ms: 250.0,
+        }
+    }
+}
+
+/// One generated fault case: the minimal reproducer for anything it breaks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCase {
+    /// Campaign-local case index.
+    pub id: u32,
+    /// The family this case was drawn from.
+    pub family: FaultFamily,
+    /// The exact RNG seed the case was generated with.
+    pub seed: u64,
+    /// The concrete failed links/nodes.
+    pub scenario: FailureScenario,
+    /// Persistent or transient injection.
+    pub timing: Timing,
+}
+
+/// Derives the shared-risk link groups of `graph` from its geometry: links
+/// whose midpoints fall in the same cell of a `grid × grid` partition of
+/// the unit square are assumed to share a physical conduit. Groups of at
+/// least two links qualify; returned in deterministic cell order.
+///
+/// Graphs without node positions (imported topologies) fall back to
+/// node-incidence conduits: every node of degree ≥ 2 forms a group of its
+/// incident links, modelling a site whose cable tray fails as one.
+pub fn derive_srlgs(graph: &Graph, grid: usize) -> Vec<Vec<LinkId>> {
+    let grid = grid.max(1);
+    let has_positions = graph.node_ids().all(|n| graph.position(n).is_some());
+    if has_positions {
+        let mut cells: std::collections::BTreeMap<(u64, u64), Vec<LinkId>> = Default::default();
+        for l in graph.link_ids() {
+            let link = graph.link(l);
+            let pa = graph.position(link.a()).expect("checked above");
+            let pb = graph.position(link.b()).expect("checked above");
+            let mid_x = (pa.x + pb.x) / 2.0;
+            let mid_y = (pa.y + pb.y) / 2.0;
+            let clamp = |v: f64| ((v * grid as f64) as u64).min(grid as u64 - 1);
+            cells
+                .entry((clamp(mid_x), clamp(mid_y)))
+                .or_default()
+                .push(l);
+        }
+        cells.into_values().filter(|g| g.len() >= 2).collect()
+    } else {
+        graph
+            .node_ids()
+            .filter(|&n| graph.degree(n) >= 2)
+            .map(|n| graph.adjacency(n).iter().map(|&(_, l)| l).collect())
+            .collect()
+    }
+}
+
+/// Samples `k` distinct elements of `0..n` (as indices).
+fn sample_distinct(rng: &mut SmallRng, n: usize, k: usize) -> Vec<usize> {
+    let k = k.min(n);
+    let mut picked = std::collections::BTreeSet::new();
+    while picked.len() < k {
+        picked.insert(rng.gen_range(0..n));
+    }
+    picked.into_iter().collect()
+}
+
+/// Generates the case with index `id` of `family`, seeded from
+/// `base_seed`. Identical arguments always produce identical cases.
+pub fn generate_case(
+    graph: &Graph,
+    cfg: &GeneratorConfig,
+    family: FaultFamily,
+    id: u32,
+    base_seed: u64,
+) -> FaultCase {
+    // splitmix-style sub-seed derivation, matching the repo's convention of
+    // per-index seeds off one base seed.
+    let seed = base_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(id).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let scenario = match family {
+        FaultFamily::KLink => {
+            let links: Vec<LinkId> = graph.link_ids().collect();
+            FailureScenario::links(
+                sample_distinct(&mut rng, links.len(), cfg.k_link)
+                    .into_iter()
+                    .map(|i| links[i]),
+            )
+        }
+        FaultFamily::KNode => {
+            let nodes: Vec<NodeId> = graph.node_ids().collect();
+            FailureScenario::nodes(
+                sample_distinct(&mut rng, nodes.len(), cfg.k_node)
+                    .into_iter()
+                    .map(|i| nodes[i]),
+            )
+        }
+        FaultFamily::Srlg => {
+            let groups = derive_srlgs(graph, cfg.srlg_grid);
+            if groups.is_empty() {
+                // Degenerate topology with no shared conduits: fall back to
+                // a correlated double link cut.
+                let links: Vec<LinkId> = graph.link_ids().collect();
+                FailureScenario::links(
+                    sample_distinct(&mut rng, links.len(), 2)
+                        .into_iter()
+                        .map(|i| links[i]),
+                )
+            } else {
+                let g = rng.gen_range(0..groups.len());
+                FailureScenario::links(groups[g].iter().copied())
+            }
+        }
+        FaultFamily::Regional => {
+            let nodes: Vec<NodeId> = graph.node_ids().collect();
+            let epicenter = nodes[rng.gen_range(0..nodes.len())];
+            match graph.position(epicenter) {
+                Some(center) => FailureScenario::nodes(
+                    nodes
+                        .iter()
+                        .copied()
+                        .filter(|&n| {
+                            graph
+                                .position(n)
+                                .is_some_and(|p| p.distance(center) <= cfg.regional_radius)
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+                // No geometry: a "region" is the epicenter plus its
+                // immediate neighborhood.
+                None => {
+                    let mut s = FailureScenario::node(epicenter);
+                    for n in graph.neighbors(epicenter) {
+                        s.fail_node(n);
+                    }
+                    s
+                }
+            }
+        }
+    };
+
+    let transient = cfg.transient_fraction > 0.0 && rng.gen_bool(cfg.transient_fraction);
+    FaultCase {
+        id,
+        family,
+        seed,
+        scenario,
+        timing: Timing {
+            transient,
+            repair_after_ms: if transient { cfg.repair_after_ms } else { 0.0 },
+        },
+    }
+}
+
+/// Generates `count` cases cycling round-robin through all four families.
+pub fn generate_mix(
+    graph: &Graph,
+    cfg: &GeneratorConfig,
+    count: usize,
+    base_seed: u64,
+) -> Vec<FaultCase> {
+    (0..count)
+        .map(|i| {
+            let family = FaultFamily::ALL[i % FaultFamily::ALL.len()];
+            generate_case(graph, cfg, family, i as u32, base_seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smrp_net::waxman::WaxmanConfig;
+
+    fn waxman(n: usize, seed: u64) -> Graph {
+        WaxmanConfig::new(n)
+            .alpha(0.25)
+            .seed(seed)
+            .generate()
+            .unwrap()
+            .into_graph()
+    }
+
+    #[test]
+    fn identical_seeds_generate_identical_cases() {
+        let g = waxman(50, 7);
+        let cfg = GeneratorConfig::default();
+        let a = generate_mix(&g, &cfg, 40, 99);
+        let b = generate_mix(&g, &cfg, 40, 99);
+        assert_eq!(a, b);
+        let c = generate_mix(&g, &cfg, 40, 100);
+        assert_ne!(a, c, "different base seed changes the cases");
+    }
+
+    #[test]
+    fn families_produce_their_shapes() {
+        let g = waxman(50, 7);
+        let cfg = GeneratorConfig::default();
+        for (i, case) in generate_mix(&g, &cfg, 40, 3).iter().enumerate() {
+            assert_eq!(case.id as usize, i);
+            match case.family {
+                FaultFamily::KLink => {
+                    assert_eq!(case.scenario.failed_links().count(), cfg.k_link);
+                    assert_eq!(case.scenario.failed_nodes().count(), 0);
+                }
+                FaultFamily::KNode => {
+                    assert_eq!(case.scenario.failed_nodes().count(), cfg.k_node);
+                    assert_eq!(case.scenario.failed_links().count(), 0);
+                }
+                FaultFamily::Srlg => {
+                    assert!(case.scenario.failed_links().count() >= 2);
+                }
+                FaultFamily::Regional => {
+                    // The epicenter itself always falls in the region.
+                    assert!(case.scenario.failed_nodes().count() >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn srlg_groups_share_conduit_cells() {
+        let g = waxman(60, 11);
+        let groups = derive_srlgs(&g, 5);
+        assert!(!groups.is_empty(), "a 60-node Waxman graph has conduits");
+        for group in &groups {
+            assert!(group.len() >= 2);
+            // All midpoints in one cell: pairwise midpoint distance is
+            // bounded by the cell diagonal.
+            let mids: Vec<_> = group
+                .iter()
+                .map(|&l| {
+                    let link = g.link(l);
+                    let a = g.position(link.a()).unwrap();
+                    let b = g.position(link.b()).unwrap();
+                    smrp_net::Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+                })
+                .collect();
+            let diag = (2.0f64).sqrt() / 5.0 + 1e-9;
+            for i in 0..mids.len() {
+                for j in i + 1..mids.len() {
+                    assert!(mids[i].distance(mids[j]) <= diag);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn srlg_fallback_without_positions_groups_by_node() {
+        let mut g = Graph::with_nodes(4);
+        let ids: Vec<_> = g.node_ids().collect();
+        g.add_link(ids[0], ids[1], 1.0).unwrap();
+        g.add_link(ids[0], ids[2], 1.0).unwrap();
+        g.add_link(ids[0], ids[3], 1.0).unwrap();
+        let groups = derive_srlgs(&g, 5);
+        assert_eq!(groups.len(), 1, "only the hub has degree >= 2");
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    fn regional_cases_fail_a_geometric_ball() {
+        let g = waxman(80, 5);
+        let cfg = GeneratorConfig {
+            regional_radius: 0.2,
+            ..GeneratorConfig::default()
+        };
+        let case = generate_case(&g, &cfg, FaultFamily::Regional, 3, 1);
+        let failed: Vec<NodeId> = case.scenario.failed_nodes().collect();
+        assert!(!failed.is_empty());
+        // Every failed pair sits within one diameter of each other.
+        for &a in &failed {
+            for &b in &failed {
+                let pa = g.position(a).unwrap();
+                let pb = g.position(b).unwrap();
+                assert!(pa.distance(pb) <= 2.0 * cfg.regional_radius + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn transient_fraction_is_respected_roughly() {
+        let g = waxman(50, 7);
+        let cfg = GeneratorConfig {
+            transient_fraction: 0.5,
+            ..GeneratorConfig::default()
+        };
+        let cases = generate_mix(&g, &cfg, 200, 17);
+        let transient = cases.iter().filter(|c| c.timing.transient).count();
+        assert!((50..150).contains(&transient), "got {transient} of 200");
+        let cfg = GeneratorConfig {
+            transient_fraction: 0.0,
+            ..cfg
+        };
+        assert!(generate_mix(&g, &cfg, 50, 17)
+            .iter()
+            .all(|c| !c.timing.transient));
+    }
+
+    #[test]
+    fn cases_round_trip_through_json() {
+        let g = waxman(40, 2);
+        let case = generate_case(&g, &GeneratorConfig::default(), FaultFamily::Srlg, 9, 4);
+        let text = serde_json::to_string(&case).unwrap();
+        let back: FaultCase = serde_json::from_str(&text).unwrap();
+        assert_eq!(case, back);
+    }
+}

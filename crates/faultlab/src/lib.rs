@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Correlated fault-injection campaigns for the SMRP reproduction.
+//!
+//! The paper (§4) evaluates SMRP under single persistent failures. This
+//! crate stress-tests the whole stack far beyond that regime with seeded
+//! Monte-Carlo campaigns of *correlated* failures, and audits every
+//! recovery against the protocol's safety invariants:
+//!
+//! * [`generate`] — deterministic scenario generation: `k`-random-link,
+//!   `k`-random-node, shared-risk link groups derived from the topology's
+//!   geometry (links sharing a conduit cell fail together), regional
+//!   outages (all nodes within a radius of an epicenter), each drawn
+//!   persistent or transient;
+//! * [`campaign`] — the parallel Monte-Carlo runner: every case is
+//!   evaluated against both SMRP (local detour) and the SPF baseline
+//!   (global detour), classified into an [`Outcome`], and timed through
+//!   the message-level simulator. Results are deterministic in the base
+//!   seed and independent of the worker-thread count;
+//! * [`audit`] — the invariant auditor: reconstructs the post-recovery
+//!   tree and checks structure (acyclicity + SHR/N bookkeeping via the
+//!   `MulticastTree::validate` oracle), member coverage against the
+//!   physical-reachability oracle, absence of failed links, and that
+//!   every detour lands on the surviving tree. Violations become minimal
+//!   reproducers (case seed + scenario JSON);
+//! * [`report`] — stable JSON campaign reports with per-family×protocol
+//!   outcome tables and restoration-latency distributions.
+//!
+//! ```
+//! use smrp_faultlab::{run_campaign, CampaignConfig, CampaignReport};
+//!
+//! let cfg = CampaignConfig {
+//!     nodes: 30,
+//!     group_size: 8,
+//!     scenarios: 8,
+//!     ..CampaignConfig::default()
+//! };
+//! let run = run_campaign(&cfg, 2).expect("topology generates");
+//! let report = CampaignReport::from_run(&run);
+//! assert!(report.is_clean());
+//! ```
+
+pub mod audit;
+pub mod campaign;
+pub mod generate;
+pub mod report;
+
+pub use audit::{audit_recovery, rebuild_after_recovery, Invariant, Violation};
+pub use campaign::{
+    evaluate_case, run_campaign, CampaignConfig, CampaignRun, CaseResult, Outcome, ProtoKind,
+    ProtoOutcome,
+};
+pub use generate::{
+    derive_srlgs, generate_case, generate_mix, FaultCase, FaultFamily, GeneratorConfig, Timing,
+};
+pub use report::{CampaignReport, CaseRow, LatencySummary, OutcomeCounts, Reproducer};

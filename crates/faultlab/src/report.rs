@@ -1,0 +1,374 @@
+//! Campaign reports: aggregation, reproducers and stable JSON output.
+//!
+//! The report is a pure function of the [`CampaignRun`] — it echoes the
+//! configuration, tabulates outcomes per (family × protocol), summarises
+//! the restoration-latency distribution per protocol, and attaches a
+//! minimal reproducer (case seed + scenario JSON) for every invariant
+//! violation. Job counts and wall-clock never enter the report, so the
+//! serialized form is byte-identical across machines and `--jobs` values.
+
+use serde::{Deserialize, Serialize};
+use smrp_metrics::Stats;
+
+use crate::audit::Violation;
+use crate::campaign::{CampaignConfig, CampaignRun, CaseResult, Outcome, ProtoKind};
+use crate::generate::{FaultCase, FaultFamily};
+
+/// Outcome counts of one (family, protocol) cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// The fault family of this cell.
+    pub family: FaultFamily,
+    /// The protocol of this cell.
+    pub proto: ProtoKind,
+    /// Cases whose failure missed the tree.
+    pub unaffected: u32,
+    /// Cases fully restored through clean fragment-root local detours.
+    pub restored_local_detour: u32,
+    /// Cases fully restored some other way (global detour, per-member
+    /// fallback, transient repair).
+    pub fell_back_global: u32,
+    /// Cases with members no protocol could restore.
+    pub source_partitioned: u32,
+    /// Cases where a reachable member never regained service.
+    pub detection_missed: u32,
+    /// Cases the invariant auditor rejected.
+    pub invariant_violation: u32,
+}
+
+impl OutcomeCounts {
+    fn new(family: FaultFamily, proto: ProtoKind) -> Self {
+        OutcomeCounts {
+            family,
+            proto,
+            unaffected: 0,
+            restored_local_detour: 0,
+            fell_back_global: 0,
+            source_partitioned: 0,
+            detection_missed: 0,
+            invariant_violation: 0,
+        }
+    }
+
+    fn bump(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Unaffected => self.unaffected += 1,
+            Outcome::RestoredLocalDetour => self.restored_local_detour += 1,
+            Outcome::FellBackGlobal => self.fell_back_global += 1,
+            Outcome::SourcePartitioned => self.source_partitioned += 1,
+            Outcome::DetectionMissed => self.detection_missed += 1,
+            Outcome::InvariantViolation => self.invariant_violation += 1,
+        }
+    }
+
+    /// Total cases in this cell.
+    pub fn total(&self) -> u32 {
+        self.unaffected
+            + self.restored_local_detour
+            + self.fell_back_global
+            + self.source_partitioned
+            + self.detection_missed
+            + self.invariant_violation
+    }
+}
+
+/// Five-number summary of one protocol's restoration-latency distribution
+/// (milliseconds, restored members only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// The protocol.
+    pub proto: ProtoKind,
+    /// Restored members across all cases.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Median latency.
+    pub p50_ms: f64,
+    /// 95th-percentile latency.
+    pub p95_ms: f64,
+    /// Worst restoration.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a latency sample (empty samples yield all-zero rows).
+    pub fn from_samples(proto: ProtoKind, mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let mut stats = Stats::new();
+        for &s in &samples {
+            stats.push(s);
+        }
+        let q = |p: f64| -> f64 {
+            if samples.is_empty() {
+                return 0.0;
+            }
+            let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+            samples[idx]
+        };
+        LatencySummary {
+            proto,
+            count: stats.count(),
+            mean_ms: if stats.count() == 0 {
+                0.0
+            } else {
+                stats.mean()
+            },
+            p50_ms: q(0.5),
+            p95_ms: q(0.95),
+            max_ms: samples.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// A minimal reproducer for one audited violation: everything needed to
+/// re-run the exact case (`faultlab --replay`): the generated case (id,
+/// family, per-case seed, concrete scenario, timing), the protocol it
+/// failed under, and the violations themselves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reproducer {
+    /// The offending case, verbatim.
+    pub case: FaultCase,
+    /// Which protocol's recovery broke the invariants.
+    pub proto: ProtoKind,
+    /// What the auditor saw.
+    pub violations: Vec<Violation>,
+}
+
+/// One compact per-case row: classification and headline numbers only
+/// (full latency vectors live in the aggregate summaries).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseRow {
+    /// Campaign-local case id.
+    pub id: u32,
+    /// Fault family.
+    pub family: FaultFamily,
+    /// Whether the case was transient.
+    pub transient: bool,
+    /// Failed links in the scenario.
+    pub failed_links: u32,
+    /// Failed nodes in the scenario.
+    pub failed_nodes: u32,
+    /// SMRP classification.
+    pub smrp: Outcome,
+    /// SPF classification.
+    pub spf: Outcome,
+    /// Members SMRP had to restore.
+    pub affected: u32,
+}
+
+/// The full campaign report, as written to disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The configuration the campaign ran with.
+    pub config: CampaignConfig,
+    /// Cases evaluated.
+    pub cases: u32,
+    /// Total invariant violations across all cases and protocols.
+    pub total_violations: u32,
+    /// Outcome counts per (family × protocol) cell, families in
+    /// [`FaultFamily::ALL`] order, protocols in [`ProtoKind::ALL`] order.
+    pub outcomes: Vec<OutcomeCounts>,
+    /// Latency distribution per protocol.
+    pub latencies: Vec<LatencySummary>,
+    /// One reproducer per (case, protocol) with violations.
+    pub reproducers: Vec<Reproducer>,
+    /// Compact per-case classification rows, in case-id order.
+    pub case_rows: Vec<CaseRow>,
+}
+
+impl CampaignReport {
+    /// Builds the report from a finished run.
+    pub fn from_run(run: &CampaignRun) -> Self {
+        let mut outcomes: Vec<OutcomeCounts> = FaultFamily::ALL
+            .iter()
+            .flat_map(|&f| {
+                ProtoKind::ALL
+                    .iter()
+                    .map(move |&p| OutcomeCounts::new(f, p))
+            })
+            .collect();
+        let mut latency_samples: Vec<Vec<f64>> = vec![Vec::new(); ProtoKind::ALL.len()];
+        let mut reproducers = Vec::new();
+        let mut case_rows = Vec::with_capacity(run.results.len());
+        let mut total_violations = 0u32;
+
+        for r in &run.results {
+            for (pi, &proto) in ProtoKind::ALL.iter().enumerate() {
+                let o = r.for_proto(proto);
+                let cell = outcomes
+                    .iter_mut()
+                    .find(|c| c.family == r.case.family && c.proto == proto)
+                    .expect("every (family, proto) cell exists");
+                cell.bump(o.outcome);
+                latency_samples[pi].extend_from_slice(&o.latencies_ms);
+                if !o.violations.is_empty() {
+                    total_violations += o.violations.len() as u32;
+                    reproducers.push(Reproducer {
+                        case: r.case.clone(),
+                        proto,
+                        violations: o.violations.clone(),
+                    });
+                }
+            }
+            case_rows.push(case_row(r));
+        }
+
+        let latencies = ProtoKind::ALL
+            .iter()
+            .zip(latency_samples)
+            .map(|(&p, s)| LatencySummary::from_samples(p, s))
+            .collect();
+
+        CampaignReport {
+            config: run.config.clone(),
+            cases: run.results.len() as u32,
+            total_violations,
+            outcomes,
+            latencies,
+            reproducers,
+            case_rows,
+        }
+    }
+
+    /// Whether the campaign is clean (no invariant violations anywhere).
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// Stable pretty-printed JSON form (what the `faultlab` binary writes).
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the report contains no non-serializable
+    /// values.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Short human-readable synopsis for terminal output.
+    pub fn synopsis(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign: {} cases on n={} (seed {:#x}) — {}",
+            self.cases,
+            self.config.nodes,
+            self.config.base_seed,
+            if self.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} INVARIANT VIOLATIONS", self.total_violations)
+            }
+        );
+        for o in Outcome::ALL {
+            let per_proto: Vec<String> = ProtoKind::ALL
+                .iter()
+                .map(|&p| {
+                    let n: u32 = self
+                        .outcomes
+                        .iter()
+                        .filter(|c| c.proto == p)
+                        .map(|c| match o {
+                            Outcome::Unaffected => c.unaffected,
+                            Outcome::RestoredLocalDetour => c.restored_local_detour,
+                            Outcome::FellBackGlobal => c.fell_back_global,
+                            Outcome::SourcePartitioned => c.source_partitioned,
+                            Outcome::DetectionMissed => c.detection_missed,
+                            Outcome::InvariantViolation => c.invariant_violation,
+                        })
+                        .sum();
+                    format!("{p}={n}")
+                })
+                .collect();
+            let _ = writeln!(out, "  {:<22} {}", o.name(), per_proto.join("  "));
+        }
+        for l in &self.latencies {
+            let _ = writeln!(
+                out,
+                "  latency[{}]: n={} mean={:.2}ms p50={:.2}ms p95={:.2}ms max={:.2}ms",
+                l.proto, l.count, l.mean_ms, l.p50_ms, l.p95_ms, l.max_ms
+            );
+        }
+        out
+    }
+}
+
+fn case_row(r: &CaseResult) -> CaseRow {
+    CaseRow {
+        id: r.case.id,
+        family: r.case.family,
+        transient: r.case.timing.transient,
+        failed_links: r.case.scenario.failed_links().count() as u32,
+        failed_nodes: r.case.scenario.failed_nodes().count() as u32,
+        smrp: r.smrp.outcome,
+        spf: r.spf.outcome,
+        affected: r.smrp.affected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+
+    fn tiny_run() -> CampaignRun {
+        let cfg = CampaignConfig {
+            nodes: 25,
+            group_size: 6,
+            alpha: 0.3,
+            scenarios: 16,
+            base_seed: 7,
+            run_until_ms: 2000.0,
+            ..CampaignConfig::default()
+        };
+        run_campaign(&cfg, 2).unwrap()
+    }
+
+    #[test]
+    fn report_accounts_for_every_case() {
+        let run = tiny_run();
+        let report = CampaignReport::from_run(&run);
+        assert_eq!(report.cases, 16);
+        assert_eq!(report.case_rows.len(), 16);
+        for proto in ProtoKind::ALL {
+            let total: u32 = report
+                .outcomes
+                .iter()
+                .filter(|c| c.proto == proto)
+                .map(OutcomeCounts::total)
+                .sum();
+            assert_eq!(total, 16, "{proto}: every case lands in one cell");
+        }
+        assert!(report.is_clean());
+        assert!(report.reproducers.is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = CampaignReport::from_run(&tiny_run());
+        let text = report.to_json();
+        let back: CampaignReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn latency_summary_orders_quantiles() {
+        let s = LatencySummary::from_samples(ProtoKind::Smrp, vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.p50_ms, 3.0);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.max_ms);
+        assert_eq!(s.max_ms, 5.0);
+        let empty = LatencySummary::from_samples(ProtoKind::Spf, Vec::new());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max_ms, 0.0);
+    }
+
+    #[test]
+    fn synopsis_mentions_violations_when_dirty() {
+        let mut report = CampaignReport::from_run(&tiny_run());
+        assert!(report.synopsis().contains("clean"));
+        report.total_violations = 3;
+        assert!(report.synopsis().contains("3 INVARIANT VIOLATIONS"));
+    }
+}

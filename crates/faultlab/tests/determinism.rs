@@ -1,0 +1,62 @@
+//! End-to-end determinism of faultlab campaigns.
+//!
+//! The JSON report is the unit of reproducibility: identical seed and
+//! configuration must yield byte-identical reports, regardless of how many
+//! worker threads executed the campaign or how often it is rerun.
+
+use smrp_faultlab::{run_campaign, CampaignConfig, CampaignReport};
+
+fn small_config() -> CampaignConfig {
+    CampaignConfig {
+        nodes: 60,
+        group_size: 16,
+        scenarios: 48,
+        base_seed: 0xD15C0,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn identical_seed_and_config_yield_byte_identical_reports() {
+    let first = run_campaign(&small_config(), 1).unwrap();
+    let second = run_campaign(&small_config(), 1).unwrap();
+    assert_eq!(
+        CampaignReport::from_run(&first).to_json(),
+        CampaignReport::from_run(&second).to_json()
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_the_report() {
+    let serial = run_campaign(&small_config(), 1).unwrap();
+    let parallel = run_campaign(&small_config(), 4).unwrap();
+    assert_eq!(
+        CampaignReport::from_run(&serial).to_json(),
+        CampaignReport::from_run(&parallel).to_json()
+    );
+}
+
+#[test]
+fn different_seed_changes_the_report() {
+    let base = run_campaign(&small_config(), 1).unwrap();
+    let reseeded = run_campaign(
+        &CampaignConfig {
+            base_seed: 0xD15C1,
+            ..small_config()
+        },
+        1,
+    )
+    .unwrap();
+    assert_ne!(
+        CampaignReport::from_run(&base).to_json(),
+        CampaignReport::from_run(&reseeded).to_json()
+    );
+}
+
+#[test]
+fn small_campaign_is_clean() {
+    let run = run_campaign(&small_config(), 2).unwrap();
+    let report = CampaignReport::from_run(&run);
+    assert!(report.is_clean(), "violations: {:?}", report.reproducers);
+    assert_eq!(report.case_rows.len(), small_config().scenarios);
+}

@@ -60,15 +60,66 @@ impl FailureScenario {
         s
     }
 
-    /// Marks `link` as failed.
+    /// Scenario failing every link in `links` (duplicates collapse).
+    pub fn links<I: IntoIterator<Item = LinkId>>(links: I) -> Self {
+        let mut s = FailureScenario::default();
+        for l in links {
+            s.fail_link(l);
+        }
+        s
+    }
+
+    /// Scenario failing every node in `nodes` (duplicates collapse).
+    pub fn nodes<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
+        let mut s = FailureScenario::default();
+        for n in nodes {
+            s.fail_node(n);
+        }
+        s
+    }
+
+    /// Marks `link` as failed. Idempotent: failing an already-failed link
+    /// is a no-op (the sets dedupe), so correlated fault generators may
+    /// blindly union overlapping failure groups.
     pub fn fail_link(&mut self, link: LinkId) -> &mut Self {
         self.failed_links.insert(link);
         self
     }
 
     /// Marks `node` (and implicitly all its incident links) as failed.
+    /// Idempotent, like [`fail_link`](Self::fail_link).
     pub fn fail_node(&mut self, node: NodeId) -> &mut Self {
         self.failed_nodes.insert(node);
+        self
+    }
+
+    /// Owned-`self` counterpart of [`fail_link`](Self::fail_link) for
+    /// expression-style construction:
+    /// `FailureScenario::none().with_link(a).with_link(b)`.
+    #[must_use]
+    pub fn with_link(mut self, link: LinkId) -> Self {
+        self.fail_link(link);
+        self
+    }
+
+    /// Owned-`self` counterpart of [`fail_node`](Self::fail_node).
+    #[must_use]
+    pub fn with_node(mut self, node: NodeId) -> Self {
+        self.fail_node(node);
+        self
+    }
+
+    /// Clears a link failure (a repaired cable). Removes only a direct
+    /// link failure; links disabled by a node failure stay down until the
+    /// node is repaired.
+    pub fn repair_link(&mut self, link: LinkId) -> &mut Self {
+        self.failed_links.remove(&link);
+        self
+    }
+
+    /// Clears a node failure (a rebooted router).
+    pub fn repair_node(&mut self, node: NodeId) -> &mut Self {
+        self.failed_nodes.remove(&node);
         self
     }
 
@@ -120,10 +171,20 @@ impl FailureScenario {
         })
     }
 
-    /// Merges another scenario into this one.
+    /// Merges another scenario into this one (set union, so overlapping
+    /// failures dedupe). Returns `&mut Self` so merges chain:
+    /// `s.merge(&a).merge(&b)`.
     pub fn merge(&mut self, other: &FailureScenario) -> &mut Self {
         self.failed_links.extend(other.failed_links.iter().copied());
         self.failed_nodes.extend(other.failed_nodes.iter().copied());
+        self
+    }
+
+    /// Owned-`self` counterpart of [`merge`](Self::merge):
+    /// `a.merged(&b).merged(&c)` builds the union without a binding.
+    #[must_use]
+    pub fn merged(mut self, other: &FailureScenario) -> Self {
+        self.merge(other);
         self
     }
 }
@@ -236,5 +297,87 @@ mod tests {
         let mut s = FailureScenario::none();
         s.fail_link(LinkId::new(1)).fail_node(NodeId::new(2));
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn repeated_failures_dedupe() {
+        let (_, ids, links) = path_graph();
+        let mut s = FailureScenario::none();
+        s.fail_link(links[0])
+            .fail_link(links[0])
+            .fail_link(links[0]);
+        s.fail_node(ids[1]).fail_node(ids[1]);
+        assert_eq!(s.failed_links().count(), 1);
+        assert_eq!(s.failed_nodes().count(), 1);
+    }
+
+    #[test]
+    fn owned_combinators_match_mut_builders() {
+        let (_, ids, links) = path_graph();
+        let owned = FailureScenario::none()
+            .with_link(links[0])
+            .with_link(links[0]) // idempotent here too
+            .with_node(ids[2]);
+        let mut built = FailureScenario::none();
+        built.fail_link(links[0]).fail_node(ids[2]);
+        assert_eq!(owned, built);
+    }
+
+    #[test]
+    fn bulk_constructors_collapse_duplicates() {
+        let (_, ids, links) = path_graph();
+        let s = FailureScenario::links([links[0], links[1], links[0]]);
+        assert_eq!(s.failed_links().count(), 2);
+        let s = FailureScenario::nodes([ids[0], ids[0]]);
+        assert_eq!(s.failed_nodes().count(), 1);
+    }
+
+    #[test]
+    fn repair_undoes_direct_failures_only() {
+        let (g, ids, links) = path_graph();
+        let mut s = FailureScenario::none();
+        s.fail_link(links[1]).fail_node(ids[0]);
+        assert!(!s.link_usable(&g, links[1]));
+        s.repair_link(links[1]);
+        assert!(s.link_usable(&g, links[1]));
+        // links[0] touches the failed node ids[0]: repairing the link id
+        // has no effect while the endpoint is down.
+        s.fail_link(links[0]);
+        s.repair_link(links[0]);
+        assert!(!s.link_usable(&g, links[0]));
+        s.repair_node(ids[0]);
+        assert!(s.link_usable(&g, links[0]));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_chains_and_merged_builds_unions() {
+        let (_, ids, links) = path_graph();
+        let a = FailureScenario::link(links[0]);
+        let b = FailureScenario::node(ids[3]);
+        let c = FailureScenario::link(links[0]); // overlaps a
+        let mut chained = FailureScenario::none();
+        chained.merge(&a).merge(&b).merge(&c);
+        let owned = FailureScenario::none().merged(&a).merged(&b).merged(&c);
+        assert_eq!(chained, owned);
+        assert_eq!(chained.failed_links().count(), 1);
+        assert_eq!(chained.failed_nodes().count(), 1);
+    }
+
+    #[test]
+    fn merged_scenario_blocks_paths_with_mixed_failures() {
+        let (g, ids, links) = path_graph();
+        // Link n2-n3 down and node n1 down, merged from two scenarios.
+        let s = FailureScenario::link(links[2]).merged(&FailureScenario::node(ids[1]));
+        // Whole path crosses both failures.
+        assert!(!s.path_usable(&g, &ids));
+        // n0-n1 is blocked by the node failure alone.
+        assert!(!s.path_usable(&g, &ids[..2]));
+        // n1-n2 blocked (endpoint down), n2-n3 blocked (link down).
+        assert!(!s.path_usable(&g, &ids[1..3]));
+        assert!(!s.path_usable(&g, &ids[2..4]));
+        // The single surviving node is still a usable (trivial) path.
+        assert!(s.path_usable(&g, &ids[2..3]));
+        assert!(s.path_usable(&g, &ids[3..4]));
     }
 }

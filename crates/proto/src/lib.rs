@@ -36,4 +36,7 @@ pub mod runner;
 pub use membership::DynamicSession;
 pub use messages::{ProtoMsg, TimerKind};
 pub use router::{ControlCounters, Router, RouterConfig};
-pub use runner::{OverheadReport, ProtoSession, RecoveryReport, RecoveryStrategy, TreeProtocol};
+pub use runner::{
+    FailureTiming, OverheadReport, ProtoSession, RecoveryPlans, RecoveryReport, RecoveryStrategy,
+    TreeProtocol,
+};

@@ -89,6 +89,11 @@ pub struct Router {
     last_data_heard: SimTime,
     recovery_plan: Option<RecoveryPlan>,
     recovering: bool,
+    /// The upstream this router had when soft-state expiry pruned it off
+    /// the tree. A graft that merges here while the router is off-tree
+    /// re-extends the branch toward this node, PIM-graft style (see the
+    /// `Setup` final-hop handling).
+    former_upstream: Option<NodeId>,
     next_seq: u64,
     deliveries: Vec<Delivery>,
     forwarded: u64,
@@ -155,6 +160,7 @@ impl Router {
             last_data_heard: SimTime::ZERO,
             recovery_plan: None,
             recovering: false,
+            former_upstream: None,
             next_seq: 0,
             deliveries: Vec::new(),
             forwarded: 0,
@@ -356,6 +362,31 @@ impl Router {
         }
     }
 
+    /// Re-extends a pruned branch: rejoin toward the upstream this router
+    /// had when soft-state expiry pruned it, forwarding a one-hop graft
+    /// that cascades until it merges with live tree state (PIM-graft
+    /// style). Returns `false` when there is nothing to re-extend to (the
+    /// router was never on the tree).
+    fn rejoin_former_upstream(&mut self, ctx: &mut Ctx<'_, Self>) -> bool {
+        let Some(up) = self.former_upstream else {
+            return false;
+        };
+        self.on_tree = true;
+        self.upstream = Some(up);
+        self.last_upstream_heard = ctx.now();
+        self.ensure_periodic_timers(ctx);
+        self.ensure_upstream_check(ctx);
+        self.control_sent.setups += 1;
+        ctx.send(
+            up,
+            ProtoMsg::Setup {
+                path: vec![ctx.me(), up],
+                idx: 1,
+            },
+        );
+        true
+    }
+
     fn detect_upstream_failure(&mut self, ctx: &mut Ctx<'_, Self>) {
         self.recovering = true;
         let Some(plan) = self.recovery_plan.clone() else {
@@ -384,6 +415,18 @@ impl NodeBehavior for Router {
     type Msg = ProtoMsg;
     type Timer = TimerKind;
 
+    fn on_reboot(&mut self, ctx: &mut Ctx<'_, Self>) {
+        // Every pending tick was dropped while the node was down, so the
+        // periodic chains must be rebuilt from scratch. `start_timers`
+        // also resets the upstream/data silence clocks: the reboot must
+        // not mistake its own outage window for an upstream failure.
+        self.periodic_timers_armed = false;
+        self.upstream_check_armed = false;
+        if self.on_tree || self.is_source {
+            self.start_timers(ctx);
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: ProtoMsg) {
         match msg {
             ProtoMsg::Hello => {
@@ -393,6 +436,12 @@ impl NodeBehavior for Router {
             }
             ProtoMsg::Refresh => {
                 if self.on_tree {
+                    self.install_downstream(ctx, from);
+                } else if self.rejoin_former_upstream(ctx) {
+                    // A downstream neighbor still refreshes this pruned
+                    // branch — e.g. a rebooted router whose subtree
+                    // survived a transient outage. Soft-state joins
+                    // re-extend the branch toward the tree.
                     self.install_downstream(ctx, from);
                 }
             }
@@ -416,9 +465,21 @@ impl NodeBehavior for Router {
                     self.ensure_upstream_check(ctx);
                     self.control_sent.setups += 1;
                     ctx.send(path[idx + 1], ProtoMsg::Setup { path, idx: idx + 1 });
+                } else if !self.on_tree {
+                    // Final hop, but the merger pruned itself while the
+                    // graft was in flight: the restoration path was
+                    // computed against the tree at failure time, and a
+                    // slow detour (global reconvergence, starvation-
+                    // triggered member recovery) can outlive the branch's
+                    // soft state. Re-extend the branch hop-by-hop toward
+                    // the remembered upstream until it merges with live
+                    // tree state. Pruned relays on the surviving tree
+                    // always remember a usable upstream, so the cascade
+                    // terminates at the first on-tree router.
+                    self.rejoin_former_upstream(ctx);
                 }
-                // Final hop: the setup merges here (PIM semantics) — the
-                // downstream was installed above, nothing to forward.
+                // Final hop on a live merger: the downstream was installed
+                // above, nothing to forward (PIM merge semantics).
             }
             ProtoMsg::LeaveReq => {
                 self.downstream.retain(|&(d, _)| d != from);
@@ -560,8 +621,11 @@ impl NodeBehavior for Router {
                 if self.on_tree && !self.is_source && !self.is_member && self.downstream.is_empty()
                 {
                     // A relay with no remaining downstream state leaves the
-                    // tree (the soft-state analogue of pruning).
+                    // tree (the soft-state analogue of pruning). Remember
+                    // the branch direction: a later graft that merges here
+                    // must be able to re-extend toward the tree.
                     if let Some(up) = self.upstream.take() {
+                        self.former_upstream = Some(up);
                         self.control_sent.leaves += 1;
                         ctx.send(up, ProtoMsg::LeaveReq);
                     }

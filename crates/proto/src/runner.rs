@@ -9,7 +9,7 @@
 //! waits for unicast routing to reconverge (tens of seconds, per the
 //! ICNP 2000 measurements the paper cites).
 
-use smrp_core::recovery::{self, DetourKind};
+use smrp_core::recovery::{self, DetourKind, Recovery};
 use smrp_core::{MulticastTree, SmrpConfig, SmrpError, SmrpSession, SpfSession};
 use smrp_net::{FailureScenario, Graph, NodeId};
 use smrp_sim::{NetSim, SimTime, TraceLog};
@@ -37,6 +37,65 @@ pub enum RecoveryStrategy {
         /// Modelled unicast (OSPF) reconvergence delay.
         reconvergence: SimTime,
     },
+}
+
+/// When a failure is injected and (optionally) repaired during a run.
+///
+/// The paper studies *persistent* failures; [`transient`](Self::transient)
+/// timing models flapping links and maintenance windows, where the faulty
+/// component comes back mid-run via the simulator's repair events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureTiming {
+    /// When the failure is injected.
+    pub fail_at: SimTime,
+    /// When the failed components are repaired (`None` = persistent).
+    pub repair_at: Option<SimTime>,
+}
+
+impl FailureTiming {
+    /// A persistent failure injected at `fail_at` that never heals.
+    pub fn persistent(fail_at: SimTime) -> Self {
+        FailureTiming {
+            fail_at,
+            repair_at: None,
+        }
+    }
+
+    /// A transient failure injected at `fail_at` and repaired at
+    /// `repair_at`.
+    pub fn transient(fail_at: SimTime, repair_at: SimTime) -> Self {
+        FailureTiming {
+            fail_at,
+            repair_at: Some(repair_at),
+        }
+    }
+}
+
+/// The recovery plans one failure scenario induces on a session's tree:
+/// which nodes will graft, where, and who is beyond help. Produced by
+/// [`ProtoSession::plan_recoveries`]; consumed by the failure runner and by
+/// external auditors (the faultlab campaign subsystem) that need the exact
+/// restoration paths the routers will execute.
+#[derive(Debug, Clone)]
+pub struct RecoveryPlans {
+    /// Computed restoration paths, one per grafting node: fragment roots
+    /// when the root itself can detour, otherwise individual members of the
+    /// cornered root's fragment.
+    pub recoveries: Vec<Recovery>,
+    /// Fragment roots that had no restoration path of their own (their
+    /// members recover individually, triggered by data starvation).
+    pub cornered_roots: Vec<NodeId>,
+    /// Affected members with no restoration path at all — failed nodes or
+    /// members physically partitioned from the surviving tree.
+    pub unrecoverable: Vec<NodeId>,
+}
+
+impl RecoveryPlans {
+    /// Whether every plan is a fragment-root local graft (no member had to
+    /// fall back to individual, starvation-triggered recovery).
+    pub fn all_root_grafts(&self) -> bool {
+        self.cornered_roots.is_empty()
+    }
 }
 
 /// Result of one protocol-level failure experiment.
@@ -252,6 +311,75 @@ impl<'g> ProtoSession<'g> {
         }
     }
 
+    /// Computes the recovery plans `scenario` induces under detour `kind`,
+    /// without running the simulator.
+    ///
+    /// Fragment roots that can reach the surviving tree graft for their
+    /// whole subtree; cornered roots delegate to their members, who recover
+    /// individually (§3.1: each disconnected member locates its own
+    /// restoration path). Members with no non-faulty route at all are
+    /// reported as unrecoverable.
+    pub fn plan_recoveries(&self, scenario: &FailureScenario, kind: DetourKind) -> RecoveryPlans {
+        let mut plans = RecoveryPlans {
+            recoveries: Vec::new(),
+            cornered_roots: Vec::new(),
+            unrecoverable: Vec::new(),
+        };
+        for root in self.fragment_roots(scenario) {
+            match recovery::recover(self.graph, &self.tree, scenario, root, kind) {
+                Ok(rec) => plans.recoveries.push(rec),
+                Err(_) => {
+                    // The fragment root itself is cornered (e.g. its only
+                    // link is the failed one).
+                    plans.cornered_roots.push(root);
+                    for n in self.tree.subtree_nodes(root) {
+                        if !self.tree.is_member(n) {
+                            continue;
+                        }
+                        match recovery::recover(self.graph, &self.tree, scenario, n, kind) {
+                            Ok(rec) => plans.recoveries.push(rec),
+                            Err(_) => plans.unrecoverable.push(n),
+                        }
+                    }
+                }
+            }
+        }
+        // Members whose fragment root is the failed node itself (node
+        // failures leave no usable root above them) are not below any
+        // fragment root; catch them by scanning affected members not
+        // already covered.
+        let planned: std::collections::HashSet<NodeId> = plans
+            .recoveries
+            .iter()
+            .map(|r| r.member())
+            .chain(plans.cornered_roots.iter().copied())
+            .collect();
+        let covered = |m: NodeId| {
+            if planned.contains(&m) {
+                return true;
+            }
+            // Below a planned graft point? Walk up the tree.
+            let mut cur = m;
+            while let Some(p) = self.tree.parent(cur) {
+                if planned.contains(&p) {
+                    return true;
+                }
+                cur = p;
+            }
+            false
+        };
+        for m in recovery::affected_members(self.graph, &self.tree, scenario) {
+            if covered(m) || plans.unrecoverable.contains(&m) {
+                continue;
+            }
+            match recovery::recover(self.graph, &self.tree, scenario, m, kind) {
+                Ok(rec) => plans.recoveries.push(rec),
+                Err(_) => plans.unrecoverable.push(m),
+            }
+        }
+        plans
+    }
+
     /// Runs a failure experiment: warm up, inject `scenario` at `fail_at`,
     /// run until `until`, report restoration latencies for affected
     /// members.
@@ -266,41 +394,36 @@ impl<'g> ProtoSession<'g> {
         fail_at: SimTime,
         until: SimTime,
     ) -> RecoveryReport {
+        self.run_failure_timed(
+            scenario,
+            strategy,
+            FailureTiming::persistent(fail_at),
+            until,
+        )
+    }
+
+    /// [`run_failure`](Self::run_failure) with explicit failure timing:
+    /// persistent scenarios behave identically; transient timing schedules
+    /// repair events for every failed component at `timing.repair_at`.
+    pub fn run_failure_timed(
+        &self,
+        scenario: &FailureScenario,
+        strategy: RecoveryStrategy,
+        timing: FailureTiming,
+        until: SimTime,
+    ) -> RecoveryReport {
+        let fail_at = timing.fail_at;
         let mut routers = self.routers();
 
         let (kind, wait) = match strategy {
             RecoveryStrategy::LocalDetour => (DetourKind::Local, SimTime::ZERO),
             RecoveryStrategy::GlobalDetour { reconvergence } => (DetourKind::Global, reconvergence),
         };
-        for root in self.fragment_roots(scenario) {
-            match recovery::recover(self.graph, &self.tree, scenario, root, kind) {
-                Ok(rec) => {
-                    routers[root.index()].install_recovery_plan(RecoveryPlan {
-                        path: rec.restoration_path().nodes().to_vec(),
-                        wait,
-                    });
-                }
-                Err(_) => {
-                    // The fragment root itself is cornered (e.g. its only
-                    // link is the failed one). Members inside the fragment
-                    // then recover individually, triggered by data
-                    // starvation (§3.1: each disconnected member locates
-                    // its own restoration path).
-                    for n in self.tree.subtree_nodes(root) {
-                        if !self.tree.is_member(n) {
-                            continue;
-                        }
-                        if let Ok(rec) =
-                            recovery::recover(self.graph, &self.tree, scenario, n, kind)
-                        {
-                            routers[n.index()].install_recovery_plan(RecoveryPlan {
-                                path: rec.restoration_path().nodes().to_vec(),
-                                wait,
-                            });
-                        }
-                    }
-                }
-            }
+        for rec in self.plan_recoveries(scenario, kind).recoveries {
+            routers[rec.member().index()].install_recovery_plan(RecoveryPlan {
+                path: rec.restoration_path().nodes().to_vec(),
+                wait,
+            });
         }
 
         let mut sim = NetSim::new(self.graph, routers);
@@ -310,9 +433,15 @@ impl<'g> ProtoSession<'g> {
         }
         for l in scenario.failed_links() {
             sim.schedule_link_failure(fail_at, l);
+            if let Some(repair_at) = timing.repair_at {
+                sim.schedule_link_repair(repair_at, l);
+            }
         }
         for n in scenario.failed_nodes() {
             sim.schedule_node_failure(fail_at, n);
+            if let Some(repair_at) = timing.repair_at {
+                sim.schedule_node_repair(repair_at, n);
+            }
         }
         sim.run_until(until);
 
@@ -469,6 +598,56 @@ mod tests {
     }
 
     #[test]
+    fn plan_recoveries_reports_root_grafts_and_unrecoverables() {
+        let (graph, nodes) = paper::figure1_graph();
+        let session =
+            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        // Single link failure: fragment root A grafts for both members.
+        let l_sa = graph.link_between(nodes.s, nodes.a).unwrap();
+        let plans = session.plan_recoveries(&FailureScenario::link(l_sa), DetourKind::Local);
+        assert_eq!(plans.recoveries.len(), 1);
+        assert_eq!(plans.recoveries[0].member(), nodes.a);
+        assert!(plans.all_root_grafts());
+        assert!(plans.unrecoverable.is_empty());
+        // Node failure of a member: the member is unrecoverable, the other
+        // fragment root still grafts.
+        let plans = session.plan_recoveries(&FailureScenario::node(nodes.d), DetourKind::Local);
+        assert!(plans.recoveries.is_empty(), "no usable fragment to graft");
+        assert_eq!(plans.unrecoverable, vec![nodes.d]);
+    }
+
+    #[test]
+    fn transient_failure_restores_service_by_repair_alone() {
+        // Tree S - A - C where C's only route is through A: no detour
+        // exists, so only the repair can restore service.
+        let mut g = Graph::with_nodes(3);
+        let ids: Vec<_> = g.node_ids().collect();
+        let l_sa = g.add_link(ids[0], ids[1], 1.0).unwrap();
+        g.add_link(ids[1], ids[2], 1.0).unwrap();
+        let session = ProtoSession::build(&g, ids[0], &[ids[2]], TreeProtocol::Spf).unwrap();
+        let scenario = FailureScenario::link(l_sa);
+        let persistent = session.run_failure(
+            &scenario,
+            RecoveryStrategy::LocalDetour,
+            SimTime::from_ms(50.0),
+            SimTime::from_ms(1500.0),
+        );
+        assert!(!persistent.all_restored(), "no detour exists");
+        let transient = session.run_failure_timed(
+            &scenario,
+            RecoveryStrategy::LocalDetour,
+            FailureTiming::transient(SimTime::from_ms(50.0), SimTime::from_ms(300.0)),
+            SimTime::from_ms(1500.0),
+        );
+        assert!(transient.all_restored(), "repair heals the only path");
+        let latency = transient.restorations[0].1.unwrap();
+        assert!(
+            latency >= SimTime::from_ms(250.0),
+            "service was out until the repair: {latency:?}"
+        );
+    }
+
+    #[test]
     fn unrecoverable_member_reports_none() {
         // Tree S - A - C where C's only other connectivity is through A.
         let mut g = Graph::with_nodes(3);
@@ -486,5 +665,73 @@ mod tests {
         assert_eq!(report.restorations, vec![(ids[2], None)]);
         assert!(!report.all_restored());
         assert!(report.mean_latency_ms().is_none());
+    }
+
+    #[test]
+    fn slow_graft_onto_pruned_relay_reextends_the_branch() {
+        // Chain S - A - B - M plus a costly side link M - A. The SPF tree
+        // is S→A→B→M; cutting B-M orphans M, whose global detour attaches
+        // at A via the side link. The 800 ms reconvergence wait outlives
+        // the branch's soft state: B (then A) prunes itself long before
+        // the graft fires, so the setup merges at an off-tree router and
+        // must re-extend the branch toward S.
+        let mut g = Graph::with_nodes(4);
+        let ids: Vec<_> = g.node_ids().collect();
+        g.add_link(ids[0], ids[1], 1.0).unwrap();
+        g.add_link(ids[1], ids[2], 1.0).unwrap();
+        let l_bm = g.add_link(ids[2], ids[3], 1.0).unwrap();
+        g.add_link(ids[3], ids[1], 5.0).unwrap();
+        let session = ProtoSession::build(&g, ids[0], &[ids[3]], TreeProtocol::Spf).unwrap();
+        assert_eq!(
+            session.tree().path_from_source(ids[3]).unwrap().nodes(),
+            &[ids[0], ids[1], ids[2], ids[3]]
+        );
+        let report = session.run_failure(
+            &FailureScenario::link(l_bm),
+            RecoveryStrategy::GlobalDetour {
+                reconvergence: SimTime::from_ms(800.0),
+            },
+            SimTime::from_ms(100.0),
+            SimTime::from_ms(3000.0),
+        );
+        assert!(
+            report.all_restored(),
+            "graft must resurrect the pruned branch: {:?}",
+            report.restorations
+        );
+        let latency = report.restorations[0].1.unwrap();
+        assert!(
+            latency >= SimTime::from_ms(800.0),
+            "restoration waited out reconvergence: {latency:?}"
+        );
+    }
+
+    #[test]
+    fn rebooted_member_resurrects_pruned_ancestors_by_refresh() {
+        // Chain S - A - M. M crashes and reboots; during the outage A (a
+        // relay whose only downstream state was M's) prunes itself. The
+        // rebooted M has no recovery plan — only its periodic refreshes
+        // can re-extend the branch through the pruned A.
+        let mut g = Graph::with_nodes(3);
+        let ids: Vec<_> = g.node_ids().collect();
+        g.add_link(ids[0], ids[1], 1.0).unwrap();
+        g.add_link(ids[1], ids[2], 1.0).unwrap();
+        let session = ProtoSession::build(&g, ids[0], &[ids[2]], TreeProtocol::Spf).unwrap();
+        let report = session.run_failure_timed(
+            &FailureScenario::node(ids[2]),
+            RecoveryStrategy::LocalDetour,
+            FailureTiming::transient(SimTime::from_ms(100.0), SimTime::from_ms(500.0)),
+            SimTime::from_ms(2000.0),
+        );
+        assert!(
+            report.all_restored(),
+            "refresh must re-extend the pruned branch: {:?}",
+            report.restorations
+        );
+        let latency = report.restorations[0].1.unwrap();
+        assert!(
+            latency >= SimTime::from_ms(400.0),
+            "service resumed only after the repair: {latency:?}"
+        );
     }
 }

@@ -107,9 +107,18 @@ impl TraceLog {
         }
     }
 
-    /// Creates a disabled log that records nothing.
+    /// Creates a disabled log that records nothing (and, unlike a full
+    /// bounded log, counts nothing as discarded).
     pub fn disabled() -> Self {
         TraceLog::new(0)
+    }
+
+    /// Whether this log records at all. The engine skips building trace
+    /// events (which involves formatting message payloads) entirely for
+    /// disabled logs, so long campaign runs pay no tracing cost.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
     }
 
     /// Records an event.
