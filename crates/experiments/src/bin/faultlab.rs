@@ -10,6 +10,15 @@
 //! `cargo run -p smrp-experiments --release --bin faultlab -- [options]`
 //!
 //! * `--smoke` — small CI campaign (n=100, 240 scenarios);
+//! * `--smoke-lossy` — small CI campaign under 5% ambient control-plane
+//!   loss (n=100, 203 scenarios — a multiple of the 7 fault families);
+//! * `--bench` — acceptance benchmark: runs the configured campaign twice
+//!   (lossless, then under `--loss` ambient loss, default 10%) and writes
+//!   one artifact with both reports plus the per-protocol
+//!   restoration-latency inflation factor (this is how
+//!   `BENCH_faultlab.json` is produced);
+//! * `--loss P` — ambient control-plane loss probability applied to every
+//!   case that doesn't carry its own degraded channel (default 0);
 //! * `--scenarios N` — number of fault cases (default 1000);
 //! * `--nodes N` — topology size (default 400);
 //! * `--group N` — multicast group size (default 30);
@@ -19,16 +28,61 @@
 //!
 //! The report depends only on the configuration — never on `--jobs`, the
 //! machine, or wall-clock — so identical seeds yield byte-identical files.
+//! The exit code gates on *health*, not just invariants: any invariant
+//! violation or any retry-budget exhaustion outside gray-link cases fails
+//! the run.
 
 use std::process::ExitCode;
 
+use serde::Serialize;
 use smrp_experiments::results_dir;
-use smrp_faultlab::{run_campaign, CampaignConfig, CampaignReport};
+use smrp_faultlab::{run_campaign, CampaignConfig, CampaignReport, ProtoKind};
 
 struct Args {
     config: CampaignConfig,
     jobs: usize,
+    bench: bool,
     out: std::path::PathBuf,
+}
+
+/// One protocol's restoration-latency inflation under ambient loss.
+#[derive(Serialize)]
+struct Inflation {
+    proto: ProtoKind,
+    lossless_mean_ms: f64,
+    lossy_mean_ms: f64,
+    factor: f64,
+}
+
+/// The `--bench` artifact: the same campaign lossless and lossy, plus the
+/// latency inflation the ambient loss costs each protocol.
+#[derive(Serialize)]
+struct BenchReport {
+    ambient_loss: f64,
+    latency_inflation: Vec<Inflation>,
+    lossless: CampaignReport,
+    lossy: CampaignReport,
+}
+
+fn inflation(lossless: &CampaignReport, lossy: &CampaignReport) -> Vec<Inflation> {
+    let mean = |r: &CampaignReport, proto: ProtoKind| {
+        r.latencies
+            .iter()
+            .find(|l| l.proto == proto)
+            .map(|l| l.mean_ms)
+    };
+    [ProtoKind::Smrp, ProtoKind::Spf]
+        .into_iter()
+        .filter_map(|proto| {
+            let (a, b) = (mean(lossless, proto)?, mean(lossy, proto)?);
+            Some(Inflation {
+                proto,
+                lossless_mean_ms: a,
+                lossy_mean_ms: b,
+                factor: if a > 0.0 { b / a } else { f64::NAN },
+            })
+        })
+        .collect()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         ..CampaignConfig::default()
     };
     let mut jobs = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut bench = false;
     let mut out: Option<std::path::PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -48,6 +103,22 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => {
                 config.nodes = 100;
                 config.scenarios = 240;
+            }
+            "--smoke-lossy" => {
+                config.nodes = 100;
+                config.scenarios = 203;
+                config.ambient_loss = 0.05;
+            }
+            "--bench" => {
+                bench = true;
+            }
+            "--loss" => {
+                config.ambient_loss = value("--loss")?
+                    .parse()
+                    .map_err(|e| format!("--loss: {e}"))?;
+                if !(0.0..1.0).contains(&config.ambient_loss) {
+                    return Err("--loss expects a probability in [0, 1)".into());
+                }
             }
             "--scenarios" => {
                 config.scenarios = value("--scenarios")?
@@ -85,8 +156,115 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         config,
         jobs,
-        out: out.unwrap_or_else(|| results_dir().join("faultlab.json")),
+        bench,
+        out: out.unwrap_or_else(|| {
+            results_dir().join(if bench {
+                "faultlab-bench.json"
+            } else {
+                "faultlab.json"
+            })
+        }),
     })
+}
+
+fn write_out(out: &std::path::Path, json: String) -> Result<(), ExitCode> {
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("faultlab: could not create {}: {e}", dir.display());
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(out, json + "\n") {
+        eprintln!("faultlab: could not write {}: {e}", out.display());
+        return Err(ExitCode::from(2));
+    }
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
+fn report_failures(report: &CampaignReport, out: &std::path::Path) {
+    for repro in &report.reproducers {
+        eprintln!(
+            "violation: case {} ({}, seed {:#x}) under {}: {:?}",
+            repro.case.id, repro.case.family, repro.case.seed, repro.proto, repro.violations
+        );
+    }
+    if !report.is_clean() {
+        eprintln!(
+            "faultlab: {} invariant violations — reproducers are in {}",
+            report.total_violations,
+            out.display()
+        );
+    }
+    if report.clear_channel_exhaustions() > 0 {
+        eprintln!(
+            "faultlab: {} retry-budget exhaustions outside gray-link cases — \
+             the reliable layer gave up on reachable neighbors",
+            report.clear_channel_exhaustions()
+        );
+    }
+}
+
+/// The `--bench` path: the configured campaign lossless, then under
+/// ambient loss, reporting the latency inflation between them.
+fn run_bench(args: &Args) -> ExitCode {
+    let ambient_loss = if args.config.ambient_loss > 0.0 {
+        args.config.ambient_loss
+    } else {
+        0.1
+    };
+    let mut reports = Vec::new();
+    for loss in [0.0, ambient_loss] {
+        let config = CampaignConfig {
+            ambient_loss: loss,
+            ..args.config.clone()
+        };
+        let started = std::time::Instant::now();
+        let run = match run_campaign(&config, args.jobs) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("faultlab: campaign failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = CampaignReport::from_run(&run);
+        println!("=== ambient loss {loss} ===");
+        print!("{}", report.synopsis());
+        println!(
+            "  ({:.2}s on {} jobs)",
+            started.elapsed().as_secs_f64(),
+            args.jobs
+        );
+        reports.push(report);
+    }
+    let lossy = reports.pop().expect("two runs");
+    let lossless = reports.pop().expect("two runs");
+    let bench = BenchReport {
+        ambient_loss,
+        latency_inflation: inflation(&lossless, &lossy),
+        lossless,
+        lossy,
+    };
+    for i in &bench.latency_inflation {
+        println!(
+            "latency inflation[{}]: {:.2}ms -> {:.2}ms (x{:.3})",
+            i.proto, i.lossless_mean_ms, i.lossy_mean_ms, i.factor
+        );
+    }
+    let json = serde_json::to_string_pretty(&bench).expect("bench report serializes");
+    if let Err(code) = write_out(&args.out, json) {
+        return code;
+    }
+    let healthy = bench.lossless.is_healthy() && bench.lossy.is_healthy();
+    if healthy {
+        ExitCode::SUCCESS
+    } else {
+        report_failures(&bench.lossless, &args.out);
+        report_failures(&bench.lossy, &args.out);
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -97,6 +275,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.bench {
+        return run_bench(&args);
+    }
 
     let started = std::time::Instant::now();
     let run = match run_campaign(&args.config, args.jobs) {
@@ -119,35 +301,14 @@ fn main() -> ExitCode {
         f64::from(report.cases) / elapsed.as_secs_f64().max(1e-9)
     );
 
-    if let Some(dir) = args.out.parent() {
-        if !dir.as_os_str().is_empty() {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("faultlab: could not create {}: {e}", dir.display());
-                return ExitCode::from(2);
-            }
-        }
+    if let Err(code) = write_out(&args.out, report.to_json()) {
+        return code;
     }
-    let json = report.to_json();
-    if let Err(e) = std::fs::write(&args.out, json + "\n") {
-        eprintln!("faultlab: could not write {}: {e}", args.out.display());
-        return ExitCode::from(2);
-    }
-    println!("wrote {}", args.out.display());
 
-    if report.is_clean() {
+    if report.is_healthy() {
         ExitCode::SUCCESS
     } else {
-        for repro in &report.reproducers {
-            eprintln!(
-                "violation: case {} ({}, seed {:#x}) under {}: {:?}",
-                repro.case.id, repro.case.family, repro.case.seed, repro.proto, repro.violations
-            );
-        }
-        eprintln!(
-            "faultlab: {} invariant violations — reproducers are in {}",
-            report.total_violations,
-            args.out.display()
-        );
+        report_failures(&report, &args.out);
         ExitCode::FAILURE
     }
 }

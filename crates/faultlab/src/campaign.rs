@@ -20,16 +20,17 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use smrp_core::recovery::{self, DetourKind};
 use smrp_core::SmrpConfig;
+use smrp_metrics::ControlHealth;
 use smrp_net::waxman::WaxmanConfig;
 use smrp_net::{Graph, NetError, NodeId};
-use smrp_proto::{FailureTiming, ProtoSession, RecoveryStrategy, TreeProtocol};
-use smrp_sim::SimTime;
+use smrp_proto::{FailureTiming, InjectionTiming, ProtoSession, RecoveryStrategy, TreeProtocol};
+use smrp_sim::{ChannelSpec, SimTime};
 
 use crate::audit::{audit_recovery, Violation};
 use crate::generate::{generate_mix, FaultCase, GeneratorConfig};
 
 /// The protocol a case was evaluated against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ProtoKind {
     /// SMRP with local-detour recovery.
     Smrp,
@@ -136,6 +137,11 @@ pub struct CampaignConfig {
     /// Unicast reconvergence delay charged to the SPF baseline's global
     /// detour, in milliseconds.
     pub reconvergence_ms: f64,
+    /// Ambient control-plane loss applied to every case whose generated
+    /// channel is perfect (the `faultlab --loss` knob). `0.0` keeps the
+    /// component-failure families lossless; the `UniformLoss`/`GrayLinks`
+    /// families always keep their own generated channels.
+    pub ambient_loss: f64,
 }
 
 impl Default for CampaignConfig {
@@ -151,6 +157,7 @@ impl Default for CampaignConfig {
             fail_at_ms: 100.0,
             run_until_ms: 3000.0,
             reconvergence_ms: 800.0,
+            ambient_loss: 0.0,
         }
     }
 }
@@ -194,6 +201,10 @@ pub struct ProtoOutcome {
     pub latencies_ms: Vec<f64>,
     /// Invariant violations the auditor found (normally empty).
     pub violations: Vec<Violation>,
+    /// Control-plane health during the run: reliable-layer retransmission
+    /// counters plus channel loss/duplication/reordering tallies. All-zero
+    /// for lossless cases and for cases short-circuited before simulation.
+    pub health: ControlHealth,
 }
 
 /// The evaluation of one generated fault case against both protocols.
@@ -252,6 +263,7 @@ fn evaluate_proto(
             restored: 0,
             latencies_ms: Vec::new(),
             violations: Vec::new(),
+            health: ControlHealth::default(),
         };
     }
 
@@ -264,6 +276,7 @@ fn evaluate_proto(
             restored: 0,
             latencies_ms: Vec::new(),
             violations,
+            health: ControlHealth::default(),
         };
     }
 
@@ -276,21 +289,41 @@ fn evaluate_proto(
             restored: 0,
             latencies_ms: Vec::new(),
             violations: Vec::new(),
+            health: ControlHealth::default(),
         };
     }
 
-    let timing = if case.timing.transient {
-        FailureTiming::transient(
+    let timing = if case.timing.is_flapping() {
+        InjectionTiming::Flapping {
+            fail_at: SimTime::from_ms(cfg.fail_at_ms),
+            down: SimTime::from_ms(case.timing.flap_down_ms),
+            up: SimTime::from_ms(case.timing.flap_up_ms),
+            cycles: case.timing.flap_cycles,
+        }
+    } else if case.timing.transient {
+        InjectionTiming::Once(FailureTiming::transient(
             SimTime::from_ms(cfg.fail_at_ms),
             SimTime::from_ms(cfg.fail_at_ms + case.timing.repair_after_ms),
-        )
+        ))
     } else {
-        FailureTiming::persistent(SimTime::from_ms(cfg.fail_at_ms))
+        InjectionTiming::Once(FailureTiming::persistent(SimTime::from_ms(cfg.fail_at_ms)))
     };
-    let report = session.run_failure_timed(
+    // Cases with their own degraded channel (UniformLoss/GrayLinks) keep
+    // it; everything else picks up the campaign's ambient loss, seeded off
+    // the case so no two cases share a loss pattern.
+    let channel = if !case.channel.is_perfect() || cfg.ambient_loss <= 0.0 {
+        case.channel.clone()
+    } else {
+        ChannelSpec::uniform_loss(
+            cfg.ambient_loss,
+            case.seed.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        )
+    };
+    let report = session.run_failure_spec(
         scenario,
         strategy,
         timing,
+        &channel,
         SimTime::from_ms(cfg.run_until_ms),
     );
 
@@ -305,7 +338,7 @@ fn evaluate_proto(
         let clean_local = proto == ProtoKind::Smrp
             && plans.all_root_grafts()
             && plans.unrecoverable.is_empty()
-            && !case.timing.transient;
+            && !case.timing.heals();
         if clean_local {
             Outcome::RestoredLocalDetour
         } else {
@@ -318,12 +351,12 @@ fn evaluate_proto(
             .iter()
             .filter(|(_, l)| l.is_none())
             .all(|(m, _)| !scenario.node_usable(*m) || !reach[m.index()]);
-        // Transient outages heal, so an unrestored-but-reachable member
-        // under repair is still a detection miss, and a partitioned member
-        // that the repair would have reconnected counts as partitioned
-        // only if it stayed unrestored to the end of the run — which the
-        // simulator already told us.
-        if unrestored_partitioned && !case.timing.transient {
+        // Transient and flapping outages heal, so an unrestored-but-
+        // reachable member under repair is still a detection miss, and a
+        // partitioned member that the repair would have reconnected counts
+        // as partitioned only if it stayed unrestored to the end of the
+        // run — which the simulator already told us.
+        if unrestored_partitioned && !case.timing.heals() {
             Outcome::SourcePartitioned
         } else {
             Outcome::DetectionMissed
@@ -336,6 +369,7 @@ fn evaluate_proto(
         restored,
         latencies_ms,
         violations: Vec::new(),
+        health: report.health,
     }
 }
 
@@ -494,6 +528,7 @@ mod tests {
             seed: 1,
             scenario: smrp_net::FailureScenario::link(l_ad),
             timing: crate::generate::Timing::persistent(),
+            channel: smrp_sim::ChannelSpec::perfect(),
         };
         let result = evaluate_case(&graph, &smrp, &spf, &cfg, &case);
         assert_eq!(result.smrp.outcome, Outcome::RestoredLocalDetour);
@@ -528,6 +563,7 @@ mod tests {
             seed: 1,
             scenario: smrp_net::FailureScenario::node(nodes.s),
             timing: crate::generate::Timing::persistent(),
+            channel: smrp_sim::ChannelSpec::perfect(),
         };
         let result = evaluate_case(&graph, &smrp, &spf, &CampaignConfig::default(), &case);
         assert_eq!(result.smrp.outcome, Outcome::SourcePartitioned);

@@ -13,6 +13,19 @@
 //! * [`FaultFamily::Regional`] — every node within radius `r` of a random
 //!   epicenter fails (a regional outage).
 //!
+//! Beyond hard component failures, three families degrade the *control
+//! plane* itself (the channel carrying Hello/Refresh/Setup):
+//!
+//! * [`FaultFamily::UniformLoss`] — a link cut under ambient uniform
+//!   message loss on every link (a congested or noisy network);
+//! * [`FaultFamily::GrayLinks`] — a link cut plus a few "gray" links that
+//!   stay up but drop a large fraction of messages (the classic
+//!   gray-failure regime: neither healthy nor detectably dead);
+//! * [`FaultFamily::Flapping`] — one component cycling down/up several
+//!   times, the regime that punishes soft state hardest (every cycle
+//!   re-runs detection, recovery, reboot re-arming and `former_upstream`
+//!   branch re-extension).
+//!
 //! Every case derives its own RNG seed from `(base_seed, case id)`, so a
 //! campaign is reproducible from its base seed alone and any single case is
 //! reproducible from its serialized [`FaultCase`].
@@ -21,6 +34,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use smrp_net::{FailureScenario, Graph, LinkId, NodeId};
+use smrp_sim::{ChannelParams, ChannelSpec, LinkDegrade};
 
 /// The family a generated scenario belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -33,15 +47,24 @@ pub enum FaultFamily {
     Srlg,
     /// All nodes within a radius of a random epicenter fail.
     Regional,
+    /// A link cut under ambient uniform control-plane loss on every link.
+    UniformLoss,
+    /// A link cut plus several "gray" links: up, but dropping heavily.
+    GrayLinks,
+    /// One component flapping through repeated down/up cycles.
+    Flapping,
 }
 
 impl FaultFamily {
     /// All families, in the round-robin order the mixed generator uses.
-    pub const ALL: [FaultFamily; 4] = [
+    pub const ALL: [FaultFamily; 7] = [
         FaultFamily::KLink,
         FaultFamily::KNode,
         FaultFamily::Srlg,
         FaultFamily::Regional,
+        FaultFamily::UniformLoss,
+        FaultFamily::GrayLinks,
+        FaultFamily::Flapping,
     ];
 
     /// Stable lowercase name (used in reports and tables).
@@ -51,6 +74,9 @@ impl FaultFamily {
             FaultFamily::KNode => "k-node",
             FaultFamily::Srlg => "srlg",
             FaultFamily::Regional => "regional",
+            FaultFamily::UniformLoss => "uniform-loss",
+            FaultFamily::GrayLinks => "gray-links",
+            FaultFamily::Flapping => "flapping",
         }
     }
 }
@@ -61,15 +87,21 @@ impl std::fmt::Display for FaultFamily {
     }
 }
 
-/// Whether the failure persists or heals mid-run.
+/// Whether the failure persists, heals once, or flaps repeatedly.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Timing {
     /// `true`: the failure is repaired `repair_after_ms` after injection
-    /// (a maintenance window or flapping component); `false`: the paper's
-    /// persistent regime.
+    /// (a maintenance window); `false`: the paper's persistent regime.
     pub transient: bool,
     /// Outage duration for transient cases (ignored when persistent).
     pub repair_after_ms: f64,
+    /// Down/up cycles for flapping cases (`0` = not flapping; the single
+    /// `transient`/persistent regimes above apply instead).
+    pub flap_cycles: u32,
+    /// Outage length of each flap cycle, in milliseconds.
+    pub flap_down_ms: f64,
+    /// Healthy window between flap outages, in milliseconds.
+    pub flap_up_ms: f64,
 }
 
 impl Timing {
@@ -78,7 +110,41 @@ impl Timing {
         Timing {
             transient: false,
             repair_after_ms: 0.0,
+            flap_cycles: 0,
+            flap_down_ms: 0.0,
+            flap_up_ms: 0.0,
         }
+    }
+
+    /// A single-repair transient outage.
+    pub fn transient(repair_after_ms: f64) -> Self {
+        Timing {
+            transient: true,
+            repair_after_ms,
+            ..Timing::persistent()
+        }
+    }
+
+    /// Repeated down/up cycles; the run ends with the component repaired.
+    pub fn flapping(cycles: u32, down_ms: f64, up_ms: f64) -> Self {
+        Timing {
+            transient: false,
+            repair_after_ms: 0.0,
+            flap_cycles: cycles.max(1),
+            flap_down_ms: down_ms,
+            flap_up_ms: up_ms,
+        }
+    }
+
+    /// Whether this timing cycles the components down and up repeatedly.
+    pub fn is_flapping(&self) -> bool {
+        self.flap_cycles > 0
+    }
+
+    /// Whether the outage is repaired by the end of the run (transient or
+    /// flapping), as opposed to the persistent regime.
+    pub fn heals(&self) -> bool {
+        self.transient || self.is_flapping()
     }
 }
 
@@ -100,11 +166,27 @@ pub struct GeneratorConfig {
     pub transient_fraction: f64,
     /// Outage duration of transient cases, in milliseconds.
     pub repair_after_ms: f64,
+    /// Ambient per-message loss probability of `UniformLoss` cases.
+    pub uniform_loss: f64,
+    /// Per-message loss probability of each gray link in `GrayLinks` cases.
+    pub gray_loss: f64,
+    /// Number of gray links degraded per `GrayLinks` case.
+    pub gray_links: usize,
+    /// Down/up cycles per `Flapping` case.
+    pub flap_cycles: u32,
+    /// Outage length of each flap cycle, in milliseconds. The default
+    /// exceeds the routers' holdtime so every cycle expires soft state and
+    /// forces a real `former_upstream` re-extension, not just a refresh.
+    pub flap_down_ms: f64,
+    /// Healthy window between flap outages, in milliseconds.
+    pub flap_up_ms: f64,
 }
 
 impl Default for GeneratorConfig {
     /// Two-failure correlation by default (`k = 2`), a 5×5 conduit grid, a
     /// 0.15-radius region and a 20% transient share with 250 ms outages.
+    /// Control-plane degradation defaults: 10% ambient loss, three 40%-loss
+    /// gray links, and three 250 ms-down / 400 ms-up flap cycles.
     fn default() -> Self {
         GeneratorConfig {
             k_link: 2,
@@ -113,6 +195,12 @@ impl Default for GeneratorConfig {
             regional_radius: 0.15,
             transient_fraction: 0.2,
             repair_after_ms: 250.0,
+            uniform_loss: 0.1,
+            gray_loss: 0.4,
+            gray_links: 3,
+            flap_cycles: 3,
+            flap_down_ms: 250.0,
+            flap_up_ms: 400.0,
         }
     }
 }
@@ -128,8 +216,11 @@ pub struct FaultCase {
     pub seed: u64,
     /// The concrete failed links/nodes.
     pub scenario: FailureScenario,
-    /// Persistent or transient injection.
+    /// Persistent, transient or flapping injection.
     pub timing: Timing,
+    /// The control-plane channel the case runs over (perfect for the pure
+    /// component-failure families).
+    pub channel: ChannelSpec,
 }
 
 /// Derives the shared-risk link groups of `graph` from its geometry: links
@@ -193,6 +284,11 @@ pub fn generate_case(
         .wrapping_add(u64::from(id).wrapping_mul(0xBF58_476D_1CE4_E5B9))
         .wrapping_add(1);
     let mut rng = SmallRng::seed_from_u64(seed);
+    // The channel draws its own seed off the case seed so degraded-channel
+    // randomness is independent of how many draws scenario sampling used.
+    let channel_seed = seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let mut channel = ChannelSpec::perfect();
+    let mut flapping = false;
 
     let scenario = match family {
         FaultFamily::KLink => {
@@ -253,22 +349,68 @@ pub fn generate_case(
                 }
             }
         }
+        FaultFamily::UniformLoss => {
+            channel = ChannelSpec::uniform_loss(cfg.uniform_loss, channel_seed);
+            let links: Vec<LinkId> = graph.link_ids().collect();
+            FailureScenario::link(links[rng.gen_range(0..links.len())])
+        }
+        FaultFamily::GrayLinks => {
+            // One hard cut, plus `gray_links` distinct links that stay up
+            // but drop `gray_loss` of everything crossing them. Which of
+            // the sampled links is the cut is drawn separately so the
+            // sorted sampling order doesn't bias the cut toward low ids.
+            let links: Vec<LinkId> = graph.link_ids().collect();
+            let picks = sample_distinct(&mut rng, links.len(), 1 + cfg.gray_links);
+            let cut_at = rng.gen_range(0..picks.len());
+            let overrides = picks
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != cut_at)
+                .map(|(_, &i)| LinkDegrade {
+                    link: links[i],
+                    params: ChannelParams::lossy(cfg.gray_loss),
+                })
+                .collect();
+            channel = ChannelSpec {
+                default: ChannelParams::PERFECT,
+                overrides,
+                seed: channel_seed,
+            };
+            FailureScenario::link(links[picks[cut_at]])
+        }
+        FaultFamily::Flapping => {
+            flapping = true;
+            // Two thirds link flaps; one third node flaps, which exercise
+            // the reboot path (`on_reboot` re-arms timers and pending
+            // retransmissions) on every up-edge.
+            if rng.gen_bool(2.0 / 3.0) {
+                let links: Vec<LinkId> = graph.link_ids().collect();
+                FailureScenario::link(links[rng.gen_range(0..links.len())])
+            } else {
+                let nodes: Vec<NodeId> = graph.node_ids().collect();
+                FailureScenario::node(nodes[rng.gen_range(0..nodes.len())])
+            }
+        }
     };
 
-    let transient = cfg.transient_fraction > 0.0 && rng.gen_bool(cfg.transient_fraction);
+    let timing = if flapping {
+        Timing::flapping(cfg.flap_cycles, cfg.flap_down_ms, cfg.flap_up_ms)
+    } else if cfg.transient_fraction > 0.0 && rng.gen_bool(cfg.transient_fraction) {
+        Timing::transient(cfg.repair_after_ms)
+    } else {
+        Timing::persistent()
+    };
     FaultCase {
         id,
         family,
         seed,
         scenario,
-        timing: Timing {
-            transient,
-            repair_after_ms: if transient { cfg.repair_after_ms } else { 0.0 },
-        },
+        timing,
+        channel,
     }
 }
 
-/// Generates `count` cases cycling round-robin through all four families.
+/// Generates `count` cases cycling round-robin through all seven families.
 pub fn generate_mix(
     graph: &Graph,
     cfg: &GeneratorConfig,
@@ -330,6 +472,35 @@ mod tests {
                     // The epicenter itself always falls in the region.
                     assert!(case.scenario.failed_nodes().count() >= 1);
                 }
+                FaultFamily::UniformLoss => {
+                    assert_eq!(case.scenario.failed_links().count(), 1);
+                    assert_eq!(case.channel.default.loss, cfg.uniform_loss);
+                    assert!(case.channel.overrides.is_empty());
+                }
+                FaultFamily::GrayLinks => {
+                    assert_eq!(case.scenario.failed_links().count(), 1);
+                    assert_eq!(case.channel.overrides.len(), cfg.gray_links);
+                    let cut = case.scenario.failed_links().next().unwrap();
+                    for o in &case.channel.overrides {
+                        assert_ne!(o.link, cut, "gray links stay up");
+                        assert_eq!(o.params.loss, cfg.gray_loss);
+                    }
+                }
+                FaultFamily::Flapping => {
+                    assert!(case.timing.is_flapping());
+                    assert_eq!(case.timing.flap_cycles, cfg.flap_cycles);
+                    assert_eq!(
+                        case.scenario.failed_links().count() + case.scenario.failed_nodes().count(),
+                        1,
+                        "exactly one component flaps"
+                    );
+                }
+            }
+            if case.family != FaultFamily::UniformLoss && case.family != FaultFamily::GrayLinks {
+                assert!(case.channel.is_perfect());
+            }
+            if case.family != FaultFamily::Flapping {
+                assert!(!case.timing.is_flapping());
             }
         }
     }

@@ -11,7 +11,10 @@
 //!   `k`-random-node, shared-risk link groups derived from the topology's
 //!   geometry (links sharing a conduit cell fail together), regional
 //!   outages (all nodes within a radius of an epicenter), each drawn
-//!   persistent or transient;
+//!   persistent or transient — plus three control-plane-degradation
+//!   families: cuts under ambient uniform message loss, gray links that
+//!   stay up but drop heavily, and components flapping through repeated
+//!   down/up cycles;
 //! * [`campaign`] — the parallel Monte-Carlo runner: every case is
 //!   evaluated against both SMRP (local detour) and the SPF baseline
 //!   (global detour), classified into an [`Outcome`], and timed through
@@ -24,7 +27,8 @@
 //!   every detour lands on the surviving tree. Violations become minimal
 //!   reproducers (case seed + scenario JSON);
 //! * [`report`] — stable JSON campaign reports with per-family×protocol
-//!   outcome tables and restoration-latency distributions.
+//!   outcome tables, restoration-latency distributions and control-plane
+//!   health summaries (loss, retransmissions, retry-budget exhaustions).
 //!
 //! ```
 //! use smrp_faultlab::{run_campaign, CampaignConfig, CampaignReport};
@@ -53,4 +57,7 @@ pub use campaign::{
 pub use generate::{
     derive_srlgs, generate_case, generate_mix, FaultCase, FaultFamily, GeneratorConfig, Timing,
 };
-pub use report::{CampaignReport, CaseRow, LatencySummary, OutcomeCounts, Reproducer};
+pub use report::{
+    CampaignReport, CaseRow, FamilyLatency, HealthSummary, LatencySummary, OutcomeCounts,
+    Reproducer,
+};

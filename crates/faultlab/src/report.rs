@@ -8,7 +8,7 @@
 //! serialized form is byte-identical across machines and `--jobs` values.
 
 use serde::{Deserialize, Serialize};
-use smrp_metrics::Stats;
+use smrp_metrics::{ControlHealth, Stats};
 
 use crate::audit::Violation;
 use crate::campaign::{CampaignConfig, CampaignRun, CaseResult, Outcome, ProtoKind};
@@ -120,6 +120,37 @@ impl LatencySummary {
     }
 }
 
+/// Aggregate control-plane health of one protocol across the campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthSummary {
+    /// The protocol.
+    pub proto: ProtoKind,
+    /// Reliable-layer and channel counters summed over every case.
+    pub health: ControlHealth,
+    /// Retry-budget exhaustions from cases *without* gray-link overrides.
+    /// Gray links drop enough that giving up on them is correct behavior;
+    /// exhaustion under ambient/uniform loss alone means the retry budget
+    /// is miscalibrated, so campaigns gate on this being zero.
+    pub exhaustions_without_gray: u64,
+}
+
+/// Restoration-latency summary of one (family × protocol) cell, the table
+/// that makes control-plane-loss inflation readable: compare the
+/// `uniform-loss` row against the lossless single-cut families.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyLatency {
+    /// The fault family.
+    pub family: FaultFamily,
+    /// The protocol.
+    pub proto: ProtoKind,
+    /// Restored members across the family's cases.
+    pub count: u64,
+    /// Mean restoration latency, milliseconds.
+    pub mean_ms: f64,
+    /// Worst restoration latency, milliseconds.
+    pub max_ms: f64,
+}
+
 /// A minimal reproducer for one audited violation: everything needed to
 /// re-run the exact case (`faultlab --replay`): the generated case (id,
 /// family, per-case seed, concrete scenario, timing), the protocol it
@@ -170,6 +201,11 @@ pub struct CampaignReport {
     pub outcomes: Vec<OutcomeCounts>,
     /// Latency distribution per protocol.
     pub latencies: Vec<LatencySummary>,
+    /// Latency distribution per (family × protocol) cell — the loss-
+    /// inflation readout.
+    pub family_latencies: Vec<FamilyLatency>,
+    /// Control-plane health per protocol.
+    pub health: Vec<HealthSummary>,
     /// One reproducer per (case, protocol) with violations.
     pub reproducers: Vec<Reproducer>,
     /// Compact per-case classification rows, in case-id order.
@@ -188,6 +224,19 @@ impl CampaignReport {
             })
             .collect();
         let mut latency_samples: Vec<Vec<f64>> = vec![Vec::new(); ProtoKind::ALL.len()];
+        let mut family_samples: std::collections::BTreeMap<(FaultFamily, ProtoKind), Vec<f64>> =
+            FaultFamily::ALL
+                .iter()
+                .flat_map(|&f| ProtoKind::ALL.iter().map(move |&p| ((f, p), Vec::new())))
+                .collect();
+        let mut health: Vec<HealthSummary> = ProtoKind::ALL
+            .iter()
+            .map(|&p| HealthSummary {
+                proto: p,
+                health: ControlHealth::default(),
+                exhaustions_without_gray: 0,
+            })
+            .collect();
         let mut reproducers = Vec::new();
         let mut case_rows = Vec::with_capacity(run.results.len());
         let mut total_violations = 0u32;
@@ -201,6 +250,14 @@ impl CampaignReport {
                     .expect("every (family, proto) cell exists");
                 cell.bump(o.outcome);
                 latency_samples[pi].extend_from_slice(&o.latencies_ms);
+                family_samples
+                    .get_mut(&(r.case.family, proto))
+                    .expect("every (family, proto) sample exists")
+                    .extend_from_slice(&o.latencies_ms);
+                health[pi].health.merge(&o.health);
+                if r.case.channel.overrides.is_empty() {
+                    health[pi].exhaustions_without_gray += o.health.retry_exhaustions;
+                }
                 if !o.violations.is_empty() {
                     total_violations += o.violations.len() as u32;
                     reproducers.push(Reproducer {
@@ -218,6 +275,19 @@ impl CampaignReport {
             .zip(latency_samples)
             .map(|(&p, s)| LatencySummary::from_samples(p, s))
             .collect();
+        let family_latencies = family_samples
+            .into_iter()
+            .map(|((family, proto), samples)| {
+                let s = LatencySummary::from_samples(proto, samples);
+                FamilyLatency {
+                    family,
+                    proto,
+                    count: s.count,
+                    mean_ms: s.mean_ms,
+                    max_ms: s.max_ms,
+                }
+            })
+            .collect();
 
         CampaignReport {
             config: run.config.clone(),
@@ -225,6 +295,8 @@ impl CampaignReport {
             total_violations,
             outcomes,
             latencies,
+            family_latencies,
+            health,
             reproducers,
             case_rows,
         }
@@ -233,6 +305,19 @@ impl CampaignReport {
     /// Whether the campaign is clean (no invariant violations anywhere).
     pub fn is_clean(&self) -> bool {
         self.total_violations == 0
+    }
+
+    /// Total retry-budget exhaustions outside gray-link cases, summed over
+    /// both protocols. Nonzero means the reliable layer gave up on a
+    /// neighbor it should have reached — campaigns gate on zero.
+    pub fn clear_channel_exhaustions(&self) -> u64 {
+        self.health.iter().map(|h| h.exhaustions_without_gray).sum()
+    }
+
+    /// Clean *and* no retry exhaustion outside gray-link cases: the gate
+    /// the `faultlab` binary (and CI) fails on.
+    pub fn is_healthy(&self) -> bool {
+        self.is_clean() && self.clear_channel_exhaustions() == 0
     }
 
     /// Stable pretty-printed JSON form (what the `faultlab` binary writes).
@@ -288,6 +373,21 @@ impl CampaignReport {
                 out,
                 "  latency[{}]: n={} mean={:.2}ms p50={:.2}ms p95={:.2}ms max={:.2}ms",
                 l.proto, l.count, l.mean_ms, l.p50_ms, l.p95_ms, l.max_ms
+            );
+        }
+        for h in &self.health {
+            if h.health.is_quiet() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  health[{}]: lost={} retransmits={} dup-drops={} exhaustions={} (clear-channel={})",
+                h.proto,
+                h.health.total_lost(),
+                h.health.retransmits,
+                h.health.dup_drops,
+                h.health.retry_exhaustions,
+                h.exhaustions_without_gray,
             );
         }
         out
@@ -362,6 +462,26 @@ mod tests {
         let empty = LatencySummary::from_samples(ProtoKind::Spf, Vec::new());
         assert_eq!(empty.count, 0);
         assert_eq!(empty.max_ms, 0.0);
+    }
+
+    #[test]
+    fn lossy_families_populate_health_and_stay_healthy() {
+        let run = tiny_run();
+        let report = CampaignReport::from_run(&run);
+        assert!(report.is_healthy(), "health: {:?}", report.health);
+        // The mix includes uniform-loss and gray-link cases, so the
+        // channel must have eaten messages and the reliable layer must
+        // have recovered them.
+        let lost: u64 = report.health.iter().map(|h| h.health.total_lost()).sum();
+        let retx: u64 = report.health.iter().map(|h| h.health.retransmits).sum();
+        assert!(lost > 0, "lossy families lose control messages");
+        assert!(retx > 0, "the reliable layer retransmits what was lost");
+        // Family latency rows cover the full (family × proto) grid.
+        assert_eq!(
+            report.family_latencies.len(),
+            FaultFamily::ALL.len() * ProtoKind::ALL.len()
+        );
+        assert!(report.synopsis().contains("health[smrp]"));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 pub mod ci;
 pub mod csvout;
+pub mod health;
 pub mod histogram;
 pub mod relative;
 pub mod scatter;
@@ -26,5 +27,6 @@ pub mod stats;
 pub mod table;
 
 pub use ci::ConfidenceInterval;
+pub use health::ControlHealth;
 pub use histogram::Histogram;
 pub use stats::Stats;

@@ -30,13 +30,15 @@ pub mod hierarchy;
 pub mod membership;
 pub mod messages;
 pub mod query;
+pub mod reliable;
 pub mod router;
 pub mod runner;
 
 pub use membership::DynamicSession;
 pub use messages::{ProtoMsg, TimerKind};
+pub use reliable::{ReliabilityCounters, ReliableConfig};
 pub use router::{ControlCounters, Router, RouterConfig};
 pub use runner::{
-    FailureTiming, OverheadReport, ProtoSession, RecoveryPlans, RecoveryReport, RecoveryStrategy,
-    TreeProtocol,
+    FailureTiming, InjectionTiming, OverheadReport, ProtoSession, RecoveryPlans, RecoveryReport,
+    RecoveryStrategy, TreeProtocol,
 };

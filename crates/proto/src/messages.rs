@@ -60,6 +60,29 @@ pub enum ProtoMsg {
         /// Index of the current hop within `approach` (counts down to 0).
         idx: usize,
     },
+    /// Reliable-delivery envelope around a tree-mutating control message
+    /// (`Setup`, `LeaveReq`, `Refresh`). Sequenced per `(sender, receiver)`
+    /// pair; the receiver acks every copy, suppresses duplicates and
+    /// releases payloads in sequence order, so a degraded channel cannot
+    /// corrupt SHR/N state (see `crate::reliable`).
+    Reliable {
+        /// Per-neighbor sequence number assigned by the sender.
+        seq: u64,
+        /// The lowest sequence number the sender still has pending toward
+        /// this receiver (or its next unused number if none). Everything
+        /// below `base` is settled — acked or abandoned — so the receiver
+        /// can skip gaps left by abandoned envelopes instead of waiting
+        /// forever for a sequence number that will never be retried.
+        base: u64,
+        /// The wrapped control message.
+        inner: Box<ProtoMsg>,
+    },
+    /// Acknowledgment of a [`ProtoMsg::Reliable`] envelope. Sent raw: a
+    /// lost ack merely costs one duplicate retransmission.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
 }
 
 /// Node-local timers.
@@ -83,4 +106,13 @@ pub enum TimerKind {
     QueryTimeout,
     /// Global detour: unicast routing has reconverged; re-join now.
     ReconvergenceDone,
+    /// Reliable layer: check whether `(to, seq)` is still unacked and, if
+    /// so, retransmit with exponential backoff. A no-op when the entry was
+    /// acked or abandoned in the meantime.
+    Retransmit {
+        /// The neighbor the envelope was sent to.
+        to: smrp_net::NodeId,
+        /// The envelope's sequence number.
+        seq: u64,
+    },
 }

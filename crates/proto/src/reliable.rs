@@ -1,0 +1,422 @@
+//! Reliable delivery for tree-mutating control messages.
+//!
+//! SMRP's soft state is self-healing against *stale* information — a lost
+//! `Refresh` is covered by the next one — but not against unlucky streaks:
+//! over a degraded channel (see `smrp_sim::channel`) a run of lost
+//! refreshes expires live branches, a lost recovery `Setup` strands a
+//! member until starvation kicks in, and a duplicated or reordered
+//! `Setup`/`LeaveReq` pair can install state the tree oracle rejects. This
+//! module adds the standard cure, scoped to the three tree-mutating
+//! messages (`Setup`, `LeaveReq`, `Refresh`):
+//!
+//! * **per-neighbor sequence numbers** — each `(sender, receiver)` pair
+//!   has its own monotone lane;
+//! * **acks + retransmission** — every envelope is acked individually;
+//!   unacked envelopes are retransmitted with exponential backoff
+//!   ([`ReliableConfig::backoff`]) starting from an adaptive RTO
+//!   (≈4× the one-way link delay, floored at
+//!   [`ReliableConfig::rto_floor`]) up to [`ReliableConfig::max_retries`]
+//!   attempts;
+//! * **duplicate suppression + in-order release** — receivers ack every
+//!   copy but deliver each sequence number exactly once, in sequence
+//!   order, buffering gaps; re-applied control traffic therefore cannot
+//!   corrupt SHR/N bookkeeping (the property test in
+//!   `tests/reliable_prop.rs` pins this down);
+//! * **a bounded retry budget** — a sender that gives up records a
+//!   *retry exhaustion*, which lossy campaigns treat as a failure signal.
+//!   Envelopes addressed to a neighbor the router has since declared dead
+//!   are *abandoned* instead (not exhaustion: giving up on a corpse is
+//!   correct behavior);
+//! * **gap skipping via a lane base** — every envelope carries the
+//!   sender's lane *base*: the lowest sequence number still pending toward
+//!   that receiver (or the next unused one if nothing is pending). An
+//!   abandoned or exhausted envelope leaves a hole the receiver would
+//!   otherwise wait on forever, wedging the lane and silently burying all
+//!   later traffic from that neighbor. Seeing `base` beyond its cursor,
+//!   the receiver releases anything it had buffered below it (those were
+//!   received and acked — the sender moved on *because* of the acks) and
+//!   advances to `base`, unwedging the lane.
+//!
+//! With the default budget (8 retries) the probability that uniform 10%
+//! loss defeats one envelope is `0.1^9 = 1e-9` — a 1000-scenario campaign
+//! sees none.
+
+use std::collections::BTreeMap;
+
+use smrp_net::NodeId;
+use smrp_sim::SimTime;
+
+use crate::messages::ProtoMsg;
+
+/// Tunables of the reliable-delivery layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliableConfig {
+    /// Minimum retransmission timeout. The effective RTO per neighbor is
+    /// `max(rto_floor, 4 × one-way link delay)` — Waxman links in this
+    /// workspace carry tens of milliseconds of propagation delay, so a
+    /// fixed RTO would retransmit spuriously on long links.
+    pub rto_floor: SimTime,
+    /// Multiplier applied to the RTO after each retransmission.
+    pub backoff: f64,
+    /// Retransmissions allowed before the sender gives up (the envelope is
+    /// sent `1 + max_retries` times in total).
+    pub max_retries: u32,
+}
+
+impl Default for ReliableConfig {
+    /// 15 ms floor, ×1.5 backoff, 8 retries: survives 10% uniform loss
+    /// with failure probability 1e-9 per envelope while giving up within
+    /// ~0.7 s of a genuinely dead neighbor.
+    fn default() -> Self {
+        ReliableConfig {
+            rto_floor: SimTime::from_ms(15.0),
+            backoff: 1.5,
+            max_retries: 8,
+        }
+    }
+}
+
+impl ReliableConfig {
+    /// Retransmission delay before attempt `attempts + 1`, given the
+    /// neighbor's base RTO.
+    pub fn delay_for_attempt(&self, base_rto: SimTime, attempts: u32) -> SimTime {
+        SimTime::from_ms(base_rto.as_ms() * self.backoff.powi(attempts as i32))
+    }
+}
+
+/// What the reliable layer has done so far on one router.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityCounters {
+    /// Envelopes registered for first transmission.
+    pub sent: u64,
+    /// Retransmissions fired.
+    pub retransmits: u64,
+    /// Duplicate envelopes suppressed on receive.
+    pub dup_drops: u64,
+    /// Envelopes given up on after exhausting the retry budget.
+    pub retry_exhaustions: u64,
+    /// Envelopes abandoned because the neighbor was declared dead.
+    pub abandoned: u64,
+    /// Acks sent back to envelope senders.
+    pub acks_sent: u64,
+    /// Acks received for pending envelopes.
+    pub acks_received: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingTx {
+    msg: ProtoMsg,
+    attempts: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RxLane {
+    next: u64,
+    buffered: BTreeMap<u64, ProtoMsg>,
+}
+
+/// Outcome of a retransmission-timer firing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetransmitAction {
+    /// Send this copy again, then re-arm after the given delay.
+    Retry {
+        /// The envelope payload to resend.
+        msg: ProtoMsg,
+        /// Backoff delay until the *next* retransmission check.
+        delay: SimTime,
+    },
+    /// The retry budget is exhausted; the envelope was dropped and
+    /// counted. The caller should surface this through health reporting.
+    Exhausted,
+    /// The envelope was acked or abandoned meanwhile: nothing to do.
+    Done,
+}
+
+/// Per-router reliable-delivery state: tx lanes, rx lanes, counters.
+#[derive(Debug, Clone, Default)]
+pub struct ReliableEndpoint {
+    next_tx: BTreeMap<NodeId, u64>,
+    pending: BTreeMap<(NodeId, u64), PendingTx>,
+    rx: BTreeMap<NodeId, RxLane>,
+    counters: ReliabilityCounters,
+}
+
+impl ReliableEndpoint {
+    /// Counter snapshot.
+    pub fn counters(&self) -> ReliabilityCounters {
+        self.counters
+    }
+
+    /// Registers `msg` for reliable delivery to `to` and returns the
+    /// sequence number to stamp on the envelope. The caller performs the
+    /// actual send and arms the first retransmission timer.
+    pub fn register(&mut self, to: NodeId, msg: ProtoMsg) -> u64 {
+        let seq = self.next_tx.entry(to).or_insert(0);
+        let assigned = *seq;
+        *seq += 1;
+        self.pending
+            .insert((to, assigned), PendingTx { msg, attempts: 0 });
+        self.counters.sent += 1;
+        assigned
+    }
+
+    /// Notes that `from` acked sequence `seq`.
+    pub fn on_ack(&mut self, from: NodeId, seq: u64) {
+        if self.pending.remove(&(from, seq)).is_some() {
+            self.counters.acks_received += 1;
+        }
+    }
+
+    /// Notes that an ack is being sent (bookkeeping only).
+    pub fn note_ack_sent(&mut self) {
+        self.counters.acks_sent += 1;
+    }
+
+    /// The lane base to stamp on an envelope toward `to`: the lowest
+    /// sequence number still pending, or the next unused number if nothing
+    /// is pending. Everything below the base is settled from the sender's
+    /// point of view — acked, abandoned, or exhausted.
+    pub fn base_for(&self, to: NodeId) -> u64 {
+        self.pending
+            .range((to, 0)..=(to, u64::MAX))
+            .next()
+            .map_or_else(|| self.next_tx.get(&to).copied().unwrap_or(0), |(k, _)| k.1)
+    }
+
+    /// Whether the envelope `(to, seq)` is still awaiting an ack (i.e. not
+    /// yet acked, abandoned, or exhausted).
+    pub fn is_pending(&self, to: NodeId, seq: u64) -> bool {
+        self.pending.contains_key(&(to, seq))
+    }
+
+    /// Processes a received envelope `(seq, base, inner)` from `from` and
+    /// returns the payloads now releasable *in sequence order* (empty for
+    /// duplicates and out-of-order arrivals that still have a gap ahead).
+    ///
+    /// A `base` beyond the lane cursor means the gap in between was
+    /// abandoned by the sender and will never be retried: buffered
+    /// payloads below `base` release immediately (they *were* delivered
+    /// and acked — the sender's base moved past them because of those
+    /// acks) and the cursor jumps to `base`.
+    pub fn on_receive(
+        &mut self,
+        from: NodeId,
+        seq: u64,
+        base: u64,
+        inner: ProtoMsg,
+    ) -> Vec<ProtoMsg> {
+        let lane = self.rx.entry(from).or_default();
+        let mut released = Vec::new();
+        if base > lane.next {
+            let settled: Vec<u64> = lane.buffered.range(..base).map(|(&s, _)| s).collect();
+            for s in settled {
+                if let Some(msg) = lane.buffered.remove(&s) {
+                    released.push(msg);
+                }
+            }
+            lane.next = base;
+        }
+        if seq < lane.next || lane.buffered.contains_key(&seq) {
+            self.counters.dup_drops += 1;
+            return released;
+        }
+        lane.buffered.insert(seq, inner);
+        while let Some(msg) = lane.buffered.remove(&lane.next) {
+            released.push(msg);
+            lane.next += 1;
+        }
+        released
+    }
+
+    /// Decides what to do when the retransmission timer for `(to, seq)`
+    /// fires.
+    pub fn on_retransmit_timer(
+        &mut self,
+        to: NodeId,
+        seq: u64,
+        config: &ReliableConfig,
+        base_rto: SimTime,
+    ) -> RetransmitAction {
+        let Some(entry) = self.pending.get_mut(&(to, seq)) else {
+            return RetransmitAction::Done;
+        };
+        if entry.attempts >= config.max_retries {
+            self.pending.remove(&(to, seq));
+            self.counters.retry_exhaustions += 1;
+            return RetransmitAction::Exhausted;
+        }
+        entry.attempts += 1;
+        let attempts = entry.attempts;
+        let msg = entry.msg.clone();
+        self.counters.retransmits += 1;
+        RetransmitAction::Retry {
+            msg,
+            delay: config.delay_for_attempt(base_rto, attempts),
+        }
+    }
+
+    /// Drops every pending envelope addressed to `peer` without counting
+    /// exhaustion — called when the router declares `peer` dead (upstream
+    /// failure detection) or re-points its upstream elsewhere. Retransmit
+    /// timers for the dropped entries become no-ops.
+    pub fn abandon(&mut self, peer: NodeId) {
+        let keys: Vec<(NodeId, u64)> = self
+            .pending
+            .range((peer, 0)..=(peer, u64::MAX))
+            .map(|(&k, _)| k)
+            .collect();
+        self.counters.abandoned += keys.len() as u64;
+        for k in keys {
+            self.pending.remove(&k);
+        }
+    }
+
+    /// Pending `(neighbor, seq)` pairs — used by `on_reboot` to re-arm
+    /// retransmission timers that died with the node.
+    pub fn pending_keys(&self) -> Vec<(NodeId, u64)> {
+        self.pending.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn sequences_are_per_neighbor() {
+        let mut ep = ReliableEndpoint::default();
+        assert_eq!(ep.register(n(1), ProtoMsg::Refresh), 0);
+        assert_eq!(ep.register(n(1), ProtoMsg::Refresh), 1);
+        assert_eq!(ep.register(n(2), ProtoMsg::Refresh), 0);
+        assert_eq!(ep.counters().sent, 3);
+    }
+
+    #[test]
+    fn ack_clears_pending() {
+        let mut ep = ReliableEndpoint::default();
+        let seq = ep.register(n(1), ProtoMsg::LeaveReq);
+        ep.on_ack(n(1), seq);
+        assert_eq!(ep.counters().acks_received, 1);
+        let act = ep.on_retransmit_timer(
+            n(1),
+            seq,
+            &ReliableConfig::default(),
+            SimTime::from_ms(15.0),
+        );
+        assert_eq!(act, RetransmitAction::Done);
+    }
+
+    #[test]
+    fn unacked_envelope_retries_with_backoff_then_exhausts() {
+        let mut ep = ReliableEndpoint::default();
+        let cfg = ReliableConfig {
+            rto_floor: SimTime::from_ms(10.0),
+            backoff: 2.0,
+            max_retries: 2,
+        };
+        let seq = ep.register(n(1), ProtoMsg::Refresh);
+        let rto = SimTime::from_ms(10.0);
+        match ep.on_retransmit_timer(n(1), seq, &cfg, rto) {
+            RetransmitAction::Retry { delay, .. } => assert_eq!(delay, SimTime::from_ms(20.0)),
+            other => panic!("expected retry, got {other:?}"),
+        }
+        match ep.on_retransmit_timer(n(1), seq, &cfg, rto) {
+            RetransmitAction::Retry { delay, .. } => assert_eq!(delay, SimTime::from_ms(40.0)),
+            other => panic!("expected retry, got {other:?}"),
+        }
+        assert_eq!(
+            ep.on_retransmit_timer(n(1), seq, &cfg, rto),
+            RetransmitAction::Exhausted
+        );
+        assert_eq!(ep.counters().retransmits, 2);
+        assert_eq!(ep.counters().retry_exhaustions, 1);
+        // The entry is gone; a late timer is a no-op.
+        assert_eq!(
+            ep.on_retransmit_timer(n(1), seq, &cfg, rto),
+            RetransmitAction::Done
+        );
+    }
+
+    #[test]
+    fn receiver_releases_in_order_and_drops_dups() {
+        let mut ep = ReliableEndpoint::default();
+        // seq 1 arrives first: buffered, nothing released.
+        assert!(ep.on_receive(n(3), 1, 0, ProtoMsg::LeaveReq).is_empty());
+        // seq 0 fills the gap: both release, in order.
+        let released = ep.on_receive(n(3), 0, 0, ProtoMsg::Refresh);
+        assert_eq!(released, vec![ProtoMsg::Refresh, ProtoMsg::LeaveReq]);
+        // Retransmitted copies of both are suppressed.
+        assert!(ep.on_receive(n(3), 0, 0, ProtoMsg::Refresh).is_empty());
+        assert!(ep.on_receive(n(3), 1, 0, ProtoMsg::LeaveReq).is_empty());
+        assert_eq!(ep.counters().dup_drops, 2);
+    }
+
+    #[test]
+    fn buffered_duplicate_is_suppressed_too() {
+        let mut ep = ReliableEndpoint::default();
+        assert!(ep.on_receive(n(3), 2, 0, ProtoMsg::Refresh).is_empty());
+        assert!(ep.on_receive(n(3), 2, 0, ProtoMsg::Refresh).is_empty());
+        assert_eq!(ep.counters().dup_drops, 1);
+    }
+
+    #[test]
+    fn base_unwedges_lane_after_abandoned_gap() {
+        let mut ep = ReliableEndpoint::default();
+        // Sender side: seq 0 is lost in flight and then abandoned (e.g.
+        // the sender declared this hop's upstream dead); seq 1 and 2 are
+        // registered afterwards.
+        let mut tx = ReliableEndpoint::default();
+        assert_eq!(tx.register(n(3), ProtoMsg::LeaveReq), 0);
+        tx.abandon(n(3));
+        assert_eq!(tx.register(n(3), ProtoMsg::Refresh), 1);
+        assert_eq!(tx.base_for(n(3)), 1);
+        // Receiver: seq 1 stamped with base 1 releases immediately — the
+        // lane skips the abandoned seq 0 instead of waiting forever.
+        let released = ep.on_receive(n(3), 1, tx.base_for(n(3)), ProtoMsg::Refresh);
+        assert_eq!(released, vec![ProtoMsg::Refresh]);
+        // With nothing pending, the base is the next unused number, so a
+        // retransmitted copy of seq 1 is still recognized as a duplicate.
+        tx.on_ack(n(3), 1);
+        assert_eq!(tx.base_for(n(3)), 2);
+        assert!(ep
+            .on_receive(n(3), 1, tx.base_for(n(3)), ProtoMsg::Refresh)
+            .is_empty());
+        assert_eq!(ep.counters().dup_drops, 1);
+    }
+
+    #[test]
+    fn base_jump_releases_acked_buffered_payloads() {
+        let mut ep = ReliableEndpoint::default();
+        // seq 1 arrived (and was acked) but seq 0 never did; it buffers.
+        assert!(ep.on_receive(n(3), 1, 0, ProtoMsg::LeaveReq).is_empty());
+        // The sender abandons seq 0; its next envelope carries base 2
+        // (seq 1 was acked, nothing pending). The buffered seq 1 must be
+        // *applied*, not discarded — the sender believes it was delivered.
+        let released = ep.on_receive(n(3), 2, 2, ProtoMsg::Refresh);
+        assert_eq!(released, vec![ProtoMsg::LeaveReq, ProtoMsg::Refresh]);
+    }
+
+    #[test]
+    fn abandon_drops_only_that_peer() {
+        let mut ep = ReliableEndpoint::default();
+        let s1 = ep.register(n(1), ProtoMsg::Refresh);
+        let s2 = ep.register(n(2), ProtoMsg::Refresh);
+        ep.abandon(n(1));
+        assert_eq!(ep.counters().abandoned, 1);
+        let cfg = ReliableConfig::default();
+        let rto = SimTime::from_ms(15.0);
+        assert_eq!(
+            ep.on_retransmit_timer(n(1), s1, &cfg, rto),
+            RetransmitAction::Done
+        );
+        assert!(matches!(
+            ep.on_retransmit_timer(n(2), s2, &cfg, rto),
+            RetransmitAction::Retry { .. }
+        ));
+        assert_eq!(ep.pending_keys(), vec![(n(2), s2)]);
+    }
+}

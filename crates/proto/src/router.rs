@@ -13,6 +13,7 @@ use smrp_net::NodeId;
 use smrp_sim::{Ctx, NodeBehavior, SimTime};
 
 use crate::messages::{ProtoMsg, TimerKind};
+use crate::reliable::{ReliabilityCounters, ReliableConfig, ReliableEndpoint, RetransmitAction};
 
 /// Protocol timing parameters shared by every router in a session.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +35,9 @@ pub struct RouterConfig {
     /// Must comfortably exceed the normal heartbeat-detection + graft
     /// restoration time to avoid spurious grafts.
     pub starvation_limit: SimTime,
+    /// Reliable-delivery tunables for tree-mutating messages (see
+    /// [`crate::reliable`]).
+    pub reliable: ReliableConfig,
 }
 
 impl Default for RouterConfig {
@@ -48,7 +52,37 @@ impl Default for RouterConfig {
             holdtime: SimTime::from_ms(175.0),
             data_interval: SimTime::from_ms(5.0),
             starvation_limit: SimTime::from_ms(400.0),
+            reliable: ReliableConfig::default(),
         }
+    }
+}
+
+impl RouterConfig {
+    /// Loss-aware hardening: adapts the soft-state timers to a channel
+    /// with uniform per-transmission loss probability `loss`.
+    ///
+    /// Two knobs move:
+    ///
+    /// * **`miss_limit`** — with lossy hellos, `loss^miss_limit` is the
+    ///   probability that a healthy upstream looks dead in one check
+    ///   window. Campaigns run millions of windows, so the limit is raised
+    ///   until that probability drops below 1e-9 (9 misses at 10% loss,
+    ///   7 at 5%). Detection slows proportionally — the price of not
+    ///   tearing down live branches.
+    /// * **`holdtime`** — padded by `1 + 5·loss` so a refresh round that
+    ///   needs a few retransmissions cannot brush the expiry deadline.
+    ///
+    /// A zero (or negative) `loss` returns the config unchanged, so
+    /// lossless campaigns keep the paper's original timing.
+    pub fn hardened_for_loss(mut self, loss: f64) -> Self {
+        if loss <= 0.0 {
+            return self;
+        }
+        assert!(loss < 1.0, "a channel losing everything cannot be hardened");
+        let needed = (1e-9f64.ln() / loss.ln()).ceil() as u32;
+        self.miss_limit = self.miss_limit.max(needed);
+        self.holdtime = SimTime::from_ms(self.holdtime.as_ms() * (1.0 + 5.0 * loss));
+        self
     }
 }
 
@@ -86,6 +120,19 @@ pub struct Router {
     upstream: Option<NodeId>,
     downstream: Vec<(NodeId, SimTime)>,
     last_upstream_heard: SimTime,
+    /// Whether the current upstream has been heard *helloing* since it was
+    /// installed. A freshly grafted upstream only starts heartbeating once
+    /// the `Setup` reaches it and is applied, so during that handshake
+    /// silence is not evidence of death — see the `UpstreamCheck` handler.
+    /// Acks are deliberately not enough: a neighbor acks (and buffers)
+    /// envelopes it has not applied yet.
+    upstream_heard: bool,
+    /// The reliable `(peer, seq)` of the graft `Setup` sent to a freshly
+    /// repointed upstream, if any. While this exact envelope is pending,
+    /// the upstream check defers the death call: the retry budget — not
+    /// hello silence — is the authoritative reachability signal for an
+    /// upstream that cannot heartbeat us before the graft lands.
+    pending_graft: Option<(NodeId, u64)>,
     last_data_heard: SimTime,
     recovery_plan: Option<RecoveryPlan>,
     recovering: bool,
@@ -100,6 +147,7 @@ pub struct Router {
     periodic_timers_armed: bool,
     upstream_check_armed: bool,
     control_sent: ControlCounters,
+    reliable: ReliableEndpoint,
     /// Unicast routing state (installed from the routing protocol): next
     /// hop and distance toward the multicast source.
     next_hop_to_source: Option<NodeId>,
@@ -157,6 +205,8 @@ impl Router {
             upstream: None,
             downstream: Vec::new(),
             last_upstream_heard: SimTime::ZERO,
+            upstream_heard: true,
+            pending_graft: None,
             last_data_heard: SimTime::ZERO,
             recovery_plan: None,
             recovering: false,
@@ -167,6 +217,7 @@ impl Router {
             periodic_timers_armed: false,
             upstream_check_armed: false,
             control_sent: ControlCounters::default(),
+            reliable: ReliableEndpoint::default(),
             next_hop_to_source: None,
             spf_dist_to_source: f64::INFINITY,
             shr_value: 0,
@@ -186,6 +237,7 @@ impl Router {
     pub fn load_state(&mut self, upstream: Option<NodeId>, downstream: &[NodeId], member: bool) {
         self.on_tree = true;
         self.upstream = upstream;
+        self.upstream_heard = true; // preloaded trees start in steady state.
         self.downstream = downstream
             .iter()
             .map(|&d| (d, self.config.holdtime))
@@ -231,6 +283,11 @@ impl Router {
     /// Control messages this router has sent, by type.
     pub fn control_sent(&self) -> ControlCounters {
         self.control_sent
+    }
+
+    /// Reliable-layer counters (retransmits, dup drops, exhaustions, ...).
+    pub fn reliability(&self) -> ReliabilityCounters {
+        self.reliable.counters()
     }
 
     /// Whether this router detected an upstream failure and initiated (or
@@ -336,6 +393,62 @@ impl Router {
         ctx.set_timer(self.config.hello_interval, TimerKind::UpstreamCheck);
     }
 
+    /// The retransmission timeout toward `to`: 4× the one-way link delay,
+    /// floored at the configured minimum, so slow Waxman links do not
+    /// retransmit spuriously while short links retry promptly.
+    fn rto_for(&self, ctx: &Ctx<'_, Self>, to: NodeId) -> SimTime {
+        let one_way = ctx.graph().delay_between(ctx.me(), to).unwrap_or(0.0);
+        SimTime::from_ms((4.0 * one_way).max(self.config.reliable.rto_floor.as_ms()))
+    }
+
+    /// Sends a tree-mutating message through the reliable layer: assigns a
+    /// per-neighbor sequence number, wraps it in an envelope and arms the
+    /// first retransmission timer. Returns the assigned sequence number.
+    fn send_reliable(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, msg: ProtoMsg) -> u64 {
+        let seq = self.reliable.register(to, msg.clone());
+        ctx.send(
+            to,
+            ProtoMsg::Reliable {
+                seq,
+                base: self.reliable.base_for(to),
+                inner: Box::new(msg),
+            },
+        );
+        let rto = self.rto_for(ctx, to);
+        ctx.set_timer(rto, TimerKind::Retransmit { to, seq });
+        seq
+    }
+
+    /// Sends a graft `Setup` toward the (freshly repointed) upstream `to`
+    /// and remembers its envelope so the upstream check can tell an
+    /// in-flight handshake from a dead upstream.
+    fn send_graft(&mut self, ctx: &mut Ctx<'_, Self>, to: NodeId, msg: ProtoMsg) {
+        self.control_sent.setups += 1;
+        let seq = self.send_reliable(ctx, to, msg);
+        self.pending_graft = Some((to, seq));
+    }
+
+    /// Repoints the upstream interface at `new_up`, abandoning any
+    /// reliable traffic still pending toward the old upstream (retrying
+    /// into a dead or bypassed branch is pointless and would otherwise be
+    /// miscounted as retry exhaustion).
+    fn repoint_upstream(&mut self, ctx: &Ctx<'_, Self>, new_up: NodeId) {
+        if let Some(old) = self.upstream {
+            if old != new_up {
+                self.reliable.abandon(old);
+            }
+        }
+        if self.upstream != Some(new_up) {
+            self.upstream = Some(new_up);
+            self.last_upstream_heard = ctx.now();
+            self.upstream_heard = false;
+            // A graft through this router repairs whatever failure it was
+            // recovering from: re-enable failure detection on the new
+            // upstream instead of staying latched on the dead one.
+            self.recovering = false;
+        }
+    }
+
     /// Initiates a source-routed state installation along `path`
     /// (`path[0]` must be this router). Used for joins and grafts.
     pub fn initiate_setup(&mut self, ctx: &mut Ctx<'_, Self>, path: Vec<NodeId>, member: bool) {
@@ -345,11 +458,10 @@ impl Router {
         if member {
             self.is_member = true;
         }
-        self.upstream = Some(path[1]);
+        self.repoint_upstream(ctx, path[1]);
         self.last_upstream_heard = ctx.now();
         let next = path[1];
-        self.control_sent.setups += 1;
-        ctx.send(next, ProtoMsg::Setup { path, idx: 1 });
+        self.send_graft(ctx, next, ProtoMsg::Setup { path, idx: 1 });
         self.ensure_periodic_timers(ctx);
         self.ensure_upstream_check(ctx);
     }
@@ -374,13 +486,15 @@ impl Router {
         self.on_tree = true;
         self.upstream = Some(up);
         self.last_upstream_heard = ctx.now();
+        self.upstream_heard = false; // it pruned us — no heartbeats yet.
         self.ensure_periodic_timers(ctx);
         self.ensure_upstream_check(ctx);
-        self.control_sent.setups += 1;
-        ctx.send(
+        let me = ctx.me();
+        self.send_graft(
+            ctx,
             up,
             ProtoMsg::Setup {
-                path: vec![ctx.me(), up],
+                path: vec![me, up],
                 idx: 1,
             },
         );
@@ -389,6 +503,11 @@ impl Router {
 
     fn detect_upstream_failure(&mut self, ctx: &mut Ctx<'_, Self>) {
         self.recovering = true;
+        // The upstream is presumed dead: keeping envelopes in flight
+        // toward it would only burn the retry budget.
+        if let Some(up) = self.upstream {
+            self.reliable.abandon(up);
+        }
         let Some(plan) = self.recovery_plan.clone() else {
             return; // nothing can be done (modelled as unrecoverable).
         };
@@ -400,7 +519,14 @@ impl Router {
     }
 
     fn execute_recovery(&mut self, ctx: &mut Ctx<'_, Self>) {
-        let Some(plan) = self.recovery_plan.take() else {
+        // The plan is cloned, not consumed: under a lossy control plane a
+        // graft can stall mid-cascade — a forwarding hop's upstream-failure
+        // detection may abandon the pending Setup before a retransmission
+        // lands, severing the chain at a detour-only node that no refresh
+        // can resurrect. Keeping the plan lets the starvation check
+        // re-execute it for as long as the member keeps starving; the
+        // reliable layer's dedup makes repeated grafts idempotent.
+        let Some(plan) = self.recovery_plan.clone() else {
             return;
         };
         if plan.path.len() < 2 {
@@ -425,13 +551,69 @@ impl NodeBehavior for Router {
         if self.on_tree || self.is_source {
             self.start_timers(ctx);
         }
+        // Retransmission timers died with the node too; re-arm one per
+        // still-pending envelope so unacked control traffic resumes.
+        for (to, seq) in self.reliable.pending_keys() {
+            let rto = self.rto_for(ctx, to);
+            ctx.set_timer(rto, TimerKind::Retransmit { to, seq });
+        }
+    }
+
+    fn classify(msg: &ProtoMsg) -> &'static str {
+        match msg {
+            ProtoMsg::Setup { .. } => "setup",
+            ProtoMsg::LeaveReq => "leave",
+            ProtoMsg::Refresh => "refresh",
+            ProtoMsg::Hello => "hello",
+            ProtoMsg::Data { .. } => "data",
+            ProtoMsg::Query { .. } | ProtoMsg::QueryResp { .. } => "query",
+            // Count envelope losses under the wrapped message's class.
+            ProtoMsg::Reliable { inner, .. } => Self::classify(inner),
+            ProtoMsg::Ack { .. } => "ack",
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: ProtoMsg) {
         match msg {
+            ProtoMsg::Ack { seq } => {
+                // An ack from the upstream proves it is alive, so it feeds
+                // the silence clock — but not `upstream_heard`: a neighbor
+                // acks (and buffers) envelopes it has not applied yet, and
+                // only an applied graft makes it heartbeat us.
+                if self.upstream == Some(from) {
+                    self.last_upstream_heard = ctx.now();
+                }
+                self.reliable.on_ack(from, seq);
+            }
+            ProtoMsg::Reliable { seq, base, inner } => {
+                // Ack every copy — the sender's copy of the ack may have
+                // been lost even if the payload was already processed.
+                self.reliable.note_ack_sent();
+                ctx.send(from, ProtoMsg::Ack { seq });
+                for released in self.reliable.on_receive(from, seq, base, *inner) {
+                    self.apply_control(ctx, from, released);
+                }
+            }
+            other => self.apply_control(ctx, from, other),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: TimerKind) {
+        self.handle_timer(ctx, timer);
+    }
+}
+
+impl Router {
+    /// Applies one control message to the soft-state machine. Reliable
+    /// payloads arrive here deduplicated and in per-neighbor sequence
+    /// order; raw messages (`Hello`, `Data`, queries) arrive as the
+    /// channel delivered them.
+    fn apply_control(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: ProtoMsg) {
+        match msg {
             ProtoMsg::Hello => {
                 if self.upstream == Some(from) {
                     self.last_upstream_heard = ctx.now();
+                    self.upstream_heard = true;
                 }
             }
             ProtoMsg::Refresh => {
@@ -457,14 +639,11 @@ impl NodeBehavior for Router {
                     // disconnected fragment — where the stale upstream is
                     // exactly what must be overridden.
                     self.on_tree = true;
-                    if self.upstream != Some(path[idx + 1]) {
-                        self.upstream = Some(path[idx + 1]);
-                        self.last_upstream_heard = ctx.now();
-                    }
+                    let next = path[idx + 1];
+                    self.repoint_upstream(ctx, next);
                     self.ensure_periodic_timers(ctx);
                     self.ensure_upstream_check(ctx);
-                    self.control_sent.setups += 1;
-                    ctx.send(path[idx + 1], ProtoMsg::Setup { path, idx: idx + 1 });
+                    self.send_graft(ctx, next, ProtoMsg::Setup { path, idx: idx + 1 });
                 } else if !self.on_tree {
                     // Final hop, but the merger pruned itself while the
                     // graft was in flight: the restoration path was
@@ -572,10 +751,15 @@ impl NodeBehavior for Router {
                     );
                 }
             }
+            // Envelopes and acks are unwrapped in `on_message` before
+            // reaching this point; nested ones would be a layering bug.
+            ProtoMsg::Reliable { .. } | ProtoMsg::Ack { .. } => {
+                debug_assert!(false, "reliable envelope leaked into apply_control");
+            }
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: TimerKind) {
+    fn handle_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: TimerKind) {
         match timer {
             TimerKind::HelloTick => {
                 if self.on_tree {
@@ -591,12 +775,26 @@ impl NodeBehavior for Router {
                 ctx.set_timer(self.config.hello_interval, TimerKind::HelloTick);
             }
             TimerKind::UpstreamCheck => {
-                if self.on_tree && self.upstream.is_some() && !self.recovering {
+                if let Some(up) = self.upstream.filter(|_| self.on_tree && !self.recovering) {
                     let silence = ctx.now() - self.last_upstream_heard;
                     let deadline = SimTime::from_ms(
                         self.config.hello_interval.as_ms() * self.config.miss_limit as f64,
                     );
-                    if silence > deadline {
+                    // An upstream that has never helloed us is still
+                    // mid-handshake: it only starts heartbeating once the
+                    // graft's `Setup` reaches it and is applied, and a few
+                    // lost copies on a long-RTO link can outlast the miss
+                    // window. While that exact envelope is still retrying,
+                    // silence is not evidence of death — the retry budget
+                    // (which survives 10% loss with 1e-9 failure odds) is
+                    // the authoritative signal, and its exhaustion or
+                    // abandonment bounds the deferral. An established
+                    // upstream keeps the fast miss-limit rule.
+                    let handshaking = !self.upstream_heard
+                        && self
+                            .pending_graft
+                            .is_some_and(|(to, seq)| to == up && self.reliable.is_pending(to, seq));
+                    if silence > deadline && !handshaking {
                         self.detect_upstream_failure(ctx);
                     }
                 }
@@ -610,7 +808,16 @@ impl NodeBehavior for Router {
                 if self.on_tree {
                     if let Some(up) = self.upstream {
                         self.control_sent.refreshes += 1;
-                        ctx.send(up, ProtoMsg::Refresh);
+                        if self.recovering {
+                            // The upstream is presumed dead. Soft state
+                            // heals by repetition — keep probing with raw
+                            // refreshes so a repaired upstream re-learns
+                            // this branch, but don't burn retry budget
+                            // retransmitting into the outage.
+                            ctx.send(up, ProtoMsg::Refresh);
+                        } else {
+                            self.send_reliable(ctx, up, ProtoMsg::Refresh);
+                        }
                     }
                 }
                 ctx.set_timer(self.config.refresh_interval, TimerKind::RefreshTick);
@@ -626,8 +833,15 @@ impl NodeBehavior for Router {
                     // must be able to re-extend toward the tree.
                     if let Some(up) = self.upstream.take() {
                         self.former_upstream = Some(up);
-                        self.control_sent.leaves += 1;
-                        ctx.send(up, ProtoMsg::LeaveReq);
+                        if self.recovering {
+                            // The upstream is already presumed dead; a
+                            // leave toward it would only retransmit into
+                            // the void until the budget ran out.
+                            self.reliable.abandon(up);
+                        } else {
+                            self.control_sent.leaves += 1;
+                            self.send_reliable(ctx, up, ProtoMsg::LeaveReq);
+                        }
                     }
                     self.on_tree = false;
                 }
@@ -660,7 +874,11 @@ impl NodeBehavior for Router {
                     // The stream died but this node's own upstream is alive:
                     // the failure sits higher in a fragment whose root could
                     // not repair it. Recover independently (§3.1: each
-                    // disconnected member locates a restoration path).
+                    // disconnected member locates a restoration path). The
+                    // plan survives execution, so this also re-pushes a
+                    // graft whose cascade stalled on a lossy channel — the
+                    // member retries every starvation period until data
+                    // actually flows.
                     self.detect_upstream_failure(ctx);
                 }
                 if self.is_member {
@@ -693,6 +911,32 @@ impl NodeBehavior for Router {
             }
             TimerKind::ReconvergenceDone => {
                 self.execute_recovery(ctx);
+            }
+            TimerKind::Retransmit { to, seq } => {
+                let rto = self.rto_for(ctx, to);
+                match self
+                    .reliable
+                    .on_retransmit_timer(to, seq, &self.config.reliable, rto)
+                {
+                    RetransmitAction::Retry { msg, delay } => {
+                        // Recompute the base per copy: it is how news of
+                        // abandoned lower sequence numbers reaches the
+                        // receiver, letting a wedged lane skip the gap.
+                        ctx.send(
+                            to,
+                            ProtoMsg::Reliable {
+                                seq,
+                                base: self.reliable.base_for(to),
+                                inner: Box::new(msg),
+                            },
+                        );
+                        ctx.set_timer(delay, TimerKind::Retransmit { to, seq });
+                    }
+                    // Exhaustion is already counted by the endpoint and
+                    // surfaced through health reporting; acked/abandoned
+                    // entries need nothing.
+                    RetransmitAction::Exhausted | RetransmitAction::Done => {}
+                }
             }
         }
     }
@@ -907,5 +1151,72 @@ mod tests {
         sim.run_until(SimTime::from_ms(3.0));
         // The relay must not have forwarded seq 999 back down.
         assert!(sim.node(ids[2]).deliveries().iter().all(|d| d.seq != 999));
+    }
+
+    /// A 2-node graph whose single link is slower than the hello miss
+    /// window (default config: 3 × 10 ms), so a grafted upstream cannot
+    /// possibly heartbeat the grafting node before the window elapses.
+    fn slow_pair() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::with_nodes(2);
+        let ids: Vec<_> = g.node_ids().collect();
+        g.add_link(ids[0], ids[1], 40.0).unwrap();
+        (g, ids)
+    }
+
+    #[test]
+    fn graft_handshake_outlives_miss_window_without_false_detection() {
+        // The member grafts onto the source across a 40 ms link: the
+        // Setup needs 40 ms to arrive and the first hello another 40 ms
+        // back, so hello silence exceeds the 30 ms miss window long
+        // before the upstream *can* heartbeat. The upstream check must
+        // not declare the new upstream dead while the graft envelope is
+        // still in flight — the retry budget, not hello silence, is the
+        // reachability signal during the handshake.
+        let (g, ids) = slow_pair();
+        let [s, m] = [ids[0], ids[1]];
+        let mut routers: Vec<Router> = (0..2).map(|_| Router::new(config())).collect();
+        routers[s.index()].set_source();
+        let mut sim = NetSim::new(&g, routers);
+        sim.with_node(s, |r, ctx| r.start_timers(ctx));
+        sim.with_node(m, |r, ctx| r.initiate_setup(ctx, vec![m, s], true));
+        sim.run_until(SimTime::from_ms(300.0));
+        let member = sim.node(m);
+        assert!(
+            !member.is_recovering(),
+            "handshake silence must not be mistaken for upstream death"
+        );
+        assert_eq!(member.upstream(), Some(s));
+        assert_eq!(sim.node(s).downstream(), vec![m]);
+        assert!(
+            member
+                .first_delivery_after(SimTime::from_ms(80.0))
+                .is_some(),
+            "data must flow once the graft lands"
+        );
+    }
+
+    #[test]
+    fn graft_handshake_deferral_is_bounded_by_retry_budget() {
+        // Same slow pair, but the link dies right after the graft is
+        // sent: every Setup copy is dropped, so the envelope eventually
+        // exhausts its retry budget — at which point the deferral ends
+        // and the upstream check declares the failure. The handshake
+        // grace must not defer forever.
+        let (g, ids) = slow_pair();
+        let [s, m] = [ids[0], ids[1]];
+        let link = g.link_between(s, m).unwrap();
+        let mut routers: Vec<Router> = (0..2).map(|_| Router::new(config())).collect();
+        routers[s.index()].set_source();
+        let mut sim = NetSim::new(&g, routers);
+        sim.with_node(s, |r, ctx| r.start_timers(ctx));
+        sim.with_node(m, |r, ctx| r.initiate_setup(ctx, vec![m, s], true));
+        sim.schedule_link_failure(SimTime::from_ms(1.0), link);
+        // RTO is 4 × 40 ms; ×1.5 backoff over 8 retries exhausts the
+        // budget within ~12 s of simulated time.
+        sim.run_until(SimTime::from_ms(13_000.0));
+        assert!(
+            sim.node(m).is_recovering(),
+            "exhaustion must end the handshake grace and surface the failure"
+        );
     }
 }

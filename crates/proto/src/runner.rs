@@ -11,8 +11,9 @@
 
 use smrp_core::recovery::{self, DetourKind, Recovery};
 use smrp_core::{MulticastTree, SmrpConfig, SmrpError, SmrpSession, SpfSession};
+use smrp_metrics::ControlHealth;
 use smrp_net::{FailureScenario, Graph, NodeId};
-use smrp_sim::{NetSim, SimTime, TraceLog};
+use smrp_sim::{ChannelModel, ChannelSpec, NetSim, SimTime, TraceLog};
 
 use crate::router::{RecoveryPlan, Router, RouterConfig};
 
@@ -71,6 +72,62 @@ impl FailureTiming {
     }
 }
 
+/// How (and how often) a scenario's components fail during a run.
+///
+/// [`FailureTiming`] covers the paper's persistent cuts and single-repair
+/// transients; `Flapping` injects repeated down/up cycles on the same
+/// components — the regime that exercises reboot re-arming and
+/// `former_upstream` branch re-extension hardest, because soft state and
+/// the reliable layer must survive *several* outages in one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectionTiming {
+    /// One injection, optionally repaired once.
+    Once(FailureTiming),
+    /// Repeated cycles: down at `fail_at`, repaired `down` later, failing
+    /// again `up` after that, for `cycles` full cycles (the run ends with
+    /// the components up).
+    Flapping {
+        /// Start of the first outage.
+        fail_at: SimTime,
+        /// Length of each outage window.
+        down: SimTime,
+        /// Length of each healthy window between outages.
+        up: SimTime,
+        /// Number of down/up cycles.
+        cycles: u32,
+    },
+}
+
+impl InjectionTiming {
+    /// When the first outage begins.
+    pub fn fail_at(&self) -> SimTime {
+        match *self {
+            InjectionTiming::Once(t) => t.fail_at,
+            InjectionTiming::Flapping { fail_at, .. } => fail_at,
+        }
+    }
+
+    /// Every `(fail, repair)` event pair this timing schedules; a `None`
+    /// repair means the outage is permanent.
+    fn schedule(&self) -> Vec<(SimTime, Option<SimTime>)> {
+        match *self {
+            InjectionTiming::Once(t) => vec![(t.fail_at, t.repair_at)],
+            InjectionTiming::Flapping {
+                fail_at,
+                down,
+                up,
+                cycles,
+            } => (0..cycles.max(1))
+                .map(|c| {
+                    let start =
+                        fail_at + SimTime::from_ms((down.as_ms() + up.as_ms()) * f64::from(c));
+                    (start, Some(start + down))
+                })
+                .collect(),
+        }
+    }
+}
+
 /// The recovery plans one failure scenario induces on a session's tree:
 /// which nodes will graft, where, and who is beyond help. Produced by
 /// [`ProtoSession::plan_recoveries`]; consumed by the failure runner and by
@@ -110,8 +167,12 @@ pub struct RecoveryReport {
     pub unaffected: Vec<NodeId>,
     /// Total messages delivered by the simulator during the run.
     pub messages_delivered: u64,
-    /// Total messages dropped (failed links/nodes).
+    /// Total messages dropped (failed links/nodes/channel).
     pub messages_dropped: u64,
+    /// Control-plane health: reliable-layer counters aggregated across all
+    /// routers plus what the degraded channel did. All-zero for lossless
+    /// runs.
+    pub health: ControlHealth,
 }
 
 impl RecoveryReport {
@@ -241,8 +302,14 @@ impl<'g> ProtoSession<'g> {
 
     /// Instantiates routers preloaded with the session tree.
     fn routers(&self) -> Vec<Router> {
+        self.routers_with(self.router_config)
+    }
+
+    /// Like [`routers`](Self::routers) with an explicit config — lossy
+    /// runs load loss-hardened timers without mutating the session.
+    fn routers_with(&self, config: RouterConfig) -> Vec<Router> {
         let mut routers: Vec<Router> = (0..self.graph.node_count())
-            .map(|_| Router::new(self.router_config))
+            .map(|_| Router::new(config))
             .collect();
         for n in self.tree.on_tree_nodes() {
             let upstream = self.tree.parent(n);
@@ -412,8 +479,34 @@ impl<'g> ProtoSession<'g> {
         timing: FailureTiming,
         until: SimTime,
     ) -> RecoveryReport {
-        let fail_at = timing.fail_at;
-        let mut routers = self.routers();
+        self.run_failure_spec(
+            scenario,
+            strategy,
+            InjectionTiming::Once(timing),
+            &ChannelSpec::perfect(),
+            until,
+        )
+    }
+
+    /// The full-control failure runner: any [`InjectionTiming`] (including
+    /// flapping cycles) over any [`ChannelSpec`].
+    ///
+    /// When the channel's *default* lane is lossy, the router config is
+    /// hardened via [`RouterConfig::hardened_for_loss`] — uniform loss is
+    /// ambient noise every router experiences, so timers must tolerate it.
+    /// Gray-link overrides do **not** harden: a single rotten link
+    /// *should* look like a failure to the routers behind it.
+    pub fn run_failure_spec(
+        &self,
+        scenario: &FailureScenario,
+        strategy: RecoveryStrategy,
+        timing: InjectionTiming,
+        channel: &ChannelSpec,
+        until: SimTime,
+    ) -> RecoveryReport {
+        let fail_at = timing.fail_at();
+        let config = self.router_config.hardened_for_loss(channel.default.loss);
+        let mut routers = self.routers_with(config);
 
         let (kind, wait) = match strategy {
             RecoveryStrategy::LocalDetour => (DetourKind::Local, SimTime::ZERO),
@@ -428,19 +521,24 @@ impl<'g> ProtoSession<'g> {
 
         let mut sim = NetSim::new(self.graph, routers);
         sim.set_trace(TraceLog::disabled());
+        if !channel.is_perfect() {
+            sim.set_channel(Some(ChannelModel::new(channel)));
+        }
         for n in self.tree.on_tree_nodes() {
             sim.with_node(n, |r, ctx| r.start_timers(ctx));
         }
-        for l in scenario.failed_links() {
-            sim.schedule_link_failure(fail_at, l);
-            if let Some(repair_at) = timing.repair_at {
-                sim.schedule_link_repair(repair_at, l);
+        for (down_at, up_at) in timing.schedule() {
+            for l in scenario.failed_links() {
+                sim.schedule_link_failure(down_at, l);
+                if let Some(up_at) = up_at {
+                    sim.schedule_link_repair(up_at, l);
+                }
             }
-        }
-        for n in scenario.failed_nodes() {
-            sim.schedule_node_failure(fail_at, n);
-            if let Some(repair_at) = timing.repair_at {
-                sim.schedule_node_repair(repair_at, n);
+            for n in scenario.failed_nodes() {
+                sim.schedule_node_failure(down_at, n);
+                if let Some(up_at) = up_at {
+                    sim.schedule_node_repair(up_at, n);
+                }
             }
         }
         sim.run_until(until);
@@ -470,12 +568,28 @@ impl<'g> ProtoSession<'g> {
             .members()
             .filter(|m| !affected_set.contains(m))
             .collect();
+        let mut health = ControlHealth::default();
+        for n in self.graph.node_ids() {
+            let r = sim.node(n).reliability();
+            health.retransmits += r.retransmits;
+            health.dup_drops += r.dup_drops;
+            health.retry_exhaustions += r.retry_exhaustions;
+            health.acks += r.acks_sent;
+        }
+        if let Some(ch) = sim.channel_stats() {
+            health.channel_dupes = ch.duplicated;
+            health.channel_reorders = ch.reordered;
+            for (&class, &n) in &ch.lost_by_class {
+                *health.loss_by_class.entry(class.to_string()).or_insert(0) += n;
+            }
+        }
         RecoveryReport {
             fail_at,
             restorations,
             unaffected,
             messages_delivered: sim.delivered_count(),
             messages_dropped: sim.dropped_count(),
+            health,
         }
     }
 }
@@ -704,6 +818,89 @@ mod tests {
             latency >= SimTime::from_ms(800.0),
             "restoration waited out reconvergence: {latency:?}"
         );
+    }
+
+    #[test]
+    fn lossy_channel_run_restores_with_bounded_health_cost() {
+        let (graph, nodes) = paper::figure1_graph();
+        let session =
+            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        let l_ad = graph.link_between(nodes.a, nodes.d).unwrap();
+        let channel = ChannelSpec::uniform_loss(0.1, 0xC0FFEE);
+        let report = session.run_failure_spec(
+            &FailureScenario::link(l_ad),
+            RecoveryStrategy::LocalDetour,
+            InjectionTiming::Once(FailureTiming::persistent(SimTime::from_ms(100.0))),
+            &channel,
+            SimTime::from_ms(3000.0),
+        );
+        assert!(
+            report.all_restored(),
+            "10% uniform loss must not defeat restoration: {:?}",
+            report.restorations
+        );
+        // The reliable layer worked for its living: losses happened and
+        // were covered; nothing ran out of budget.
+        assert!(report.health.total_lost() > 0, "channel should lose some");
+        assert!(report.health.retransmits > 0, "losses imply retransmits");
+        assert_eq!(report.health.retry_exhaustions, 0, "budget must hold");
+        assert!(report.health.acks > 0);
+    }
+
+    #[test]
+    fn lossy_run_is_deterministic_for_a_fixed_spec() {
+        let (graph, nodes) = paper::figure1_graph();
+        let session =
+            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        let l_ad = graph.link_between(nodes.a, nodes.d).unwrap();
+        let channel = ChannelSpec::uniform_loss(0.1, 42);
+        let run = || {
+            session.run_failure_spec(
+                &FailureScenario::link(l_ad),
+                RecoveryStrategy::LocalDetour,
+                InjectionTiming::Once(FailureTiming::persistent(SimTime::from_ms(100.0))),
+                &channel,
+                SimTime::from_ms(2000.0),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.restorations, b.restorations);
+        assert_eq!(a.messages_delivered, b.messages_delivered);
+        assert_eq!(a.health, b.health);
+    }
+
+    #[test]
+    fn flapping_link_service_survives_every_cycle() {
+        // S - A - C chain, no detour: each down-window starves the member,
+        // each up-window must heal it again via soft state alone.
+        let mut g = Graph::with_nodes(3);
+        let ids: Vec<_> = g.node_ids().collect();
+        let l_sa = g.add_link(ids[0], ids[1], 1.0).unwrap();
+        g.add_link(ids[1], ids[2], 1.0).unwrap();
+        let session = ProtoSession::build(&g, ids[0], &[ids[2]], TreeProtocol::Spf).unwrap();
+        let timing = InjectionTiming::Flapping {
+            fail_at: SimTime::from_ms(100.0),
+            down: SimTime::from_ms(250.0),
+            up: SimTime::from_ms(400.0),
+            cycles: 3,
+        };
+        let report = session.run_failure_spec(
+            &FailureScenario::link(l_sa),
+            RecoveryStrategy::LocalDetour,
+            timing,
+            &ChannelSpec::perfect(),
+            SimTime::from_ms(3000.0),
+        );
+        assert!(
+            report.all_restored(),
+            "service heals after the flaps: {:?}",
+            report.restorations
+        );
+        // The last cycle ends at 100 + 3*650 - 400 = 1650ms (final repair);
+        // service must also be alive *after* that point.
+        let member = ids[2];
+        assert_eq!(report.restorations[0].0, member);
     }
 
     #[test]

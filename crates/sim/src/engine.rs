@@ -2,6 +2,7 @@
 
 use smrp_net::{FailureScenario, Graph, LinkId, NodeId};
 
+use crate::channel::{ChannelModel, ChannelStats};
 use crate::event::EventQueue;
 use crate::time::SimTime;
 use crate::trace::{DropReason, TraceEvent, TraceLog};
@@ -29,6 +30,14 @@ pub trait NodeBehavior: Sized {
     /// chain is dead by now — protocols should re-arm their timers here.
     /// The default is a no-op (a rebooted node stays passive).
     fn on_reboot(&mut self, _ctx: &mut Ctx<'_, Self>) {}
+
+    /// Classifies a message for the degraded channel's per-class loss
+    /// accounting (see [`ChannelStats::lost_by_class`]). Purely
+    /// observational: the channel treats every class identically. The
+    /// default lumps everything under `"message"`.
+    fn classify(_msg: &Self::Msg) -> &'static str {
+        "message"
+    }
 }
 
 enum Command<M, T> {
@@ -89,6 +98,42 @@ impl<'a, N: NodeBehavior> Ctx<'a, N> {
     }
 }
 
+/// Messages dropped so far, broken down by cause.
+///
+/// `total()` preserves the old single-counter view; the per-reason fields
+/// let campaigns distinguish "the topology was cut" from "the channel ate
+/// it".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropCounts {
+    /// Dropped because the carrying link had failed.
+    pub link_down: u64,
+    /// Dropped because the receiving node had failed.
+    pub node_down: u64,
+    /// Dropped because the sending node had failed.
+    pub sender_down: u64,
+    /// Dropped because sender and receiver are not adjacent.
+    pub not_adjacent: u64,
+    /// Dropped by the degraded channel.
+    pub channel_loss: u64,
+}
+
+impl DropCounts {
+    fn record(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::LinkDown => self.link_down += 1,
+            DropReason::NodeDown => self.node_down += 1,
+            DropReason::SenderDown => self.sender_down += 1,
+            DropReason::NotAdjacent => self.not_adjacent += 1,
+            DropReason::ChannelLoss => self.channel_loss += 1,
+        }
+    }
+
+    /// Total drops across all causes.
+    pub fn total(&self) -> u64 {
+        self.link_down + self.node_down + self.sender_down + self.not_adjacent + self.channel_loss
+    }
+}
+
 enum SimEvent<M, T> {
     Deliver {
         from: NodeId,
@@ -146,8 +191,9 @@ pub struct NetSim<'g, N: NodeBehavior> {
     failures: FailureScenario,
     processing_delay: SimTime,
     trace: TraceLog,
+    channel: Option<ChannelModel>,
     delivered: u64,
-    dropped: u64,
+    dropped: DropCounts,
 }
 
 impl<'g, N: NodeBehavior> NetSim<'g, N> {
@@ -171,8 +217,9 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
             failures: FailureScenario::none(),
             processing_delay: SimTime::ZERO,
             trace: TraceLog::new(4096),
+            channel: None,
             delivered: 0,
-            dropped: 0,
+            dropped: DropCounts::default(),
         }
     }
 
@@ -184,6 +231,17 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
     /// Replaces the trace log (e.g. [`TraceLog::disabled`] for long runs).
     pub fn set_trace(&mut self, trace: TraceLog) {
         self.trace = trace;
+    }
+
+    /// Installs a degraded channel; subsequent sends pass through it.
+    /// `None` restores the default perfect channel.
+    pub fn set_channel(&mut self, channel: Option<ChannelModel>) {
+        self.channel = channel;
+    }
+
+    /// Channel statistics, if a degraded channel is installed.
+    pub fn channel_stats(&self) -> Option<&ChannelStats> {
+        self.channel.as_ref().map(ChannelModel::stats)
     }
 
     /// Current virtual time.
@@ -216,9 +274,14 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
         self.delivered
     }
 
-    /// Messages dropped so far.
+    /// Messages dropped so far (all causes).
     pub fn dropped_count(&self) -> u64 {
-        self.dropped
+        self.dropped.total()
+    }
+
+    /// Drop counters broken down by cause.
+    pub fn drops(&self) -> &DropCounts {
+        &self.dropped
     }
 
     /// Fails a link immediately.
@@ -272,28 +335,27 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
         self.apply(id, commands);
     }
 
+    /// The single drop site: counts the drop under its cause and traces it.
+    fn drop_msg(&mut self, time: SimTime, from: NodeId, to: NodeId, reason: DropReason) {
+        self.dropped.record(reason);
+        self.trace.push(TraceEvent::Dropped {
+            time,
+            from,
+            to,
+            reason,
+        });
+    }
+
     fn apply(&mut self, from: NodeId, commands: Vec<Command<N::Msg, N::Timer>>) {
         for c in commands {
             match c {
                 Command::Send { to, msg } => {
                     if !self.failures.node_usable(from) {
-                        self.dropped += 1;
-                        self.trace.push(TraceEvent::Dropped {
-                            time: self.now,
-                            from,
-                            to,
-                            reason: DropReason::SenderDown,
-                        });
+                        self.drop_msg(self.now, from, to, DropReason::SenderDown);
                         continue;
                     }
                     let Some(link) = self.graph.link_between(from, to) else {
-                        self.dropped += 1;
-                        self.trace.push(TraceEvent::Dropped {
-                            time: self.now,
-                            from,
-                            to,
-                            reason: DropReason::NotAdjacent,
-                        });
+                        self.drop_msg(self.now, from, to, DropReason::NotAdjacent);
                         continue;
                     };
                     if self.trace.is_enabled() {
@@ -304,17 +366,30 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
                             what: format!("{msg:?}"),
                         });
                     }
-                    let delay =
+                    // The degraded channel may lose the message, duplicate
+                    // it, or stretch its delay; a perfect channel delivers
+                    // exactly one copy with no extra delay.
+                    let extra_delays_ms = match &mut self.channel {
+                        Some(ch) => ch.transmit(link, N::classify(&msg)).extra_delays_ms,
+                        None => vec![0.0],
+                    };
+                    if extra_delays_ms.is_empty() {
+                        self.drop_msg(self.now, from, to, DropReason::ChannelLoss);
+                        continue;
+                    }
+                    let base =
                         SimTime::from_ms(self.graph.link(link).delay()) + self.processing_delay;
-                    self.queue.schedule(
-                        self.now + delay,
-                        SimEvent::Deliver {
-                            from,
-                            to,
-                            link,
-                            msg,
-                        },
-                    );
+                    for extra in extra_delays_ms {
+                        self.queue.schedule(
+                            self.now + base + SimTime::from_ms(extra),
+                            SimEvent::Deliver {
+                                from,
+                                to,
+                                link,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
                 }
                 Command::Timer { delay, timer } => {
                     self.queue
@@ -338,23 +413,11 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
                 msg,
             } => {
                 if !self.failures.link_usable(self.graph, link) {
-                    self.dropped += 1;
-                    self.trace.push(TraceEvent::Dropped {
-                        time,
-                        from,
-                        to,
-                        reason: DropReason::LinkDown,
-                    });
+                    self.drop_msg(time, from, to, DropReason::LinkDown);
                     return true;
                 }
                 if !self.failures.node_usable(to) {
-                    self.dropped += 1;
-                    self.trace.push(TraceEvent::Dropped {
-                        time,
-                        from,
-                        to,
-                        reason: DropReason::NodeDown,
-                    });
+                    self.drop_msg(time, from, to, DropReason::NodeDown);
                     return true;
                 }
                 self.delivered += 1;
@@ -661,6 +724,72 @@ mod tests {
         sim.run_until(SimTime::from_ms(10.0));
         assert_eq!(sim.node(ids[1]).received, 1);
         assert!(sim.failures().is_empty());
+    }
+
+    #[test]
+    fn channel_loss_drops_and_counts_by_cause() {
+        use crate::channel::{ChannelModel, ChannelSpec};
+        let (g, ids) = line_graph();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        // A channel that loses everything.
+        sim.set_channel(Some(ChannelModel::new(&ChannelSpec::uniform_loss(1.0, 1))));
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[1], Msg::Ping));
+        sim.run_to_completion(10);
+        assert_eq!(sim.node(ids[1]).received, 0);
+        assert_eq!(sim.drops().channel_loss, 1);
+        assert_eq!(sim.dropped_count(), 1);
+        assert_eq!(sim.channel_stats().unwrap().lost(), 1);
+        assert!(matches!(
+            sim.trace().entries().last(),
+            Some(TraceEvent::Dropped {
+                reason: DropReason::ChannelLoss,
+                ..
+            })
+        ));
+        // Restore the perfect channel: traffic flows again.
+        sim.set_channel(None);
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[1], Msg::Ping));
+        sim.run_to_completion(10);
+        assert_eq!(sim.node(ids[1]).received, 1);
+    }
+
+    #[test]
+    fn channel_duplication_delivers_twice() {
+        use crate::channel::{ChannelModel, ChannelParams, ChannelSpec};
+        let (g, ids) = line_graph();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        let spec = ChannelSpec {
+            default: ChannelParams {
+                duplicate: 1.0,
+                ..ChannelParams::PERFECT
+            },
+            overrides: Vec::new(),
+            seed: 5,
+        };
+        sim.set_channel(Some(ChannelModel::new(&spec)));
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[1], Msg::Ping));
+        sim.run_to_completion(10);
+        assert_eq!(sim.node(ids[1]).received, 2, "duplicate arrives too");
+        // The ping and the echoed pong each picked up one duplicate.
+        assert_eq!(sim.channel_stats().unwrap().duplicated, 2);
+    }
+
+    #[test]
+    fn drop_counts_split_by_reason() {
+        let (g, ids) = line_graph();
+        let link = g.link_between(ids[0], ids[1]).unwrap();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        // Non-adjacent.
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[2], Msg::Ping));
+        // In flight when the link dies.
+        sim.with_node(ids[0], |_, ctx| ctx.send(ids[1], Msg::Ping));
+        sim.schedule_link_failure(SimTime::from_ms(1.0), link);
+        sim.run_to_completion(10);
+        let d = *sim.drops();
+        assert_eq!(d.not_adjacent, 1);
+        assert_eq!(d.link_down, 1);
+        assert_eq!(d.channel_loss, 0);
+        assert_eq!(d.total(), sim.dropped_count());
     }
 
     #[test]

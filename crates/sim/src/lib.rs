@@ -17,18 +17,22 @@
 //! * persistent failures via [`smrp_net::FailureScenario`]: messages
 //!   crossing a failed link or addressed to a failed node are dropped,
 //!   failed nodes neither process nor send;
+//! * an optional degraded channel ([`ChannelModel`]) adding seeded
+//!   per-link loss, duplication, reordering and latency jitter;
 //! * a bounded trace of everything that happened, for tests and the
 //!   `protocol_trace` example.
 //!
 //! Protocol logic plugs in through the [`NodeBehavior`] trait; see
 //! `smrp-proto` for the SMRP router implementation.
 
+pub mod channel;
 pub mod engine;
 pub mod event;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Ctx, NetSim, NodeBehavior};
+pub use channel::{ChannelModel, ChannelParams, ChannelSpec, ChannelStats, LinkDegrade};
+pub use engine::{Ctx, DropCounts, NetSim, NodeBehavior};
 pub use event::EventQueue;
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceLog};

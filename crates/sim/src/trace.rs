@@ -74,6 +74,8 @@ pub enum DropReason {
     SenderDown,
     /// Sender and receiver are not adjacent in the topology.
     NotAdjacent,
+    /// The degraded channel lost the message (see [`crate::ChannelModel`]).
+    ChannelLoss,
 }
 
 impl std::fmt::Display for DropReason {
@@ -83,6 +85,7 @@ impl std::fmt::Display for DropReason {
             DropReason::NodeDown => "receiver down",
             DropReason::SenderDown => "sender down",
             DropReason::NotAdjacent => "nodes not adjacent",
+            DropReason::ChannelLoss => "lost by channel",
         };
         f.write_str(s)
     }
