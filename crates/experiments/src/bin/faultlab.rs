@@ -12,16 +12,29 @@
 //! * `--smoke` — small CI campaign (n=100, 240 scenarios);
 //! * `--smoke-lossy` — small CI campaign under 5% ambient control-plane
 //!   loss (n=100, 203 scenarios — a multiple of the 7 fault families);
+//! * `--smoke-multi` — small CI campaign with 8 concurrent sessions
+//!   sharing the topology (n=60, 28 scenarios);
 //! * `--bench` — acceptance benchmark: runs the configured campaign twice
 //!   (lossless, then under `--loss` ambient loss, default 10%) and writes
 //!   one artifact with both reports plus the per-protocol
 //!   restoration-latency inflation factor (this is how
 //!   `BENCH_faultlab.json` is produced);
+//! * `--bench-multi` — multi-session benchmark sweep: the campaign at
+//!   M ∈ {1, 8, 32} concurrent sessions, each at 0% and at `--loss`
+//!   (default 10%) ambient loss, writing one artifact with aggregate
+//!   restoration latency and per-group control-message overhead per
+//!   cell (this is how `BENCH_multisession.json` is produced). Presets
+//!   70 scenarios of 12-member sessions on the default 400-node
+//!   topology — a 32-session case simulates 32 trees in one event
+//!   queue, so the sweep trades scenario count for session count;
+//!   later flags override the preset;
 //! * `--loss P` — ambient control-plane loss probability applied to every
 //!   case that doesn't carry its own degraded channel (default 0);
 //! * `--scenarios N` — number of fault cases (default 1000);
 //! * `--nodes N` — topology size (default 400);
 //! * `--group N` — multicast group size (default 30);
+//! * `--groups M` — concurrent multicast sessions over one topology
+//!   (default 1); every fault case is injected once against all of them;
 //! * `--seed S` — base seed (default 0x5EED);
 //! * `--jobs N` — worker threads (default: available parallelism);
 //! * `--out PATH` — report path (default `results/faultlab.json`).
@@ -42,6 +55,7 @@ struct Args {
     config: CampaignConfig,
     jobs: usize,
     bench: bool,
+    bench_multi: bool,
     out: std::path::PathBuf,
 }
 
@@ -85,6 +99,125 @@ fn inflation(lossless: &CampaignReport, lossy: &CampaignReport) -> Vec<Inflation
         .collect()
 }
 
+/// One (session count, ambient loss) cell of the `--bench-multi` sweep,
+/// with the headline numbers lifted out of the full report.
+#[derive(Serialize)]
+struct MultiCell {
+    groups: usize,
+    ambient_loss: f64,
+    /// Aggregate SMRP restoration-latency distribution across all groups.
+    smrp_mean_latency_ms: f64,
+    smrp_p95_latency_ms: f64,
+    smrp_restored_members: u64,
+    /// Mean control messages one group's SMRP lanes spend over the whole
+    /// campaign — the per-group overhead of sharing the substrate.
+    smrp_control_messages_per_group: f64,
+    total_violations: u32,
+    report: CampaignReport,
+}
+
+/// The `--bench-multi` artifact: the same campaign swept over session
+/// counts and ambient-loss levels.
+#[derive(Serialize)]
+struct MultiBenchReport {
+    group_counts: Vec<usize>,
+    loss_levels: Vec<f64>,
+    cells: Vec<MultiCell>,
+}
+
+fn multi_cell(groups: usize, ambient_loss: f64, report: CampaignReport) -> MultiCell {
+    let smrp = report
+        .latencies
+        .iter()
+        .find(|l| l.proto == ProtoKind::Smrp)
+        .expect("smrp latency row exists");
+    let smrp_groups: Vec<_> = report
+        .group_summaries
+        .iter()
+        .filter(|g| g.proto == ProtoKind::Smrp)
+        .collect();
+    let per_group = smrp_groups.iter().map(|g| g.control_messages).sum::<u64>() as f64
+        / smrp_groups.len().max(1) as f64;
+    MultiCell {
+        groups,
+        ambient_loss,
+        smrp_mean_latency_ms: smrp.mean_ms,
+        smrp_p95_latency_ms: smrp.p95_ms,
+        smrp_restored_members: smrp.count,
+        smrp_control_messages_per_group: per_group,
+        total_violations: report.total_violations,
+        report,
+    }
+}
+
+/// The `--bench-multi` path: sweep M ∈ {1, 8, 32} sessions, each at 0%
+/// and at the configured ambient loss.
+fn run_bench_multi(args: &Args) -> ExitCode {
+    let ambient_loss = if args.config.ambient_loss > 0.0 {
+        args.config.ambient_loss
+    } else {
+        0.1
+    };
+    let group_counts = vec![1usize, 8, 32];
+    let loss_levels = vec![0.0, ambient_loss];
+    let mut cells = Vec::new();
+    let mut healthy = true;
+    for &groups in &group_counts {
+        for &loss in &loss_levels {
+            let config = CampaignConfig {
+                groups,
+                ambient_loss: loss,
+                ..args.config.clone()
+            };
+            let started = std::time::Instant::now();
+            let run = match run_campaign(&config, args.jobs) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("faultlab: campaign failed: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let report = CampaignReport::from_run(&run);
+            println!("=== M={groups} sessions, ambient loss {loss} ===");
+            print!("{}", report.synopsis());
+            println!(
+                "  ({:.2}s on {} jobs)",
+                started.elapsed().as_secs_f64(),
+                args.jobs
+            );
+            if !report.is_healthy() {
+                report_failures(&report, &args.out);
+                healthy = false;
+            }
+            cells.push(multi_cell(groups, loss, report));
+        }
+    }
+    for c in &cells {
+        println!(
+            "cell M={:<2} loss={}: smrp mean={:.2}ms p95={:.2}ms control-msgs/group={:.0}",
+            c.groups,
+            c.ambient_loss,
+            c.smrp_mean_latency_ms,
+            c.smrp_p95_latency_ms,
+            c.smrp_control_messages_per_group,
+        );
+    }
+    let bench = MultiBenchReport {
+        group_counts,
+        loss_levels,
+        cells,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("multi bench report serializes");
+    if let Err(code) = write_out(&args.out, json) {
+        return code;
+    }
+    if healthy {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut config = CampaignConfig {
         nodes: 400,
@@ -94,6 +227,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut jobs = std::thread::available_parallelism().map_or(1, usize::from);
     let mut bench = false;
+    let mut bench_multi = false;
     let mut out: Option<std::path::PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -109,8 +243,19 @@ fn parse_args() -> Result<Args, String> {
                 config.scenarios = 203;
                 config.ambient_loss = 0.05;
             }
+            "--smoke-multi" => {
+                config.nodes = 60;
+                config.group_size = 10;
+                config.scenarios = 28;
+                config.groups = 8;
+            }
             "--bench" => {
                 bench = true;
+            }
+            "--bench-multi" => {
+                bench_multi = true;
+                config.group_size = 12;
+                config.scenarios = 70;
             }
             "--loss" => {
                 config.ambient_loss = value("--loss")?
@@ -135,6 +280,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--group: {e}"))?;
             }
+            "--groups" => {
+                config.groups = value("--groups")?
+                    .parse()
+                    .map_err(|e| format!("--groups: {e}"))?;
+                if config.groups == 0 {
+                    return Err("--groups expects at least 1 session".into());
+                }
+            }
             "--seed" => {
                 let raw = value("--seed")?;
                 config.base_seed = raw
@@ -157,8 +310,11 @@ fn parse_args() -> Result<Args, String> {
         config,
         jobs,
         bench,
+        bench_multi,
         out: out.unwrap_or_else(|| {
-            results_dir().join(if bench {
+            results_dir().join(if bench_multi {
+                "faultlab-multisession.json"
+            } else if bench {
                 "faultlab-bench.json"
             } else {
                 "faultlab.json"
@@ -276,6 +432,9 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.bench_multi {
+        return run_bench_multi(&args);
+    }
     if args.bench {
         return run_bench(&args);
     }

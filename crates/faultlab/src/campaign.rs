@@ -1,15 +1,21 @@
 //! Parallel Monte-Carlo campaign execution.
 //!
-//! A campaign draws a seeded topology and member set, generates a mixed
-//! stream of correlated fault cases, and evaluates every case against both
-//! SMRP (local detour) and the SPF baseline (global detour): recovery plans
-//! are computed and audited, the message-level simulator measures
-//! restoration latency, and each (case, protocol) pair is classified into
-//! one [`Outcome`].
+//! A campaign draws a seeded topology and one or more member sets (one
+//! multicast session per group), generates a mixed stream of correlated
+//! fault cases, and evaluates every case against both SMRP (local detour)
+//! and the SPF baseline (global detour): recovery plans are computed and
+//! audited per group, the message-level simulator runs all groups over
+//! the shared substrate and measures restoration latency, and each
+//! (case, protocol) pair is classified into one aggregate [`Outcome`]
+//! plus one [`GroupOutcome`] per session.
 //!
 //! Evaluation fans out over worker threads with a shared work-stealing
-//! index; results are keyed by case id and aggregated in id order, so the
-//! campaign output is byte-identical for any `--jobs` value.
+//! index at (case, protocol) granularity — groups within a scenario share
+//! one event queue (they contend for the same links), so the protocol run
+//! is the finest unit that can move between threads without changing the
+//! physics. Results are keyed by (case id, protocol) and reassembled in
+//! that order, so the campaign output is byte-identical for any `--jobs`
+//! value.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -22,8 +28,11 @@ use smrp_core::recovery::{self, DetourKind};
 use smrp_core::SmrpConfig;
 use smrp_metrics::ControlHealth;
 use smrp_net::waxman::WaxmanConfig;
-use smrp_net::{Graph, NetError, NodeId};
-use smrp_proto::{FailureTiming, InjectionTiming, ProtoSession, RecoveryStrategy, TreeProtocol};
+use smrp_net::{Graph, GroupId, NetError, NodeId};
+use smrp_proto::{
+    ControlCounters, FailureTiming, InjectionTiming, MultiSession, ProtoSession, RecoveryPlans,
+    RecoveryStrategy, TreeProtocol,
+};
 use smrp_sim::{ChannelSpec, SimTime};
 
 use crate::audit::{audit_recovery, Violation};
@@ -58,6 +67,10 @@ impl std::fmt::Display for ProtoKind {
 }
 
 /// How one (case, protocol) evaluation ended.
+///
+/// Variants are declared in ascending *severity*, and the derived `Ord`
+/// follows declaration order: multi-group evaluations aggregate per-group
+/// outcomes by taking the maximum, so a case reads as its worst group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Outcome {
     /// The failure never touched the session tree; no member lost service.
@@ -121,6 +134,11 @@ pub struct CampaignConfig {
     pub nodes: usize,
     /// Multicast group size.
     pub group_size: usize,
+    /// Number of concurrent multicast sessions sharing the topology (the
+    /// `faultlab --groups` knob). Each group gets its own seeded source
+    /// and member set and its own SMRP/SPF tree; every generated failure
+    /// is injected once against all of them.
+    pub groups: usize,
     /// Waxman `α` (edge-density knob).
     pub alpha: f64,
     /// Number of fault cases to generate and evaluate.
@@ -145,11 +163,13 @@ pub struct CampaignConfig {
 }
 
 impl Default for CampaignConfig {
-    /// A paper-scale default: `N = 100`, 30 members, 1000 mixed cases.
+    /// A paper-scale default: `N = 100`, 30 members, one session, 1000
+    /// mixed cases.
     fn default() -> Self {
         CampaignConfig {
             nodes: 100,
             group_size: 30,
+            groups: 1,
             alpha: 0.2,
             scenarios: 1000,
             base_seed: 0x5EED,
@@ -177,9 +197,23 @@ impl CampaignConfig {
             .into_graph())
     }
 
-    /// Samples the source and member set for the campaign topology.
+    /// Samples the source and member set of group 0 — kept as the
+    /// single-session entry point so old campaign seeds reproduce.
     pub fn pick_members(&self, graph: &Graph) -> (NodeId, Vec<NodeId>) {
-        let mut rng = SmallRng::seed_from_u64(self.base_seed.wrapping_add(0xA5A5_A5A5));
+        self.pick_group_members(graph, 0)
+    }
+
+    /// Samples the source and member set for one group. Group 0 draws
+    /// from the same sub-seed `pick_members` always used, so a
+    /// `groups = 1` campaign is byte-identical to a pre-multi-session
+    /// one; higher groups perturb the seed with a splitmix-style odd
+    /// constant for independent draws.
+    pub fn pick_group_members(&self, graph: &Graph, group: usize) -> (NodeId, Vec<NodeId>) {
+        let seed = self
+            .base_seed
+            .wrapping_add(0xA5A5_A5A5)
+            .wrapping_add((group as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = SmallRng::seed_from_u64(seed);
         let mut ids: Vec<NodeId> = graph.node_ids().collect();
         ids.shuffle(&mut rng);
         let take = self.group_size.min(ids.len() - 1);
@@ -187,24 +221,53 @@ impl CampaignConfig {
     }
 }
 
-/// The evaluation of one case against one protocol.
+/// One group's slice of a (case, protocol) evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupOutcome {
+    /// The group.
+    pub group: GroupId,
+    /// This group's classification.
+    pub outcome: Outcome,
+    /// Members of this group whose tree path the failure broke.
+    pub affected: u32,
+    /// Affected members of this group that regained service.
+    pub restored: u32,
+    /// Restoration latencies of this group's restored members, in
+    /// milliseconds, in member order.
+    pub latencies_ms: Vec<f64>,
+    /// Invariant violations the auditor found in this group's recovery.
+    pub violations: Vec<Violation>,
+    /// Control messages this group's router lanes sent, by type — the
+    /// per-group control overhead of sharing the substrate. All-zero when
+    /// the case was short-circuited before simulation.
+    pub control: ControlCounters,
+}
+
+/// The evaluation of one case against one protocol — the aggregate over
+/// every hosted group plus one [`GroupOutcome`] slice per group.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProtoOutcome {
-    /// The classification.
+    /// The aggregate classification: the worst (maximum-severity) group
+    /// outcome. For single-session campaigns this is just the outcome.
     pub outcome: Outcome,
-    /// Members whose tree path the failure broke.
+    /// Members whose tree path the failure broke, summed over groups.
     pub affected: u32,
-    /// Affected members that regained service within the run.
+    /// Affected members that regained service within the run, summed
+    /// over groups.
     pub restored: u32,
     /// Restoration latency of each restored member, in milliseconds,
-    /// in member-id order.
+    /// in group order then member order.
     pub latencies_ms: Vec<f64>,
-    /// Invariant violations the auditor found (normally empty).
+    /// Invariant violations the auditor found in any group (normally
+    /// empty), in group order.
     pub violations: Vec<Violation>,
-    /// Control-plane health during the run: reliable-layer retransmission
-    /// counters plus channel loss/duplication/reordering tallies. All-zero
-    /// for lossless cases and for cases short-circuited before simulation.
+    /// Control-plane health during the run: every group's reliable-layer
+    /// counters plus channel loss/duplication/reordering tallies (which
+    /// are per *link*, so they only exist at this aggregate level).
+    /// All-zero for cases short-circuited before simulation.
     pub health: ControlHealth,
+    /// Per-group slices, in group order.
+    pub groups: Vec<GroupOutcome>,
 }
 
 /// The evaluation of one generated fault case against both protocols.
@@ -233,16 +296,28 @@ impl CaseResult {
     }
 }
 
-/// Evaluates one case against one protocol session.
+/// Pre-simulation analysis of one group: affected set, recovery plans,
+/// audit verdict, and — when the group cannot possibly need the
+/// simulator — its already-decided outcome.
+struct GroupPre {
+    affected: Vec<NodeId>,
+    plans: Option<RecoveryPlans>,
+    violations: Vec<Violation>,
+    fixed: Option<Outcome>,
+}
+
+/// Evaluates one case against one protocol's multi-session: plans and
+/// audits every group, runs the shared simulation once if any group
+/// needs it, and classifies each group independently before rolling up
+/// the aggregate.
 fn evaluate_proto(
     graph: &Graph,
-    session: &ProtoSession<'_>,
+    multi: &MultiSession<'_>,
     cfg: &CampaignConfig,
     case: &FaultCase,
     proto: ProtoKind,
 ) -> ProtoOutcome {
     let scenario = &case.scenario;
-    let source = session.source();
     let (kind, strategy) = match proto {
         ProtoKind::Smrp => (DetourKind::Local, RecoveryStrategy::LocalDetour),
         ProtoKind::Spf => (
@@ -253,131 +328,172 @@ fn evaluate_proto(
         ),
     };
 
-    let affected = recovery::affected_members(graph, session.tree(), scenario);
-    if affected.is_empty() {
-        // Fast path: the failure misses the tree entirely; nothing to
-        // recover, nothing to simulate.
-        return ProtoOutcome {
-            outcome: Outcome::Unaffected,
-            affected: 0,
-            restored: 0,
-            latencies_ms: Vec::new(),
-            violations: Vec::new(),
-            health: ControlHealth::default(),
-        };
-    }
+    let pre: Vec<GroupPre> = multi
+        .groups()
+        .map(|g| {
+            let session = multi.session(g);
+            let affected = recovery::affected_members(graph, session.tree(), scenario);
+            if affected.is_empty() {
+                // The failure misses this group's tree entirely; nothing
+                // to recover for it.
+                return GroupPre {
+                    affected,
+                    plans: None,
+                    violations: Vec::new(),
+                    fixed: Some(Outcome::Unaffected),
+                };
+            }
+            let plans = session.plan_recoveries(scenario, kind);
+            let violations = audit_recovery(graph, session.tree(), scenario, &plans);
+            let fixed = if !violations.is_empty() {
+                Some(Outcome::InvariantViolation)
+            } else if !scenario.node_usable(session.source()) {
+                // This group's source died: no protocol can restore it.
+                Some(Outcome::SourcePartitioned)
+            } else {
+                None
+            };
+            GroupPre {
+                affected,
+                plans: Some(plans),
+                violations,
+                fixed,
+            }
+        })
+        .collect();
 
-    let plans = session.plan_recoveries(scenario, kind);
-    let violations = audit_recovery(graph, session.tree(), scenario, &plans);
-    if !violations.is_empty() {
-        return ProtoOutcome {
-            outcome: Outcome::InvariantViolation,
-            affected: affected.len() as u32,
-            restored: 0,
-            latencies_ms: Vec::new(),
-            violations,
-            health: ControlHealth::default(),
+    // Fast path: when every group's verdict is already decided (missed
+    // tree, failed audit, or dead source) there is no data plane worth
+    // simulating — the single-session campaign's short circuits, lifted
+    // to the aggregate level.
+    let report = if pre.iter().any(|p| p.fixed.is_none()) {
+        let timing = if case.timing.is_flapping() {
+            InjectionTiming::Flapping {
+                fail_at: SimTime::from_ms(cfg.fail_at_ms),
+                down: SimTime::from_ms(case.timing.flap_down_ms),
+                up: SimTime::from_ms(case.timing.flap_up_ms),
+                cycles: case.timing.flap_cycles,
+            }
+        } else if case.timing.transient {
+            InjectionTiming::Once(FailureTiming::transient(
+                SimTime::from_ms(cfg.fail_at_ms),
+                SimTime::from_ms(cfg.fail_at_ms + case.timing.repair_after_ms),
+            ))
+        } else {
+            InjectionTiming::Once(FailureTiming::persistent(SimTime::from_ms(cfg.fail_at_ms)))
         };
-    }
-
-    if !scenario.node_usable(source) {
-        // The source itself died: no protocol can restore anything, and
-        // there is no data plane worth simulating.
-        return ProtoOutcome {
-            outcome: Outcome::SourcePartitioned,
-            affected: affected.len() as u32,
-            restored: 0,
-            latencies_ms: Vec::new(),
-            violations: Vec::new(),
-            health: ControlHealth::default(),
+        // Cases with their own degraded channel (UniformLoss/GrayLinks)
+        // keep it; everything else picks up the campaign's ambient loss,
+        // seeded off the case so no two cases share a loss pattern.
+        let channel = if !case.channel.is_perfect() || cfg.ambient_loss <= 0.0 {
+            case.channel.clone()
+        } else {
+            ChannelSpec::uniform_loss(
+                cfg.ambient_loss,
+                case.seed.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+            )
         };
-    }
-
-    let timing = if case.timing.is_flapping() {
-        InjectionTiming::Flapping {
-            fail_at: SimTime::from_ms(cfg.fail_at_ms),
-            down: SimTime::from_ms(case.timing.flap_down_ms),
-            up: SimTime::from_ms(case.timing.flap_up_ms),
-            cycles: case.timing.flap_cycles,
-        }
-    } else if case.timing.transient {
-        InjectionTiming::Once(FailureTiming::transient(
-            SimTime::from_ms(cfg.fail_at_ms),
-            SimTime::from_ms(cfg.fail_at_ms + case.timing.repair_after_ms),
+        Some(multi.run_failure_spec(
+            scenario,
+            strategy,
+            timing,
+            &channel,
+            SimTime::from_ms(cfg.run_until_ms),
         ))
     } else {
-        InjectionTiming::Once(FailureTiming::persistent(SimTime::from_ms(cfg.fail_at_ms)))
+        None
     };
-    // Cases with their own degraded channel (UniformLoss/GrayLinks) keep
-    // it; everything else picks up the campaign's ambient loss, seeded off
-    // the case so no two cases share a loss pattern.
-    let channel = if !case.channel.is_perfect() || cfg.ambient_loss <= 0.0 {
-        case.channel.clone()
-    } else {
-        ChannelSpec::uniform_loss(
-            cfg.ambient_loss,
-            case.seed.wrapping_mul(0xD6E8_FEB8_6659_FD93),
-        )
-    };
-    let report = session.run_failure_spec(
-        scenario,
-        strategy,
-        timing,
-        &channel,
-        SimTime::from_ms(cfg.run_until_ms),
-    );
 
-    let latencies_ms: Vec<f64> = report
-        .restorations
+    let mut groups = Vec::with_capacity(pre.len());
+    for (g, p) in multi.groups().zip(&pre) {
+        let slice = report.as_ref().map(|r| &r.groups[g.index()]);
+        // Lanes of pre-decided groups still ran if any *other* group
+        // forced a simulation; report their control spend honestly.
+        let control = slice.map(|s| s.control).unwrap_or_default();
+        if let Some(outcome) = p.fixed {
+            groups.push(GroupOutcome {
+                group: g,
+                outcome,
+                affected: p.affected.len() as u32,
+                restored: 0,
+                latencies_ms: Vec::new(),
+                violations: p.violations.clone(),
+                control,
+            });
+            continue;
+        }
+        let slice = slice.expect("simulation ran for undecided groups");
+        let plans = p.plans.as_ref().expect("affected groups were planned");
+        let latencies_ms = slice.latencies_ms();
+        let restored = latencies_ms.len() as u32;
+        let outcome = if slice.all_restored() {
+            let clean_local = proto == ProtoKind::Smrp
+                && plans.all_root_grafts()
+                && plans.unrecoverable.is_empty()
+                && !case.timing.heals();
+            if clean_local {
+                Outcome::RestoredLocalDetour
+            } else {
+                Outcome::FellBackGlobal
+            }
+        } else {
+            let source = multi.session(g).source();
+            let reach = recovery::reachable_from_source(graph, source, scenario);
+            let unrestored_partitioned = slice
+                .restorations
+                .iter()
+                .filter(|(_, l)| l.is_none())
+                .all(|(m, _)| !scenario.node_usable(*m) || !reach[m.index()]);
+            // Transient and flapping outages heal, so an unrestored-but-
+            // reachable member under repair is still a detection miss,
+            // and a partitioned member that the repair would have
+            // reconnected counts as partitioned only if it stayed
+            // unrestored to the end of the run — which the simulator
+            // already told us.
+            if unrestored_partitioned && !case.timing.heals() {
+                Outcome::SourcePartitioned
+            } else {
+                Outcome::DetectionMissed
+            }
+        };
+        groups.push(GroupOutcome {
+            group: g,
+            outcome,
+            affected: p.affected.len() as u32,
+            restored,
+            latencies_ms,
+            violations: Vec::new(),
+            control,
+        });
+    }
+
+    let outcome = groups
         .iter()
-        .filter_map(|(_, l)| l.map(SimTime::as_ms))
-        .collect();
-    let restored = latencies_ms.len() as u32;
-
-    let outcome = if report.all_restored() {
-        let clean_local = proto == ProtoKind::Smrp
-            && plans.all_root_grafts()
-            && plans.unrecoverable.is_empty()
-            && !case.timing.heals();
-        if clean_local {
-            Outcome::RestoredLocalDetour
-        } else {
-            Outcome::FellBackGlobal
-        }
-    } else {
-        let reach = recovery::reachable_from_source(graph, source, scenario);
-        let unrestored_partitioned = report
-            .restorations
-            .iter()
-            .filter(|(_, l)| l.is_none())
-            .all(|(m, _)| !scenario.node_usable(*m) || !reach[m.index()]);
-        // Transient and flapping outages heal, so an unrestored-but-
-        // reachable member under repair is still a detection miss, and a
-        // partitioned member that the repair would have reconnected counts
-        // as partitioned only if it stayed unrestored to the end of the
-        // run — which the simulator already told us.
-        if unrestored_partitioned && !case.timing.heals() {
-            Outcome::SourcePartitioned
-        } else {
-            Outcome::DetectionMissed
-        }
-    };
-
+        .map(|g| g.outcome)
+        .max()
+        .unwrap_or(Outcome::Unaffected);
     ProtoOutcome {
         outcome,
-        affected: affected.len() as u32,
-        restored,
-        latencies_ms,
-        violations: Vec::new(),
-        health: report.health,
+        affected: groups.iter().map(|g| g.affected).sum(),
+        restored: groups.iter().map(|g| g.restored).sum(),
+        latencies_ms: groups
+            .iter()
+            .flat_map(|g| g.latencies_ms.iter().copied())
+            .collect(),
+        violations: groups
+            .iter()
+            .flat_map(|g| g.violations.iter().cloned())
+            .collect(),
+        health: report.map(|r| r.health).unwrap_or_default(),
+        groups,
     }
 }
 
-/// Evaluates one fault case against both protocol sessions.
+/// Evaluates one fault case against both protocols' multi-sessions.
 pub fn evaluate_case(
     graph: &Graph,
-    smrp: &ProtoSession<'_>,
-    spf: &ProtoSession<'_>,
+    smrp: &MultiSession<'_>,
+    spf: &MultiSession<'_>,
     cfg: &CampaignConfig,
     case: &FaultCase,
 ) -> CaseResult {
@@ -415,39 +531,75 @@ pub struct CampaignRun {
 pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> Result<CampaignRun, NetError> {
     let jobs = jobs.max(1);
     let graph = cfg.topology()?;
-    let (source, members) = cfg.pick_members(&graph);
     // Generated topologies are connected and the member picker only hands
     // out existing nodes, so tree construction cannot fail here.
-    let smrp = ProtoSession::build(
-        &graph,
-        source,
-        &members,
-        TreeProtocol::Smrp(SmrpConfig::default()),
-    )
-    .expect("SMRP session builds on a connected topology");
-    let spf = ProtoSession::build(&graph, source, &members, TreeProtocol::Spf)
-        .expect("SPF session builds on a connected topology");
+    let mut smrp_sessions = Vec::with_capacity(cfg.groups.max(1));
+    let mut spf_sessions = Vec::with_capacity(cfg.groups.max(1));
+    for g in 0..cfg.groups.max(1) {
+        let (source, members) = cfg.pick_group_members(&graph, g);
+        smrp_sessions.push(
+            ProtoSession::build(
+                &graph,
+                source,
+                &members,
+                TreeProtocol::Smrp(SmrpConfig::default()),
+            )
+            .expect("SMRP session builds on a connected topology"),
+        );
+        spf_sessions.push(
+            ProtoSession::build(&graph, source, &members, TreeProtocol::Spf)
+                .expect("SPF session builds on a connected topology"),
+        );
+    }
+    let smrp = MultiSession::from_sessions(smrp_sessions);
+    let spf = MultiSession::from_sessions(spf_sessions);
 
     let cases = generate_mix(&graph, &cfg.generator, cfg.scenarios, cfg.base_seed);
 
+    // One work item per (case, protocol): groups inside a case share one
+    // event queue so the protocol run is the finest deterministic unit.
+    let total = cases.len() * ProtoKind::ALL.len();
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<CaseResult>> = Mutex::new(Vec::with_capacity(cases.len()));
+    let evaluated: Mutex<Vec<(usize, ProtoOutcome)>> = Mutex::new(Vec::with_capacity(total));
     std::thread::scope(|scope| {
-        for _ in 0..jobs.min(cases.len().max(1)) {
+        for _ in 0..jobs.min(total.max(1)) {
             scope.spawn(|| {
                 let mut local = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(case) = cases.get(i) else { break };
-                    local.push(evaluate_case(&graph, &smrp, &spf, cfg, case));
+                    if i >= total {
+                        break;
+                    }
+                    let case = &cases[i / ProtoKind::ALL.len()];
+                    let proto = ProtoKind::ALL[i % ProtoKind::ALL.len()];
+                    let multi = match proto {
+                        ProtoKind::Smrp => &smrp,
+                        ProtoKind::Spf => &spf,
+                    };
+                    local.push((i, evaluate_proto(&graph, multi, cfg, case, proto)));
                 }
-                results.lock().expect("no poisoned workers").extend(local);
+                evaluated.lock().expect("no poisoned workers").extend(local);
             });
         }
     });
 
-    let mut results = results.into_inner().expect("workers joined");
-    results.sort_by_key(|r| r.case.id);
+    // Reassemble by work-item index: scheduling order never leaks into
+    // the report.
+    let mut slots: Vec<Option<ProtoOutcome>> = vec![None; total];
+    for (i, outcome) in evaluated.into_inner().expect("workers joined") {
+        slots[i] = Some(outcome);
+    }
+    let results = cases
+        .into_iter()
+        .enumerate()
+        .map(|(ci, case)| CaseResult {
+            case,
+            smrp: slots[ci * 2].take().expect("every work item was evaluated"),
+            spf: slots[ci * 2 + 1]
+                .take()
+                .expect("every work item was evaluated"),
+        })
+        .collect();
     Ok(CampaignRun {
         config: cfg.clone(),
         results,
@@ -486,8 +638,52 @@ mod tests {
                 if o.outcome == Outcome::Unaffected {
                     assert_eq!(o.affected, 0);
                 }
+                // The aggregate is always consistent with its slices.
+                assert_eq!(o.groups.len(), 1);
+                assert_eq!(o.groups[0].outcome, o.outcome);
+                assert_eq!(o.groups[0].affected, o.affected);
+                assert_eq!(o.groups[0].latencies_ms, o.latencies_ms);
             }
         }
+    }
+
+    #[test]
+    fn multi_group_aggregates_are_consistent() {
+        let cfg = CampaignConfig {
+            groups: 3,
+            scenarios: 12,
+            ..small_config()
+        };
+        let run = run_campaign(&cfg, 2).unwrap();
+        assert_eq!(run.results.len(), 12);
+        for r in &run.results {
+            for proto in ProtoKind::ALL {
+                let o = r.for_proto(proto);
+                assert_eq!(o.groups.len(), 3);
+                assert_eq!(
+                    o.outcome,
+                    o.groups.iter().map(|g| g.outcome).max().unwrap(),
+                    "aggregate outcome is the worst group"
+                );
+                assert_eq!(o.affected, o.groups.iter().map(|g| g.affected).sum::<u32>());
+                assert_eq!(o.restored, o.groups.iter().map(|g| g.restored).sum::<u32>());
+                assert_eq!(
+                    o.latencies_ms.len(),
+                    o.groups.iter().map(|g| g.latencies_ms.len()).sum::<usize>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn groups_draw_distinct_member_sets() {
+        let cfg = small_config();
+        let graph = cfg.topology().unwrap();
+        let (s0, m0) = cfg.pick_group_members(&graph, 0);
+        let (s1, m1) = cfg.pick_group_members(&graph, 1);
+        // Group 0 must reproduce the legacy single-session draw.
+        assert_eq!((s0, m0.clone()), cfg.pick_members(&graph));
+        assert!(s0 != s1 || m0 != m1, "groups must not share a seed");
     }
 
     #[test]
@@ -511,15 +707,20 @@ mod tests {
         // A campaign over the 5-node paper graph would be noise; instead
         // check the classifier directly on the canonical Figure 1 cut.
         let (graph, nodes) = smrp_core::paper::figure1_graph();
-        let smrp = ProtoSession::build(
+        let smrp = MultiSession::from_sessions(vec![ProtoSession::build(
             &graph,
             nodes.s,
             &[nodes.c, nodes.d],
             TreeProtocol::Smrp(SmrpConfig::default()),
         )
-        .unwrap();
-        let spf =
-            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        .unwrap()]);
+        let spf = MultiSession::from_sessions(vec![ProtoSession::build(
+            &graph,
+            nodes.s,
+            &[nodes.c, nodes.d],
+            TreeProtocol::Spf,
+        )
+        .unwrap()]);
         let l_ad = graph.link_between(nodes.a, nodes.d).unwrap();
         let cfg = CampaignConfig::default();
         let case = FaultCase {
@@ -548,15 +749,20 @@ mod tests {
     #[test]
     fn source_failure_is_partitioned_for_both_protocols() {
         let (graph, nodes) = smrp_core::paper::figure1_graph();
-        let smrp = ProtoSession::build(
+        let smrp = MultiSession::from_sessions(vec![ProtoSession::build(
             &graph,
             nodes.s,
             &[nodes.c, nodes.d],
             TreeProtocol::Smrp(SmrpConfig::default()),
         )
-        .unwrap();
-        let spf =
-            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        .unwrap()]);
+        let spf = MultiSession::from_sessions(vec![ProtoSession::build(
+            &graph,
+            nodes.s,
+            &[nodes.c, nodes.d],
+            TreeProtocol::Spf,
+        )
+        .unwrap()]);
         let case = FaultCase {
             id: 0,
             family: FaultFamily::KNode,

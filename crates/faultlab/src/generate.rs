@@ -258,6 +258,27 @@ pub fn derive_srlgs(graph: &Graph, grid: usize) -> Vec<Vec<LinkId>> {
     }
 }
 
+/// Picks, from `srlgs`, the indices of the shared-risk groups whose
+/// failure would break *more than one* of the given trees — the
+/// shared-fate conduits of a multi-session deployment. `tree_links[g]`
+/// is the link set of group `g`'s tree; an SRLG qualifies when it
+/// intersects at least two of them. Indices come back ascending, so the
+/// selection is deterministic.
+pub fn shared_fate_srlgs(srlgs: &[Vec<LinkId>], tree_links: &[Vec<LinkId>]) -> Vec<usize> {
+    srlgs
+        .iter()
+        .enumerate()
+        .filter(|(_, srlg)| {
+            let hit = tree_links
+                .iter()
+                .filter(|tree| tree.iter().any(|l| srlg.contains(l)))
+                .count();
+            hit >= 2
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
 /// Samples `k` distinct elements of `0..n` (as indices).
 fn sample_distinct(rng: &mut SmallRng, n: usize, k: usize) -> Vec<usize> {
     let k = k.min(n);
@@ -530,6 +551,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shared_fate_selects_srlgs_crossing_multiple_trees() {
+        let mut g = Graph::with_nodes(5);
+        let ids: Vec<_> = g.node_ids().collect();
+        let l01 = g.add_link(ids[0], ids[1], 1.0).unwrap();
+        let l12 = g.add_link(ids[1], ids[2], 1.0).unwrap();
+        let l23 = g.add_link(ids[2], ids[3], 1.0).unwrap();
+        let l34 = g.add_link(ids[3], ids[4], 1.0).unwrap();
+        let srlgs = vec![vec![l01, l12], vec![l23, l34], vec![l12, l23]];
+        // Tree 0 uses the left links, tree 1 the right ones; only the
+        // middle conduit straddles both.
+        let trees = vec![vec![l01, l12], vec![l23, l34]];
+        assert_eq!(shared_fate_srlgs(&srlgs, &trees), vec![2]);
+        // A single tree can never share fate with itself.
+        assert!(shared_fate_srlgs(&srlgs, &trees[..1]).is_empty());
     }
 
     #[test]

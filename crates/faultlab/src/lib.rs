@@ -18,8 +18,12 @@
 //! * [`campaign`] — the parallel Monte-Carlo runner: every case is
 //!   evaluated against both SMRP (local detour) and the SPF baseline
 //!   (global detour), classified into an [`Outcome`], and timed through
-//!   the message-level simulator. Results are deterministic in the base
-//!   seed and independent of the worker-thread count;
+//!   the message-level simulator. Campaigns host one or many concurrent
+//!   multicast sessions (`CampaignConfig::groups`): every failure is
+//!   injected once against all groups sharing the substrate, each group
+//!   is classified independently, and the aggregate reads as the worst
+//!   group. Results are deterministic in the base seed and independent
+//!   of the worker-thread count;
 //! * [`audit`] — the invariant auditor: reconstructs the post-recovery
 //!   tree and checks structure (acyclicity + SHR/N bookkeeping via the
 //!   `MulticastTree::validate` oracle), member coverage against the
@@ -51,13 +55,14 @@ pub mod report;
 
 pub use audit::{audit_recovery, rebuild_after_recovery, Invariant, Violation};
 pub use campaign::{
-    evaluate_case, run_campaign, CampaignConfig, CampaignRun, CaseResult, Outcome, ProtoKind,
-    ProtoOutcome,
+    evaluate_case, run_campaign, CampaignConfig, CampaignRun, CaseResult, GroupOutcome, Outcome,
+    ProtoKind, ProtoOutcome,
 };
 pub use generate::{
-    derive_srlgs, generate_case, generate_mix, FaultCase, FaultFamily, GeneratorConfig, Timing,
+    derive_srlgs, generate_case, generate_mix, shared_fate_srlgs, FaultCase, FaultFamily,
+    GeneratorConfig, Timing,
 };
 pub use report::{
-    CampaignReport, CaseRow, FamilyLatency, HealthSummary, LatencySummary, OutcomeCounts,
-    Reproducer,
+    CampaignReport, CaseRow, FamilyLatency, GroupSummary, HealthSummary, LatencySummary,
+    OutcomeCounts, Reproducer,
 };

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use smrp_metrics::{ControlHealth, Stats};
+use smrp_net::GroupId;
 
 use crate::audit::Violation;
 use crate::campaign::{CampaignConfig, CampaignRun, CaseResult, Outcome, ProtoKind};
@@ -151,6 +152,75 @@ pub struct FamilyLatency {
     pub max_ms: f64,
 }
 
+/// One group's campaign-wide roll-up under one protocol: its own outcome
+/// taxonomy, restoration-latency distribution and control-message
+/// overhead. Single-session campaigns have exactly one row per protocol,
+/// duplicating the aggregate; multi-session campaigns expose how evenly
+/// the substrate served its tenants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSummary {
+    /// The group.
+    pub group: GroupId,
+    /// The protocol.
+    pub proto: ProtoKind,
+    /// Cases whose failure missed this group's tree.
+    pub unaffected: u32,
+    /// Cases this group restored through clean fragment-root local
+    /// detours.
+    pub restored_local_detour: u32,
+    /// Cases this group restored some other way.
+    pub fell_back_global: u32,
+    /// Cases with members of this group no protocol could restore.
+    pub source_partitioned: u32,
+    /// Cases where a reachable member of this group never regained
+    /// service.
+    pub detection_missed: u32,
+    /// Cases the auditor rejected for this group.
+    pub invariant_violation: u32,
+    /// Restored members of this group across all cases.
+    pub restored_members: u64,
+    /// Mean restoration latency, milliseconds.
+    pub mean_latency_ms: f64,
+    /// 95th-percentile restoration latency, milliseconds.
+    pub p95_latency_ms: f64,
+    /// Worst restoration latency, milliseconds.
+    pub max_latency_ms: f64,
+    /// Total control messages this group's router lanes sent across the
+    /// campaign — the per-group overhead of sharing the substrate.
+    pub control_messages: u64,
+}
+
+impl GroupSummary {
+    fn new(group: GroupId, proto: ProtoKind) -> Self {
+        GroupSummary {
+            group,
+            proto,
+            unaffected: 0,
+            restored_local_detour: 0,
+            fell_back_global: 0,
+            source_partitioned: 0,
+            detection_missed: 0,
+            invariant_violation: 0,
+            restored_members: 0,
+            mean_latency_ms: 0.0,
+            p95_latency_ms: 0.0,
+            max_latency_ms: 0.0,
+            control_messages: 0,
+        }
+    }
+
+    fn bump(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Unaffected => self.unaffected += 1,
+            Outcome::RestoredLocalDetour => self.restored_local_detour += 1,
+            Outcome::FellBackGlobal => self.fell_back_global += 1,
+            Outcome::SourcePartitioned => self.source_partitioned += 1,
+            Outcome::DetectionMissed => self.detection_missed += 1,
+            Outcome::InvariantViolation => self.invariant_violation += 1,
+        }
+    }
+}
+
 /// A minimal reproducer for one audited violation: everything needed to
 /// re-run the exact case (`faultlab --replay`): the generated case (id,
 /// family, per-case seed, concrete scenario, timing), the protocol it
@@ -206,6 +276,9 @@ pub struct CampaignReport {
     pub family_latencies: Vec<FamilyLatency>,
     /// Control-plane health per protocol.
     pub health: Vec<HealthSummary>,
+    /// Per-group roll-ups, groups ascending, protocols in
+    /// [`ProtoKind::ALL`] order within a group.
+    pub group_summaries: Vec<GroupSummary>,
     /// One reproducer per (case, protocol) with violations.
     pub reproducers: Vec<Reproducer>,
     /// Compact per-case classification rows, in case-id order.
@@ -237,6 +310,15 @@ impl CampaignReport {
                 exhaustions_without_gray: 0,
             })
             .collect();
+        let groups_n = run.config.groups.max(1);
+        let mut group_summaries: Vec<GroupSummary> = (0..groups_n)
+            .flat_map(|g| {
+                ProtoKind::ALL
+                    .iter()
+                    .map(move |&p| GroupSummary::new(GroupId::new(g), p))
+            })
+            .collect();
+        let mut group_samples: Vec<Vec<f64>> = vec![Vec::new(); group_summaries.len()];
         let mut reproducers = Vec::new();
         let mut case_rows = Vec::with_capacity(run.results.len());
         let mut total_violations = 0u32;
@@ -244,6 +326,13 @@ impl CampaignReport {
         for r in &run.results {
             for (pi, &proto) in ProtoKind::ALL.iter().enumerate() {
                 let o = r.for_proto(proto);
+                for go in &o.groups {
+                    let gi = go.group.index() * ProtoKind::ALL.len() + pi;
+                    group_summaries[gi].bump(go.outcome);
+                    group_summaries[gi].restored_members += u64::from(go.restored);
+                    group_summaries[gi].control_messages += go.control.total();
+                    group_samples[gi].extend_from_slice(&go.latencies_ms);
+                }
                 let cell = outcomes
                     .iter_mut()
                     .find(|c| c.family == r.case.family && c.proto == proto)
@@ -288,6 +377,12 @@ impl CampaignReport {
                 }
             })
             .collect();
+        for (row, samples) in group_summaries.iter_mut().zip(group_samples) {
+            let s = LatencySummary::from_samples(row.proto, samples);
+            row.mean_latency_ms = s.mean_ms;
+            row.p95_latency_ms = s.p95_ms;
+            row.max_latency_ms = s.max_ms;
+        }
 
         CampaignReport {
             config: run.config.clone(),
@@ -297,6 +392,7 @@ impl CampaignReport {
             latencies,
             family_latencies,
             health,
+            group_summaries,
             reproducers,
             case_rows,
         }
@@ -390,6 +486,20 @@ impl CampaignReport {
                 h.exhaustions_without_gray,
             );
         }
+        if self.config.groups > 1 {
+            for g in &self.group_summaries {
+                let _ = writeln!(
+                    out,
+                    "  group {}[{}]: restored={} mean={:.2}ms p95={:.2}ms control-msgs={}",
+                    g.group,
+                    g.proto,
+                    g.restored_members,
+                    g.mean_latency_ms,
+                    g.p95_latency_ms,
+                    g.control_messages,
+                );
+            }
+        }
         out
     }
 }
@@ -482,6 +592,46 @@ mod tests {
             FaultFamily::ALL.len() * ProtoKind::ALL.len()
         );
         assert!(report.synopsis().contains("health[smrp]"));
+    }
+
+    #[test]
+    fn group_summaries_cover_every_group() {
+        let cfg = CampaignConfig {
+            nodes: 25,
+            group_size: 6,
+            groups: 2,
+            alpha: 0.3,
+            scenarios: 10,
+            base_seed: 7,
+            run_until_ms: 2000.0,
+            ..CampaignConfig::default()
+        };
+        let run = run_campaign(&cfg, 2).unwrap();
+        let report = CampaignReport::from_run(&run);
+        assert_eq!(report.group_summaries.len(), 2 * ProtoKind::ALL.len());
+        for g in &report.group_summaries {
+            // Every case lands in exactly one of this group's outcome
+            // classes.
+            let total = g.unaffected
+                + g.restored_local_detour
+                + g.fell_back_global
+                + g.source_partitioned
+                + g.detection_missed
+                + g.invariant_violation;
+            assert_eq!(total, 10, "group {} {}", g.group, g.proto);
+        }
+        // Per-group restored members sum to the aggregate latency count.
+        for (pi, l) in report.latencies.iter().enumerate() {
+            let per_group: u64 = report
+                .group_summaries
+                .iter()
+                .filter(|g| g.proto == ProtoKind::ALL[pi])
+                .map(|g| g.restored_members)
+                .sum();
+            assert_eq!(per_group, l.count);
+        }
+        assert!(report.synopsis().contains("group g0[smrp]"));
+        assert!(report.synopsis().contains("group g1[spf]"));
     }
 
     #[test]

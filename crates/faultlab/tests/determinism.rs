@@ -37,6 +37,30 @@ fn worker_count_does_not_change_the_report() {
 }
 
 #[test]
+fn multi_group_report_is_byte_identical_across_jobs() {
+    // Three sessions share the substrate; work items split at (case,
+    // protocol) granularity, so 8 workers interleave aggressively —
+    // the serialized report must not notice.
+    let cfg = CampaignConfig {
+        groups: 3,
+        group_size: 8,
+        scenarios: 21,
+        ..small_config()
+    };
+    let serial = run_campaign(&cfg, 1).unwrap();
+    let parallel = run_campaign(&cfg, 8).unwrap();
+    let serial_json = CampaignReport::from_run(&serial).to_json();
+    assert_eq!(serial_json, CampaignReport::from_run(&parallel).to_json());
+    // The multi-session campaign is also clean and fully accounted.
+    let report = CampaignReport::from_run(&serial);
+    assert!(report.is_clean(), "violations: {:?}", report.reproducers);
+    for r in &serial.results {
+        assert_eq!(r.smrp.groups.len(), 3);
+        assert_eq!(r.spf.groups.len(), 3);
+    }
+}
+
+#[test]
 fn different_seed_changes_the_report() {
     let base = run_campaign(&small_config(), 1).unwrap();
     let reseeded = run_campaign(

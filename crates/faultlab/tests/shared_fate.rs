@@ -1,0 +1,131 @@
+//! Shared-fate SRLG failures across concurrent sessions.
+//!
+//! A real conduit cut does not respect session boundaries: one SRLG can
+//! sever the trees of several multicast groups at once. This test builds
+//! a topology where two sessions' trees cross the same pair of last-hop
+//! links, fails that pair as one SRLG, and checks the multi-session
+//! campaign machinery end to end:
+//!
+//! * `shared_fate_srlgs` identifies the conduit as multi-tree;
+//! * each group's recovery is planned, audited and simulated
+//!   *independently* — both land in a restored-or-fell-back outcome and
+//!   the invariant auditor accepts each group's recovery on its own
+//!   tree;
+//! * both detours squeeze through the only surviving path (the shared
+//!   relay `d`), the contention the multi-session engine exists to
+//!   exercise.
+
+use smrp_core::recovery::DetourKind;
+use smrp_faultlab::{
+    audit_recovery, evaluate_case, shared_fate_srlgs, CampaignConfig, FaultCase, FaultFamily,
+    Outcome, Timing,
+};
+use smrp_net::{FailureScenario, Graph, NodeId};
+use smrp_proto::{MultiSession, ProtoSession, TreeProtocol};
+use smrp_sim::ChannelSpec;
+
+/// Two sources behind one transit spine, two members behind one shared
+/// conduit, and a detour relay `d` both groups must share after the cut:
+///
+/// ```text
+///   s0 ─┐                ┌─ m0 ─┐
+///        x ───── y ──────┤       d
+///   s1 ─┘   ╲            └─ m1 ─┘
+///            ╲────────── d (d─x, d─m0, d─m1)
+/// ```
+fn shared_fate_topology() -> (Graph, [NodeId; 7]) {
+    let mut g = Graph::with_nodes(7);
+    let n: Vec<NodeId> = g.node_ids().collect();
+    let [s0, s1, x, y, m0, m1, d] = [n[0], n[1], n[2], n[3], n[4], n[5], n[6]];
+    g.add_link(s0, x, 1.0).unwrap();
+    g.add_link(s1, x, 1.0).unwrap();
+    g.add_link(x, y, 1.0).unwrap();
+    g.add_link(y, m0, 1.0).unwrap();
+    g.add_link(y, m1, 1.0).unwrap();
+    g.add_link(d, x, 1.0).unwrap();
+    g.add_link(d, m0, 2.0).unwrap();
+    g.add_link(d, m1, 2.0).unwrap();
+    (g, [s0, s1, x, y, m0, m1, d])
+}
+
+#[test]
+fn one_srlg_cut_hits_two_groups_and_each_recovers_independently() {
+    let (graph, [s0, s1, _x, y, m0, m1, d]) = shared_fate_topology();
+    let g0 = ProtoSession::build(&graph, s0, &[m0], TreeProtocol::Spf).unwrap();
+    let g1 = ProtoSession::build(&graph, s1, &[m1], TreeProtocol::Spf).unwrap();
+
+    // Both shortest-path trees ride the y conduit for their last hop.
+    let l_ym0 = graph.link_between(y, m0).unwrap();
+    let l_ym1 = graph.link_between(y, m1).unwrap();
+    let t0 = g0.tree().links(&graph);
+    let t1 = g1.tree().links(&graph);
+    assert!(t0.contains(&l_ym0) && !t0.contains(&l_ym1));
+    assert!(t1.contains(&l_ym1) && !t1.contains(&l_ym0));
+
+    // The conduit {y–m0, y–m1} is the only listed SRLG that breaks more
+    // than one tree: the s0 access link touches one tree, the idle
+    // detour links touch none.
+    let l_s0x = graph.link_between(s0, _x).unwrap();
+    let l_dm0 = graph.link_between(d, m0).unwrap();
+    let l_dm1 = graph.link_between(d, m1).unwrap();
+    let srlgs = vec![vec![l_ym0, l_ym1], vec![l_s0x], vec![l_dm0, l_dm1]];
+    assert_eq!(shared_fate_srlgs(&srlgs, &[t0, t1]), vec![0]);
+
+    // Fail the conduit wholesale and run both groups through one shared
+    // experiment.
+    let scenario = FailureScenario::links([l_ym0, l_ym1]);
+    let smrp = MultiSession::from_sessions(vec![g0.clone(), g1.clone()]);
+    let spf = MultiSession::from_sessions(vec![
+        ProtoSession::build(&graph, s0, &[m0], TreeProtocol::Spf).unwrap(),
+        ProtoSession::build(&graph, s1, &[m1], TreeProtocol::Spf).unwrap(),
+    ]);
+    let cfg = CampaignConfig {
+        groups: 2,
+        ..CampaignConfig::default()
+    };
+    let case = FaultCase {
+        id: 0,
+        family: FaultFamily::Srlg,
+        seed: 1,
+        scenario: scenario.clone(),
+        timing: Timing::persistent(),
+        channel: ChannelSpec::perfect(),
+    };
+    let result = evaluate_case(&graph, &smrp, &spf, &cfg, &case);
+
+    // Every group of every protocol restored or fell back — nobody was
+    // stranded, and each group's verdict stands on its own.
+    for proto in [&result.smrp, &result.spf] {
+        assert_eq!(proto.groups.len(), 2);
+        for go in &proto.groups {
+            assert!(
+                matches!(
+                    go.outcome,
+                    Outcome::RestoredLocalDetour | Outcome::FellBackGlobal
+                ),
+                "group {} ended {:?}",
+                go.group,
+                go.outcome
+            );
+            assert_eq!(go.affected, 1, "the SRLG severs each group's member");
+            assert_eq!(go.restored, 1);
+            assert!(go.violations.is_empty());
+        }
+    }
+
+    // The invariant auditor accepts each group's recovery on its own
+    // tree: detours land on that group's surviving structure only.
+    for session in [&g0, &g1] {
+        let plans = session.plan_recoveries(&scenario, DetourKind::Local);
+        let violations = audit_recovery(&graph, session.tree(), &scenario, &plans);
+        assert!(violations.is_empty(), "{violations:?}");
+        // The only surviving route runs through the shared relay `d`.
+        for rec in &plans.recoveries {
+            assert!(
+                rec.restoration_path().nodes().contains(&d),
+                "detour must cross the shared relay: {:?}",
+                rec.restoration_path().nodes()
+            );
+        }
+    }
+}

@@ -50,6 +50,17 @@ impl ControlHealth {
         }
     }
 
+    /// Merges an iterator of health slices into one aggregate — the
+    /// multi-session roll-up: per-group lane counters combine into one
+    /// router-process view, per-group views into one campaign view.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a ControlHealth>) -> ControlHealth {
+        let mut total = ControlHealth::default();
+        for p in parts {
+            total.merge(p);
+        }
+        total
+    }
+
     /// Total messages lost by the channel across all classes.
     pub fn total_lost(&self) -> u64 {
         self.loss_by_class.values().sum()
@@ -98,6 +109,25 @@ mod tests {
         assert_eq!(a.total_lost(), 14);
         assert!(!a.is_quiet());
         assert!(ControlHealth::default().is_quiet());
+    }
+
+    #[test]
+    fn merged_rolls_up_slices() {
+        let a = ControlHealth {
+            retransmits: 2,
+            loss_by_class: [("hello".to_string(), 1)].into_iter().collect(),
+            ..ControlHealth::default()
+        };
+        let b = ControlHealth {
+            retransmits: 3,
+            acks: 4,
+            ..ControlHealth::default()
+        };
+        let total = ControlHealth::merged([&a, &b]);
+        assert_eq!(total.retransmits, 5);
+        assert_eq!(total.acks, 4);
+        assert_eq!(total.total_lost(), 1);
+        assert!(ControlHealth::merged([]).is_quiet());
     }
 
     #[test]

@@ -85,6 +85,49 @@ impl From<usize> for LinkId {
     }
 }
 
+/// Identifier of a multicast session (group) sharing one topology.
+///
+/// Multi-session runs key per-group protocol state — tree, SHR table,
+/// soft-state timers, reliable-delivery lanes — by `GroupId`, while the
+/// links, failure scenario and degraded channel underneath are shared by
+/// every group. Like node and link ids, group ids are dense indices
+/// assigned by whoever hosts the sessions.
+///
+/// ```
+/// use smrp_net::GroupId;
+/// let g = GroupId::new(2);
+/// assert_eq!(g.index(), 2);
+/// assert_eq!(g.to_string(), "g2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(u32);
+
+impl GroupId {
+    /// Creates a group id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        GroupId(index as u32)
+    }
+
+    /// Returns the raw dense index of this group.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl From<usize> for GroupId {
+    fn from(index: usize) -> Self {
+        GroupId::new(index)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,11 +156,21 @@ mod tests {
     fn display_is_prefixed() {
         assert_eq!(NodeId::new(12).to_string(), "n12");
         assert_eq!(LinkId::new(0).to_string(), "l0");
+        assert_eq!(GroupId::new(3).to_string(), "g3");
     }
 
     #[test]
     fn from_usize_matches_new() {
         assert_eq!(NodeId::from(5), NodeId::new(5));
         assert_eq!(LinkId::from(5), LinkId::new(5));
+        assert_eq!(GroupId::from(5), GroupId::new(5));
+    }
+
+    #[test]
+    fn group_id_round_trips_index_and_orders() {
+        for i in [0usize, 1, 99, 100_000] {
+            assert_eq!(GroupId::new(i).index(), i);
+        }
+        assert!(GroupId::new(0) < GroupId::new(7));
     }
 }

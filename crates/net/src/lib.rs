@@ -55,5 +55,5 @@ pub use error::NetError;
 pub use failure::FailureScenario;
 pub use geometry::Point;
 pub use graph::{Graph, Link, LinkWeights};
-pub use ids::{LinkId, NodeId};
+pub use ids::{GroupId, LinkId, NodeId};
 pub use path::Path;

@@ -21,6 +21,11 @@
 //!   reconvergence — tens of seconds per Wang et al.'s ICNP 2000
 //!   measurements cited by the paper — then re-join along the new
 //!   shortest path);
+//! * [`multi`] — multi-session sharding: one [`MultiRouter`] process per
+//!   node hosting independent per-group [`Router`] lanes (tree, SHR,
+//!   soft state and reliable-delivery sequence lanes all keyed by
+//!   [`smrp_net::GroupId`]) over shared links, and [`MultiSession`]
+//!   running N concurrent groups through one failure experiment;
 //! * [`hierarchy`] — the N-level recovery architecture of §3.3.3
 //!   instantiated for 2 levels on transit-stub topologies: per-domain
 //!   SMRP sessions with border *agents*, failure attribution to a domain,
@@ -29,13 +34,15 @@
 pub mod hierarchy;
 pub mod membership;
 pub mod messages;
+pub mod multi;
 pub mod query;
 pub mod reliable;
 pub mod router;
 pub mod runner;
 
 pub use membership::DynamicSession;
-pub use messages::{ProtoMsg, TimerKind};
+pub use messages::{GroupMsg, GroupTimer, ProtoMsg, TimerKind};
+pub use multi::{GroupRecoveryReport, MultiRecoveryReport, MultiRouter, MultiSession};
 pub use reliable::{ReliabilityCounters, ReliableConfig};
 pub use router::{ControlCounters, Router, RouterConfig};
 pub use runner::{

@@ -1,6 +1,6 @@
 //! Wire messages and timers of the SMRP protocol.
 
-use smrp_net::NodeId;
+use smrp_net::{GroupId, NodeId};
 
 /// Messages exchanged hop-by-hop between routers.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,4 +115,29 @@ pub enum TimerKind {
         /// The envelope's sequence number.
         seq: u64,
     },
+}
+
+/// A [`ProtoMsg`] tagged with the multicast session it belongs to.
+///
+/// Multi-session routers (see [`crate::multi::MultiRouter`]) exchange
+/// these on the wire: the tag routes each arriving message to the
+/// per-group protocol lane that owns it, so one router process can serve
+/// many independent trees over the same links. Reliable-delivery sequence
+/// lanes become keyed by `(neighbor, group)` for free, because each group
+/// lane owns its own [`crate::reliable`] endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupMsg {
+    /// The session the message belongs to.
+    pub group: GroupId,
+    /// The tagged protocol message.
+    pub inner: ProtoMsg,
+}
+
+/// A [`TimerKind`] tagged with the multicast session that armed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupTimer {
+    /// The session the timer belongs to.
+    pub group: GroupId,
+    /// The tagged timer.
+    pub inner: TimerKind,
 }

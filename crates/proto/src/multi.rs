@@ -1,0 +1,535 @@
+//! Multi-session SMRP: many multicast groups sharing one network.
+//!
+//! The paper evaluates one session at a time; a production deployment
+//! serves many concurrent groups whose trees share links, so a single
+//! correlated failure (an SRLG, a regional outage) hits several trees at
+//! once and their recovery traffic contends on the same substrate. This
+//! module shards the protocol by [`GroupId`]:
+//!
+//! * [`MultiRouter`] — one router *process* per node holding an
+//!   independent [`Router`] lane per group. Tree state, SHR bookkeeping,
+//!   soft-state timers and reliable-delivery sequence lanes are all
+//!   per-group (the reliable lanes are effectively keyed by
+//!   `(neighbor, group)`, because each group lane owns its own
+//!   endpoint); the links, failure scenario and degraded channel
+//!   underneath are shared by every group.
+//! * [`MultiSession`] — N [`ProtoSession`] trees loaded into one
+//!   simulator: a failure scenario is injected once and every group
+//!   detects and recovers concurrently, contending for the same links.
+//!
+//! A single-group [`MultiSession`] is the degenerate case and behaves
+//! *identically* to [`ProtoSession::run_failure_spec`]: the lane dispatch
+//! adds no virtual time and preserves event order, which the golden-trace
+//! regression test in `tests/multi_golden.rs` pins down.
+
+use std::collections::BTreeMap;
+
+use smrp_core::recovery::{self, DetourKind};
+use smrp_metrics::ControlHealth;
+use smrp_net::{FailureScenario, Graph, GroupId, NodeId};
+use smrp_sim::{
+    ChannelModel, ChannelSpec, Ctx, NetSim, NodeBehavior, NodeCommand, SimTime, TraceLog,
+};
+
+use crate::messages::{GroupMsg, GroupTimer};
+use crate::router::{ControlCounters, RecoveryPlan, Router, RouterConfig};
+use crate::runner::{InjectionTiming, ProtoSession, RecoveryStrategy};
+
+/// One node's multi-session router process: independent per-group
+/// [`Router`] lanes over shared links.
+///
+/// Messages and timers arrive tagged with their [`GroupId`]; the process
+/// dispatches each to the owning lane and re-tags everything the lane
+/// emits. Lanes never share mutable state, so one group's protocol
+/// activity cannot corrupt another's tree — the isolation property the
+/// cross-session proptest in `tests/multi_isolation.rs` exercises.
+#[derive(Debug, Clone)]
+pub struct MultiRouter {
+    config: RouterConfig,
+    lanes: BTreeMap<GroupId, Router>,
+}
+
+impl MultiRouter {
+    /// Creates a router process with no lanes yet; lanes appear when
+    /// state is loaded ([`MultiRouter::lane_mut`]) or when the first
+    /// message or timer of a group arrives (off-tree nodes become relays
+    /// lazily, exactly like a fresh single-session [`Router`]).
+    pub fn new(config: RouterConfig) -> Self {
+        MultiRouter {
+            config,
+            lanes: BTreeMap::new(),
+        }
+    }
+
+    /// Read access to one group's lane, if it exists.
+    pub fn lane(&self, group: GroupId) -> Option<&Router> {
+        self.lanes.get(&group)
+    }
+
+    /// Mutable access to one group's lane, creating an idle off-tree lane
+    /// on first touch.
+    pub fn lane_mut(&mut self, group: GroupId) -> &mut Router {
+        self.lanes
+            .entry(group)
+            .or_insert_with(|| Router::new(self.config))
+    }
+
+    /// The groups this process currently holds state for, ascending.
+    pub fn groups(&self) -> impl Iterator<Item = GroupId> + '_ {
+        self.lanes.keys().copied()
+    }
+
+    /// Runs `f` against one group's lane with a lane-scoped context, then
+    /// re-tags every command the lane issued with the group id and
+    /// replays it onto the outer context. This is the sharding seam: the
+    /// inner [`Router`] is oblivious to other groups' existence.
+    pub fn with_lane(
+        &mut self,
+        ctx: &mut Ctx<'_, Self>,
+        group: GroupId,
+        f: impl FnOnce(&mut Router, &mut Ctx<'_, Router>),
+    ) {
+        let lane = self
+            .lanes
+            .entry(group)
+            .or_insert_with(|| Router::new(self.config));
+        let mut inner = ctx.derive::<Router>();
+        f(lane, &mut inner);
+        for cmd in inner.into_commands() {
+            match cmd {
+                NodeCommand::Send { to, msg } => ctx.send(to, GroupMsg { group, inner: msg }),
+                NodeCommand::Timer { delay, timer } => {
+                    ctx.set_timer(
+                        delay,
+                        GroupTimer {
+                            group,
+                            inner: timer,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl NodeBehavior for MultiRouter {
+    type Msg = GroupMsg;
+    type Timer = GroupTimer;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: GroupMsg) {
+        self.with_lane(ctx, msg.group, |r, ictx| {
+            r.on_message(ictx, from, msg.inner)
+        });
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, timer: GroupTimer) {
+        self.with_lane(ctx, timer.group, |r, ictx| r.on_timer(ictx, timer.inner));
+    }
+
+    fn on_reboot(&mut self, ctx: &mut Ctx<'_, Self>) {
+        let groups: Vec<GroupId> = self.lanes.keys().copied().collect();
+        for g in groups {
+            self.with_lane(ctx, g, |r, ictx| r.on_reboot(ictx));
+        }
+    }
+
+    /// Channel loss accounting stays per *protocol* class: envelope group
+    /// tags are transparent, so multi-session loss tables line up with
+    /// single-session ones.
+    fn classify(msg: &GroupMsg) -> &'static str {
+        Router::classify(&msg.inner)
+    }
+}
+
+/// One group's slice of a multi-session failure experiment.
+#[derive(Debug, Clone)]
+pub struct GroupRecoveryReport {
+    /// The group.
+    pub group: GroupId,
+    /// Per affected member: restoration latency (`None` if service never
+    /// resumed within the run), in member order.
+    pub restorations: Vec<(NodeId, Option<SimTime>)>,
+    /// Members of this group the failure never touched.
+    pub unaffected: Vec<NodeId>,
+    /// Reliable-layer counters of this group's lanes only. Channel-level
+    /// counters (loss, duplication, reordering) are per *link*, not per
+    /// group, and live in [`MultiRecoveryReport::health`].
+    pub reliability: ControlHealth,
+    /// Control messages this group's lanes sent, by type — the per-group
+    /// overhead of sharing the substrate.
+    pub control: ControlCounters,
+}
+
+impl GroupRecoveryReport {
+    /// Whether every affected member of this group restored service.
+    pub fn all_restored(&self) -> bool {
+        self.restorations.iter().all(|(_, l)| l.is_some())
+    }
+
+    /// Restoration latencies of restored members, milliseconds, in member
+    /// order.
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.restorations
+            .iter()
+            .filter_map(|(_, l)| l.map(SimTime::as_ms))
+            .collect()
+    }
+}
+
+/// Result of one multi-session failure experiment: one shared run, one
+/// report slice per group plus the substrate-level aggregate.
+#[derive(Debug, Clone)]
+pub struct MultiRecoveryReport {
+    /// When the failure was injected.
+    pub fail_at: SimTime,
+    /// Per-group slices, in group order.
+    pub groups: Vec<GroupRecoveryReport>,
+    /// Aggregate control-plane health: every group's reliable-layer
+    /// counters plus what the shared channel did.
+    pub health: ControlHealth,
+    /// Total messages delivered by the simulator (all groups).
+    pub messages_delivered: u64,
+    /// Total messages dropped (all groups, all causes).
+    pub messages_dropped: u64,
+}
+
+impl MultiRecoveryReport {
+    /// Whether every affected member of every group restored service.
+    pub fn all_restored(&self) -> bool {
+        self.groups.iter().all(GroupRecoveryReport::all_restored)
+    }
+}
+
+/// N concurrent multicast sessions over one topology, ready for shared
+/// failure experiments. Group `i` is [`GroupId::new`]`(i)`.
+#[derive(Debug, Clone)]
+pub struct MultiSession<'g> {
+    graph: &'g Graph,
+    sessions: Vec<ProtoSession<'g>>,
+}
+
+impl<'g> MultiSession<'g> {
+    /// Hosts prebuilt sessions together. All sessions must live on the
+    /// same graph and share one [`RouterConfig`] (the lanes of a router
+    /// process run one timer profile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions` is empty, if a session was built on a
+    /// different graph, or if router configs disagree.
+    pub fn from_sessions(sessions: Vec<ProtoSession<'g>>) -> Self {
+        assert!(!sessions.is_empty(), "at least one session is required");
+        let graph = sessions[0].graph();
+        let config = sessions[0].router_config();
+        for s in &sessions[1..] {
+            assert!(
+                std::ptr::eq(s.graph(), graph),
+                "all sessions must share one graph"
+            );
+            assert!(
+                s.router_config() == config,
+                "all sessions must share one router config"
+            );
+        }
+        MultiSession { graph, sessions }
+    }
+
+    /// The shared topology.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Number of hosted groups.
+    pub fn group_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The hosted group ids, ascending.
+    pub fn groups(&self) -> impl Iterator<Item = GroupId> {
+        (0..self.sessions.len()).map(GroupId::new)
+    }
+
+    /// One group's session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn session(&self, group: GroupId) -> &ProtoSession<'g> {
+        &self.sessions[group.index()]
+    }
+
+    /// Router processes preloaded with every group's tree, under `config`.
+    fn processes(&self, config: RouterConfig) -> Vec<MultiRouter> {
+        let mut procs: Vec<MultiRouter> = (0..self.graph.node_count())
+            .map(|_| MultiRouter::new(config))
+            .collect();
+        for (gi, sess) in self.sessions.iter().enumerate() {
+            let group = GroupId::new(gi);
+            let tree = sess.tree();
+            for n in tree.on_tree_nodes() {
+                let upstream = tree.parent(n);
+                let downstream: Vec<NodeId> = tree.children(n).to_vec();
+                procs[n.index()].lane_mut(group).load_state(
+                    upstream,
+                    &downstream,
+                    tree.is_member(n),
+                );
+            }
+            procs[sess.source().index()].lane_mut(group).set_source();
+        }
+        procs
+    }
+
+    /// Runs the shared failure experiment: every group's tree is loaded
+    /// into one simulator, `scenario` is injected once, and each group
+    /// detects and recovers independently while contending for the same
+    /// links (and, when `channel` is degraded, the same loss process).
+    ///
+    /// Mirrors [`ProtoSession::run_failure_spec`] semantics per group —
+    /// including [`RouterConfig::hardened_for_loss`] when the channel's
+    /// default lane is lossy.
+    pub fn run_failure_spec(
+        &self,
+        scenario: &FailureScenario,
+        strategy: RecoveryStrategy,
+        timing: InjectionTiming,
+        channel: &ChannelSpec,
+        until: SimTime,
+    ) -> MultiRecoveryReport {
+        self.run_failure_spec_traced(
+            scenario,
+            strategy,
+            timing,
+            channel,
+            until,
+            TraceLog::disabled(),
+        )
+        .0
+    }
+
+    /// [`run_failure_spec`](Self::run_failure_spec) that also returns the
+    /// simulator trace recorded into `trace` — the hook for golden-trace
+    /// regression tests.
+    pub fn run_failure_spec_traced(
+        &self,
+        scenario: &FailureScenario,
+        strategy: RecoveryStrategy,
+        timing: InjectionTiming,
+        channel: &ChannelSpec,
+        until: SimTime,
+        trace: TraceLog,
+    ) -> (MultiRecoveryReport, TraceLog) {
+        let fail_at = timing.fail_at();
+        let config = self.sessions[0]
+            .router_config()
+            .hardened_for_loss(channel.default.loss);
+        let mut procs = self.processes(config);
+
+        let (kind, wait) = match strategy {
+            RecoveryStrategy::LocalDetour => (DetourKind::Local, SimTime::ZERO),
+            RecoveryStrategy::GlobalDetour { reconvergence } => (DetourKind::Global, reconvergence),
+        };
+        for (gi, sess) in self.sessions.iter().enumerate() {
+            let group = GroupId::new(gi);
+            for rec in sess.plan_recoveries(scenario, kind).recoveries {
+                procs[rec.member().index()]
+                    .lane_mut(group)
+                    .install_recovery_plan(RecoveryPlan {
+                        path: rec.restoration_path().nodes().to_vec(),
+                        wait,
+                    });
+            }
+        }
+
+        let mut sim = NetSim::new(self.graph, procs);
+        sim.set_trace(trace);
+        if !channel.is_perfect() {
+            sim.set_channel(Some(ChannelModel::new(channel)));
+        }
+        for (gi, sess) in self.sessions.iter().enumerate() {
+            let group = GroupId::new(gi);
+            for n in sess.tree().on_tree_nodes() {
+                sim.with_node(n, |p, ctx| {
+                    p.with_lane(ctx, group, |r, ictx| r.start_timers(ictx));
+                });
+            }
+        }
+        for (down_at, up_at) in timing.schedule() {
+            for l in scenario.failed_links() {
+                sim.schedule_link_failure(down_at, l);
+                if let Some(up_at) = up_at {
+                    sim.schedule_link_repair(up_at, l);
+                }
+            }
+            for n in scenario.failed_nodes() {
+                sim.schedule_node_failure(down_at, n);
+                if let Some(up_at) = up_at {
+                    sim.schedule_node_repair(up_at, n);
+                }
+            }
+        }
+        sim.run_until(until);
+
+        // Packets in flight when the failure hit don't count as restored
+        // service: only packets the source sent after `fail_at` qualify
+        // (the source emits seq `s` at `(s + 1) · data_interval`).
+        let interval = self.sessions[0].router_config().data_interval.as_ms();
+        let sent_at = |seq: u64| SimTime::from_ms(interval * (seq as f64 + 1.0));
+
+        let mut groups = Vec::with_capacity(self.sessions.len());
+        for (gi, sess) in self.sessions.iter().enumerate() {
+            let group = GroupId::new(gi);
+            let affected = recovery::affected_members(self.graph, sess.tree(), scenario);
+            let restorations: Vec<(NodeId, Option<SimTime>)> = affected
+                .iter()
+                .map(|&m| {
+                    let latency = sim
+                        .node(m)
+                        .lane(group)
+                        .and_then(|lane| {
+                            lane.deliveries().iter().find(|d| sent_at(d.seq) > fail_at)
+                        })
+                        .map(|d| d.time - fail_at);
+                    (m, latency)
+                })
+                .collect();
+            let unaffected = sess
+                .tree()
+                .members()
+                .filter(|m| !affected.contains(m))
+                .collect();
+            let mut reliability = ControlHealth::default();
+            let mut control = ControlCounters::default();
+            for n in self.graph.node_ids() {
+                if let Some(lane) = sim.node(n).lane(group) {
+                    let r = lane.reliability();
+                    reliability.retransmits += r.retransmits;
+                    reliability.dup_drops += r.dup_drops;
+                    reliability.retry_exhaustions += r.retry_exhaustions;
+                    reliability.acks += r.acks_sent;
+                    control.merge(&lane.control_sent());
+                }
+            }
+            groups.push(GroupRecoveryReport {
+                group,
+                restorations,
+                unaffected,
+                reliability,
+                control,
+            });
+        }
+
+        let mut health = ControlHealth::merged(groups.iter().map(|g| &g.reliability));
+        if let Some(ch) = sim.channel_stats() {
+            health.channel_dupes = ch.duplicated;
+            health.channel_reorders = ch.reordered;
+            for (&class, &n) in &ch.lost_by_class {
+                *health.loss_by_class.entry(class.to_string()).or_insert(0) += n;
+            }
+        }
+        let report = MultiRecoveryReport {
+            fail_at,
+            groups,
+            health,
+            messages_delivered: sim.delivered_count(),
+            messages_dropped: sim.dropped_count(),
+        };
+        (report, sim.trace().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{FailureTiming, TreeProtocol};
+    use smrp_core::paper;
+
+    fn figure1_session() -> (Graph, paper::Figure1Nodes) {
+        paper::figure1_graph()
+    }
+
+    fn spf_session<'a>(graph: &'a Graph, nodes: &paper::Figure1Nodes) -> ProtoSession<'a> {
+        ProtoSession::build(graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap()
+    }
+
+    #[test]
+    fn single_group_matches_the_single_session_runner() {
+        let (graph, nodes) = figure1_session();
+        let session = spf_session(&graph, &nodes);
+        let l_ad = graph.link_between(nodes.a, nodes.d).unwrap();
+        let scenario = FailureScenario::link(l_ad);
+        let timing = InjectionTiming::Once(FailureTiming::persistent(SimTime::from_ms(100.0)));
+        let until = SimTime::from_ms(3000.0);
+
+        let single = session.run_failure_spec(
+            &scenario,
+            RecoveryStrategy::LocalDetour,
+            timing,
+            &ChannelSpec::perfect(),
+            until,
+        );
+        let multi = MultiSession::from_sessions(vec![session.clone()]).run_failure_spec(
+            &scenario,
+            RecoveryStrategy::LocalDetour,
+            timing,
+            &ChannelSpec::perfect(),
+            until,
+        );
+        assert_eq!(multi.groups.len(), 1);
+        assert_eq!(multi.groups[0].restorations, single.restorations);
+        assert_eq!(multi.groups[0].unaffected, single.unaffected);
+        assert_eq!(multi.messages_delivered, single.messages_delivered);
+        assert_eq!(multi.messages_dropped, single.messages_dropped);
+        assert_eq!(multi.health, single.health);
+    }
+
+    #[test]
+    fn two_groups_recover_from_one_shared_cut() {
+        // Two independent sessions on the Figure 1 graph — one rooted at
+        // S, one rooted at B — both crossing link A–D through their trees'
+        // neighborhoods. Cutting A–D must leave each group's recovery
+        // intact and independent.
+        let (graph, nodes) = figure1_session();
+        let g0 = spf_session(&graph, &nodes);
+        let g1 =
+            ProtoSession::build(&graph, nodes.b, &[nodes.a, nodes.c], TreeProtocol::Spf).unwrap();
+        let multi = MultiSession::from_sessions(vec![g0, g1]);
+        assert_eq!(multi.group_count(), 2);
+
+        let l_ad = graph.link_between(nodes.a, nodes.d).unwrap();
+        let report = multi.run_failure_spec(
+            &FailureScenario::link(l_ad),
+            RecoveryStrategy::LocalDetour,
+            InjectionTiming::Once(FailureTiming::persistent(SimTime::from_ms(100.0))),
+            &ChannelSpec::perfect(),
+            SimTime::from_ms(3000.0),
+        );
+        for g in &report.groups {
+            assert!(
+                g.all_restored(),
+                "group {} must restore: {:?}",
+                g.group,
+                g.restorations
+            );
+            assert!(g.control.total() > 0, "group {} sent control", g.group);
+        }
+    }
+
+    #[test]
+    fn lanes_are_independent_per_group() {
+        let (graph, nodes) = figure1_session();
+        let g0 = spf_session(&graph, &nodes);
+        let g1 = ProtoSession::build(&graph, nodes.b, &[nodes.d], TreeProtocol::Spf).unwrap();
+        let multi = MultiSession::from_sessions(vec![g0, g1]);
+        let procs = multi.processes(RouterConfig::default());
+        // S is the source of group 0 only; B of group 1 only.
+        let s = &procs[nodes.s.index()];
+        assert!(s.lane(GroupId::new(0)).is_some_and(Router::is_on_tree));
+        let b = &procs[nodes.b.index()];
+        assert!(b.lane(GroupId::new(1)).is_some_and(Router::is_on_tree));
+        // A group only has lanes where its tree runs.
+        assert!(procs[nodes.c.index()]
+            .lane(GroupId::new(1))
+            .is_none_or(|l| !l.is_member()));
+    }
+}

@@ -174,8 +174,9 @@ struct QueryAnswer {
 }
 
 /// Control-plane messages emitted by a router, by type (§3.3.2's protocol
-/// overhead discussion).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// overhead discussion). Serializable so multi-session campaign reports
+/// can record per-group control overhead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ControlCounters {
     /// Heartbeats sent to tree neighbors.
     pub hellos: u64,
@@ -191,6 +192,15 @@ impl ControlCounters {
     /// Total control messages.
     pub fn total(&self) -> u64 {
         self.hellos + self.refreshes + self.setups + self.leaves
+    }
+
+    /// Accumulates `other` into `self` (per-router counters roll up into
+    /// per-group and per-run totals).
+    pub fn merge(&mut self, other: &ControlCounters) {
+        self.hellos += other.hellos;
+        self.refreshes += other.refreshes;
+        self.setups += other.setups;
+        self.leaves += other.leaves;
     }
 }
 

@@ -109,7 +109,7 @@ impl InjectionTiming {
 
     /// Every `(fail, repair)` event pair this timing schedules; a `None`
     /// repair means the outage is permanent.
-    fn schedule(&self) -> Vec<(SimTime, Option<SimTime>)> {
+    pub(crate) fn schedule(&self) -> Vec<(SimTime, Option<SimTime>)> {
         match *self {
             InjectionTiming::Once(t) => vec![(t.fail_at, t.repair_at)],
             InjectionTiming::Flapping {
@@ -290,6 +290,16 @@ impl<'g> ProtoSession<'g> {
         self.router_config = config;
     }
 
+    /// The protocol timing parameters routers are loaded with.
+    pub fn router_config(&self) -> RouterConfig {
+        self.router_config
+    }
+
+    /// The graph this session's tree lives on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
     /// The tree the routers will be loaded with.
     pub fn tree(&self) -> &MulticastTree {
         &self.tree
@@ -359,11 +369,7 @@ impl<'g> ProtoSession<'g> {
         let mut data_forwarded = 0u64;
         for n in self.graph.node_ids() {
             let r = sim.node(n);
-            let c = r.control_sent();
-            control.hellos += c.hellos;
-            control.refreshes += c.refreshes;
-            control.setups += c.setups;
-            control.leaves += c.leaves;
+            control.merge(&r.control_sent());
             data_forwarded += r.forwarded_count();
             if r.is_member() {
                 data_delivered += r.deliveries().len() as u64;

@@ -1,0 +1,208 @@
+//! Cross-session isolation property for the multi-session router.
+//!
+//! Two groups share the Figure 1 substrate. Each group gets its own
+//! random stream of membership events (leaves and re-grafts), the
+//! substrate gets a shared schedule of link failures and repairs, and
+//! the streams interleave in time. The property: running both groups
+//! together must leave each group's final lane state — tree structure,
+//! membership, advertised SHR, data deliveries and control spend —
+//! identical to running that group's stream *alone* over the same
+//! substrate schedule. One group's protocol activity (its grafts, its
+//! prunes, its recovery traffic) must be invisible to the other's lanes.
+//!
+//! The channel is lossless here on purpose: a shared lossy channel
+//! consumes one RNG stream across all groups, so adding a tenant shifts
+//! which messages the other tenant loses — contention through the
+//! substrate is expected and measured, lane corruption is not (see
+//! DESIGN.md §10).
+
+use proptest::prelude::*;
+use smrp_core::paper;
+use smrp_net::{Graph, GroupId, LinkId, NodeId};
+use smrp_proto::{MultiRouter, ProtoSession, RouterConfig, TreeProtocol};
+use smrp_sim::{NetSim, SimTime};
+
+/// One lane's structural end state: on-tree, member, upstream,
+/// downstream (sorted), advertised SHR, deliveries, control spend.
+type LaneDigest = (bool, bool, Option<NodeId>, Vec<NodeId>, u32, usize, u64);
+
+/// One group's membership event: which member (index into the group's
+/// member list) and what it does. Values ≥ 2 are deliberate no-ops so
+/// the generator also produces sparse streams.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    member: u8,
+    kind: u8,
+}
+
+struct GroupSpec<'g> {
+    /// The group's identity — stable across the solo and combined runs,
+    /// so lane state lands under the same key either way.
+    id: GroupId,
+    session: ProtoSession<'g>,
+    members: Vec<NodeId>,
+    /// Source-to-member graft path of each member on the original tree.
+    paths: Vec<Vec<NodeId>>,
+    ops: Vec<Op>,
+    /// When this group's k-th op fires, in milliseconds.
+    op_at: fn(usize) -> f64,
+}
+
+/// The member's graft path on the original tree: member first (setup
+/// paths are source-routed from the initiator), then parents up to the
+/// source.
+fn member_path(session: &ProtoSession<'_>, member: NodeId) -> Vec<NodeId> {
+    let tree = session.tree();
+    let mut path = vec![member];
+    let mut cur = member;
+    while let Some(p) = tree.parent(cur) {
+        path.push(p);
+        cur = p;
+    }
+    path
+}
+
+fn load_group(procs: &mut [MultiRouter], session: &ProtoSession<'_>, group: GroupId) {
+    let tree = session.tree();
+    for n in tree.on_tree_nodes() {
+        let upstream = tree.parent(n);
+        let downstream: Vec<NodeId> = tree.children(n).to_vec();
+        procs[n.index()]
+            .lane_mut(group)
+            .load_state(upstream, &downstream, tree.is_member(n));
+    }
+    procs[session.source().index()].lane_mut(group).set_source();
+}
+
+/// Runs the scenario hosting `groups` (one or both) and returns the
+/// digest of every node's lane for group `observe`.
+fn run_groups(
+    graph: &Graph,
+    groups: &[&GroupSpec<'_>],
+    substrate: &[(SimTime, bool, LinkId)],
+    observe: GroupId,
+) -> Vec<LaneDigest> {
+    let config = RouterConfig::default();
+    let mut procs: Vec<MultiRouter> = (0..graph.node_count())
+        .map(|_| MultiRouter::new(config))
+        .collect();
+    for g in groups {
+        load_group(&mut procs, &g.session, g.id);
+    }
+
+    let mut sim = NetSim::new(graph, procs);
+    for g in groups {
+        let gid = g.id;
+        for n in g.session.tree().on_tree_nodes() {
+            sim.with_node(n, |p, ctx| {
+                p.with_lane(ctx, gid, |r, ictx| r.start_timers(ictx));
+            });
+        }
+    }
+    for &(at, down, link) in substrate {
+        if down {
+            sim.schedule_link_failure(at, link);
+        } else {
+            sim.schedule_link_repair(at, link);
+        }
+    }
+
+    // Interleave every hosted group's ops in absolute-time order; each
+    // op fires at the same instant whether or not the other group runs.
+    let mut events: Vec<(SimTime, GroupId, Op, NodeId, Vec<NodeId>)> = Vec::new();
+    for g in groups {
+        for (k, &op) in g.ops.iter().enumerate() {
+            let mi = usize::from(op.member) % g.members.len();
+            events.push((
+                SimTime::from_ms((g.op_at)(k)),
+                g.id,
+                op,
+                g.members[mi],
+                g.paths[mi].clone(),
+            ));
+        }
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+
+    for (at, gid, op, member, path) in events {
+        sim.run_until(at);
+        sim.with_node(member, |p, ctx| {
+            p.with_lane(ctx, gid, |r, ictx| match op.kind {
+                0 => r.leave_group(),
+                1 => r.initiate_setup(ictx, path.clone(), true),
+                _ => {}
+            });
+        });
+    }
+    sim.run_until(SimTime::from_ms(3000.0));
+
+    graph
+        .node_ids()
+        .map(|n| {
+            let lane = sim.node(n).lane(observe);
+            lane.map_or((false, false, None, Vec::new(), 0, 0, 0), |r| {
+                let mut down = r.downstream();
+                down.sort();
+                (
+                    r.is_on_tree(),
+                    r.is_member(),
+                    r.upstream(),
+                    down,
+                    r.advertised_shr(),
+                    r.deliveries().len(),
+                    r.control_sent().total(),
+                )
+            })
+        })
+        .collect()
+}
+
+fn substrate_schedule(toggles: usize, link: LinkId) -> Vec<(SimTime, bool, LinkId)> {
+    (0..toggles)
+        .map(|k| (SimTime::from_ms(350.0 + 400.0 * k as f64), k % 2 == 0, link))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn groups_are_isolated_under_interleaved_streams(
+        raw0 in proptest::collection::vec((0u8..4, 0u8..4), 0..5),
+        raw1 in proptest::collection::vec((0u8..4, 0u8..4), 0..5),
+        toggles in 0usize..4,
+    ) {
+        let (graph, nodes) = paper::figure1_graph();
+        let s0 =
+            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        let s1 =
+            ProtoSession::build(&graph, nodes.b, &[nodes.a, nodes.c], TreeProtocol::Spf).unwrap();
+
+        let g0 = GroupSpec {
+            id: GroupId::new(0),
+            members: vec![nodes.c, nodes.d],
+            paths: vec![member_path(&s0, nodes.c), member_path(&s0, nodes.d)],
+            session: s0,
+            ops: raw0.iter().map(|&(member, kind)| Op { member, kind }).collect(),
+            op_at: |k| 200.0 + 300.0 * k as f64,
+        };
+        let g1 = GroupSpec {
+            id: GroupId::new(1),
+            members: vec![nodes.a, nodes.c],
+            paths: vec![member_path(&s1, nodes.a), member_path(&s1, nodes.c)],
+            session: s1,
+            ops: raw1.iter().map(|&(member, kind)| Op { member, kind }).collect(),
+            op_at: |k| 350.0 + 300.0 * k as f64,
+        };
+        let link = graph.link_between(nodes.a, nodes.d).unwrap();
+        let substrate = substrate_schedule(toggles, link);
+
+        let together0 = run_groups(&graph, &[&g0, &g1], &substrate, GroupId::new(0));
+        let together1 = run_groups(&graph, &[&g0, &g1], &substrate, GroupId::new(1));
+        let alone0 = run_groups(&graph, &[&g0], &substrate, GroupId::new(0));
+        let alone1 = run_groups(&graph, &[&g1], &substrate, GroupId::new(1));
+
+        prop_assert_eq!(together0, alone0, "group 0 saw its neighbor");
+        prop_assert_eq!(together1, alone1, "group 1 saw its neighbor");
+    }
+}

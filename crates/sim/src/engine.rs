@@ -40,9 +40,31 @@ pub trait NodeBehavior: Sized {
     }
 }
 
-enum Command<M, T> {
-    Send { to: NodeId, msg: M },
-    Timer { delay: SimTime, timer: T },
+/// One queued output of a behavior handler, captured by a [`Ctx`].
+///
+/// Normally the engine applies commands internally and protocols never see
+/// this type. It is public for *multiplexing* behaviors — e.g. a router
+/// process hosting independent per-group protocol lanes — which run an
+/// inner behavior's handler against a [`Ctx::derive`]d context, then
+/// translate the inner commands (tagging messages and timers with the lane
+/// id) back onto their own context. See `smrp-proto`'s multi-session
+/// router for the canonical use.
+#[derive(Debug, Clone)]
+pub enum NodeCommand<M, T> {
+    /// Send `msg` to the adjacent node `to`.
+    Send {
+        /// Receiving neighbor.
+        to: NodeId,
+        /// The message.
+        msg: M,
+    },
+    /// Arm a node-local timer `delay` from now.
+    Timer {
+        /// Delay from the current virtual time.
+        delay: SimTime,
+        /// The timer tag.
+        timer: T,
+    },
 }
 
 /// Handler-side view of the simulation.
@@ -55,7 +77,7 @@ pub struct Ctx<'a, N: NodeBehavior> {
     me: NodeId,
     graph: &'a Graph,
     failures: &'a FailureScenario,
-    commands: Vec<Command<N::Msg, N::Timer>>,
+    commands: Vec<NodeCommand<N::Msg, N::Timer>>,
 }
 
 impl<'a, N: NodeBehavior> Ctx<'a, N> {
@@ -89,12 +111,38 @@ impl<'a, N: NodeBehavior> Ctx<'a, N> {
     /// delay); messages over failed links are silently lost, as on a real
     /// cut cable.
     pub fn send(&mut self, to: NodeId, msg: N::Msg) {
-        self.commands.push(Command::Send { to, msg });
+        self.commands.push(NodeCommand::Send { to, msg });
     }
 
     /// Arms a timer on this node `delay` from now.
     pub fn set_timer(&mut self, delay: SimTime, timer: N::Timer) {
-        self.commands.push(Command::Timer { delay, timer });
+        self.commands.push(NodeCommand::Timer { delay, timer });
+    }
+
+    /// Derives a context for an *inner* behavior `N2` sharing this node's
+    /// view of the simulation (same time, node, topology and failure
+    /// state) but collecting its own commands.
+    ///
+    /// This is the hook for multiplexing behaviors: run the inner
+    /// behavior's handler against the derived context, then drain its
+    /// commands with [`Ctx::into_commands`] and re-issue them through the
+    /// outer context, tagging messages and timers with the lane they
+    /// belong to.
+    pub fn derive<N2: NodeBehavior>(&self) -> Ctx<'a, N2> {
+        Ctx {
+            now: self.now,
+            me: self.me,
+            graph: self.graph,
+            failures: self.failures,
+            commands: Vec::new(),
+        }
+    }
+
+    /// Consumes the context, yielding the commands its handler queued, in
+    /// issue order. Only useful on [`Ctx::derive`]d contexts — contexts
+    /// handed out by the engine are applied by the engine itself.
+    pub fn into_commands(self) -> Vec<NodeCommand<N::Msg, N::Timer>> {
+        self.commands
     }
 }
 
@@ -346,10 +394,10 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
         });
     }
 
-    fn apply(&mut self, from: NodeId, commands: Vec<Command<N::Msg, N::Timer>>) {
+    fn apply(&mut self, from: NodeId, commands: Vec<NodeCommand<N::Msg, N::Timer>>) {
         for c in commands {
             match c {
-                Command::Send { to, msg } => {
+                NodeCommand::Send { to, msg } => {
                     if !self.failures.node_usable(from) {
                         self.drop_msg(self.now, from, to, DropReason::SenderDown);
                         continue;
@@ -391,7 +439,7 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
                         );
                     }
                 }
-                Command::Timer { delay, timer } => {
+                NodeCommand::Timer { delay, timer } => {
                     self.queue
                         .schedule(self.now + delay, SimEvent::Timer { node: from, timer });
                 }

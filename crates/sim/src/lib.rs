@@ -32,7 +32,7 @@ pub mod time;
 pub mod trace;
 
 pub use channel::{ChannelModel, ChannelParams, ChannelSpec, ChannelStats, LinkDegrade};
-pub use engine::{Ctx, DropCounts, NetSim, NodeBehavior};
+pub use engine::{Ctx, DropCounts, NetSim, NodeBehavior, NodeCommand};
 pub use event::EventQueue;
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceLog};
