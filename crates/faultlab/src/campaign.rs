@@ -33,7 +33,7 @@ use smrp_proto::{
     ControlCounters, FailureTiming, InjectionTiming, MultiSession, ProtoSession, RecoveryPlans,
     RecoveryStrategy, TreeProtocol,
 };
-use smrp_sim::{ChannelSpec, SimTime};
+use smrp_sim::{ChannelSpec, SimTime, TimerBackend};
 
 use crate::audit::{audit_recovery, Violation};
 use crate::generate::{generate_mix, FaultCase, GeneratorConfig};
@@ -529,6 +529,28 @@ pub struct CampaignRun {
 ///
 /// Panics if a worker thread panics (a bug in the evaluator itself).
 pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> Result<CampaignRun, NetError> {
+    run_campaign_with_backend(cfg, jobs, TimerBackend::default())
+}
+
+/// [`run_campaign`] with an explicit engine timer backend.
+///
+/// The backend is an execution detail, like the job count: it never enters
+/// the report, and the production wheel and the reference heap are
+/// contractually byte-identical (the differential tests in
+/// `tests/backend_equivalence.rs` hold them to it).
+///
+/// # Errors
+///
+/// Propagates topology-generation and tree-construction failures.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a bug in the evaluator itself).
+pub fn run_campaign_with_backend(
+    cfg: &CampaignConfig,
+    jobs: usize,
+    backend: TimerBackend,
+) -> Result<CampaignRun, NetError> {
     let jobs = jobs.max(1);
     let graph = cfg.topology()?;
     // Generated topologies are connected and the member picker only hands
@@ -551,8 +573,10 @@ pub fn run_campaign(cfg: &CampaignConfig, jobs: usize) -> Result<CampaignRun, Ne
                 .expect("SPF session builds on a connected topology"),
         );
     }
-    let smrp = MultiSession::from_sessions(smrp_sessions);
-    let spf = MultiSession::from_sessions(spf_sessions);
+    let mut smrp = MultiSession::from_sessions(smrp_sessions);
+    let mut spf = MultiSession::from_sessions(spf_sessions);
+    smrp.set_timer_backend(backend);
+    spf.set_timer_backend(backend);
 
     let cases = generate_mix(&graph, &cfg.generator, cfg.scenarios, cfg.base_seed);
 

@@ -55,8 +55,8 @@ pub mod report;
 
 pub use audit::{audit_recovery, rebuild_after_recovery, Invariant, Violation};
 pub use campaign::{
-    evaluate_case, run_campaign, CampaignConfig, CampaignRun, CaseResult, GroupOutcome, Outcome,
-    ProtoKind, ProtoOutcome,
+    evaluate_case, run_campaign, run_campaign_with_backend, CampaignConfig, CampaignRun,
+    CaseResult, GroupOutcome, Outcome, ProtoKind, ProtoOutcome,
 };
 pub use generate::{
     derive_srlgs, generate_case, generate_mix, shared_fate_srlgs, FaultCase, FaultFamily,

@@ -22,18 +22,20 @@
 //! adds no virtual time and preserves event order, which the golden-trace
 //! regression test in `tests/multi_golden.rs` pins down.
 
-use std::collections::BTreeMap;
-
 use smrp_core::recovery::{self, DetourKind};
 use smrp_metrics::ControlHealth;
 use smrp_net::{FailureScenario, Graph, GroupId, NodeId};
 use smrp_sim::{
-    ChannelModel, ChannelSpec, Ctx, NetSim, NodeBehavior, NodeCommand, SimTime, TraceLog,
+    ChannelModel, ChannelSpec, Ctx, NetSim, NodeBehavior, NodeCommand, SimTime, TimerBackend,
+    TraceLog,
 };
 
 use crate::messages::{GroupMsg, GroupTimer};
 use crate::router::{ControlCounters, RecoveryPlan, Router, RouterConfig};
 use crate::runner::{InjectionTiming, ProtoSession, RecoveryStrategy};
+
+/// Sentinel for "this group has no lane on this node".
+const NO_LANE: u32 = u32::MAX;
 
 /// One node's multi-session router process: independent per-group
 /// [`Router`] lanes over shared links.
@@ -43,10 +45,20 @@ use crate::runner::{InjectionTiming, ProtoSession, RecoveryStrategy};
 /// emits. Lanes never share mutable state, so one group's protocol
 /// activity cannot corrupt another's tree — the isolation property the
 /// cross-session proptest in `tests/multi_isolation.rs` exercises.
+///
+/// Lane storage is a dense arena rather than a `BTreeMap<GroupId,
+/// Router>`: `slots[group]` holds a `u32` handle into `routers`, so the
+/// hot dispatch path (one lookup per delivered message or fired timer) is
+/// an array index instead of a tree walk, and a node carrying lanes for a
+/// few of `M` groups pays 4 bytes per absent group, not a map node.
 #[derive(Debug, Clone)]
 pub struct MultiRouter {
     config: RouterConfig,
-    lanes: BTreeMap<GroupId, Router>,
+    /// `slots[g]` is the index into `routers` of group `g`'s lane, or
+    /// [`NO_LANE`]. Grows on first touch of a group.
+    slots: Vec<u32>,
+    /// Dense lane storage, in first-touch order.
+    routers: Vec<Router>,
 }
 
 impl MultiRouter {
@@ -57,56 +69,77 @@ impl MultiRouter {
     pub fn new(config: RouterConfig) -> Self {
         MultiRouter {
             config,
-            lanes: BTreeMap::new(),
+            slots: Vec::new(),
+            routers: Vec::new(),
         }
     }
 
     /// Read access to one group's lane, if it exists.
     pub fn lane(&self, group: GroupId) -> Option<&Router> {
-        self.lanes.get(&group)
+        match self.slots.get(group.index()) {
+            Some(&slot) if slot != NO_LANE => Some(&self.routers[slot as usize]),
+            _ => None,
+        }
     }
 
     /// Mutable access to one group's lane, creating an idle off-tree lane
     /// on first touch.
     pub fn lane_mut(&mut self, group: GroupId) -> &mut Router {
-        self.lanes
-            .entry(group)
-            .or_insert_with(|| Router::new(self.config))
+        let gi = group.index();
+        if gi >= self.slots.len() {
+            self.slots.resize(gi + 1, NO_LANE);
+        }
+        if self.slots[gi] == NO_LANE {
+            self.slots[gi] = u32::try_from(self.routers.len()).expect("lane arena exhausted");
+            self.routers.push(Router::new(self.config));
+        }
+        &mut self.routers[self.slots[gi] as usize]
     }
 
     /// The groups this process currently holds state for, ascending.
     pub fn groups(&self) -> impl Iterator<Item = GroupId> + '_ {
-        self.lanes.keys().copied()
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s != NO_LANE)
+            .map(|(g, _)| GroupId::new(g))
     }
 
     /// Runs `f` against one group's lane with a lane-scoped context, then
     /// re-tags every command the lane issued with the group id and
     /// replays it onto the outer context. This is the sharding seam: the
     /// inner [`Router`] is oblivious to other groups' existence.
+    ///
+    /// Timer commands are re-issued under the lane's original
+    /// [`smrp_sim::TimerToken`], so a lane cancelling one of its timers
+    /// later still reaches the engine's entry for it.
     pub fn with_lane(
         &mut self,
         ctx: &mut Ctx<'_, Self>,
         group: GroupId,
         f: impl FnOnce(&mut Router, &mut Ctx<'_, Router>),
     ) {
-        let lane = self
-            .lanes
-            .entry(group)
-            .or_insert_with(|| Router::new(self.config));
+        let lane = self.lane_mut(group);
         let mut inner = ctx.derive::<Router>();
         f(lane, &mut inner);
         for cmd in inner.into_commands() {
             match cmd {
                 NodeCommand::Send { to, msg } => ctx.send(to, GroupMsg { group, inner: msg }),
-                NodeCommand::Timer { delay, timer } => {
-                    ctx.set_timer(
+                NodeCommand::Timer {
+                    delay,
+                    timer,
+                    token,
+                } => {
+                    ctx.set_timer_with_token(
                         delay,
                         GroupTimer {
                             group,
                             inner: timer,
                         },
+                        token,
                     );
                 }
+                NodeCommand::CancelTimer { token } => ctx.cancel_timer(token),
             }
         }
     }
@@ -127,7 +160,7 @@ impl NodeBehavior for MultiRouter {
     }
 
     fn on_reboot(&mut self, ctx: &mut Ctx<'_, Self>) {
-        let groups: Vec<GroupId> = self.lanes.keys().copied().collect();
+        let groups: Vec<GroupId> = self.groups().collect();
         for g in groups {
             self.with_lane(ctx, g, |r, ictx| r.on_reboot(ictx));
         }
@@ -206,6 +239,7 @@ impl MultiRecoveryReport {
 pub struct MultiSession<'g> {
     graph: &'g Graph,
     sessions: Vec<ProtoSession<'g>>,
+    timer_backend: TimerBackend,
 }
 
 impl<'g> MultiSession<'g> {
@@ -231,7 +265,18 @@ impl<'g> MultiSession<'g> {
                 "all sessions must share one router config"
             );
         }
-        MultiSession { graph, sessions }
+        let timer_backend = sessions[0].timer_backend();
+        MultiSession {
+            graph,
+            sessions,
+            timer_backend,
+        }
+    }
+
+    /// Selects the engine timer backend for this experiment's runs (see
+    /// [`ProtoSession::set_timer_backend`]).
+    pub fn set_timer_backend(&mut self, backend: TimerBackend) {
+        self.timer_backend = backend;
     }
 
     /// The shared topology.
@@ -342,6 +387,7 @@ impl<'g> MultiSession<'g> {
         }
 
         let mut sim = NetSim::new(self.graph, procs);
+        sim.set_timer_backend(self.timer_backend);
         sim.set_trace(trace);
         if !channel.is_perfect() {
             sim.set_channel(Some(ChannelModel::new(channel)));

@@ -35,16 +35,28 @@
 //!   later traffic from that neighbor. Seeing `base` beyond its cursor,
 //!   the receiver releases anything it had buffered below it (those were
 //!   received and acked — the sender moved on *because* of the acks) and
-//!   advances to `base`, unwedging the lane.
+//!   advances to `base`, unwedging the lane;
+//! * **dead-neighbor garbage collection** — when the router declares a
+//!   neighbor dead ([`ReliableEndpoint::gc_peer`]) its receive lane and
+//!   pending envelopes are dropped wholesale, so long lossy campaigns
+//!   with churn stay bounded. The *transmit* sequence counter survives:
+//!   a neighbor declared dead by mistake still holds our old receive
+//!   cursor, and restarting at seq 0 would make it drop everything we
+//!   send as duplicates forever.
+//!
+//! State lives in a struct-of-arrays neighbor arena: `peers[slot]` names
+//! the neighbor, and parallel vectors carry that slot's tx counter,
+//! pending envelopes and receive lane. Node degree is small, so slot
+//! lookup is a linear scan over a few `NodeId`s — cheaper and far more
+//! cache-friendly than the `BTreeMap<(NodeId, u64), _>` walks it
+//! replaces.
 //!
 //! With the default budget (8 retries) the probability that uniform 10%
 //! loss defeats one envelope is `0.1^9 = 1e-9` — a 1000-scenario campaign
 //! sees none.
 
-use std::collections::BTreeMap;
-
 use smrp_net::NodeId;
-use smrp_sim::SimTime;
+use smrp_sim::{SimTime, TimerToken};
 
 use crate::messages::ProtoMsg;
 
@@ -105,14 +117,12 @@ pub struct ReliabilityCounters {
 
 #[derive(Debug, Clone)]
 struct PendingTx {
+    seq: u64,
     msg: ProtoMsg,
     attempts: u32,
-}
-
-#[derive(Debug, Clone, Default)]
-struct RxLane {
-    next: u64,
-    buffered: BTreeMap<u64, ProtoMsg>,
+    /// Engine token of the armed retransmission timer, so acks and
+    /// abandonment can cancel it instead of letting a dead entry fire.
+    token: Option<TimerToken>,
 }
 
 /// Outcome of a retransmission-timer firing.
@@ -132,12 +142,24 @@ pub enum RetransmitAction {
     Done,
 }
 
-/// Per-router reliable-delivery state: tx lanes, rx lanes, counters.
+/// Per-router reliable-delivery state: tx lanes, rx lanes, counters, laid
+/// out as a struct-of-arrays neighbor arena (see the module docs).
 #[derive(Debug, Clone, Default)]
 pub struct ReliableEndpoint {
-    next_tx: BTreeMap<NodeId, u64>,
-    pending: BTreeMap<(NodeId, u64), PendingTx>,
-    rx: BTreeMap<NodeId, RxLane>,
+    /// `peers[slot]` is the neighbor owning that slot. Slots are created
+    /// on first contact and never removed (bounded by node degree).
+    peers: Vec<NodeId>,
+    /// Next transmit sequence number per slot. Survives [`Self::gc_peer`].
+    next_tx: Vec<u64>,
+    /// Unacked envelopes per slot, ascending by `seq` (registration
+    /// order; sequence numbers are monotone, so pushes keep it sorted).
+    pending: Vec<Vec<PendingTx>>,
+    /// Receive cursor per slot: lowest sequence number not yet released.
+    rx_next: Vec<u64>,
+    /// Out-of-order arrivals per slot, ascending by sequence number.
+    rx_buffered: Vec<Vec<(u64, ProtoMsg)>>,
+    /// Whether the slot's receive lane holds live state (cleared by GC).
+    rx_active: Vec<bool>,
     counters: ReliabilityCounters,
 }
 
@@ -147,24 +169,76 @@ impl ReliableEndpoint {
         self.counters
     }
 
+    /// The arena slot of `peer`, if one exists. Linear scan: the arena
+    /// holds at most one slot per neighbor, and node degree is small.
+    fn slot(&self, peer: NodeId) -> Option<usize> {
+        self.peers.iter().position(|&p| p == peer)
+    }
+
+    fn slot_or_insert(&mut self, peer: NodeId) -> usize {
+        if let Some(s) = self.slot(peer) {
+            return s;
+        }
+        self.peers.push(peer);
+        self.next_tx.push(0);
+        self.pending.push(Vec::new());
+        self.rx_next.push(0);
+        self.rx_buffered.push(Vec::new());
+        self.rx_active.push(false);
+        self.peers.len() - 1
+    }
+
+    /// Number of neighbor lanes currently holding state: a receive lane
+    /// that saw traffic (and was not garbage-collected) or at least one
+    /// pending envelope. Campaign audits use this to check that lanes to
+    /// dead neighbors are reclaimed.
+    pub fn lane_count(&self) -> usize {
+        (0..self.peers.len())
+            .filter(|&s| self.rx_active[s] || !self.pending[s].is_empty())
+            .count()
+    }
+
     /// Registers `msg` for reliable delivery to `to` and returns the
     /// sequence number to stamp on the envelope. The caller performs the
-    /// actual send and arms the first retransmission timer.
+    /// actual send, arms the first retransmission timer and records its
+    /// token via [`Self::set_retransmit_token`].
     pub fn register(&mut self, to: NodeId, msg: ProtoMsg) -> u64 {
-        let seq = self.next_tx.entry(to).or_insert(0);
-        let assigned = *seq;
-        *seq += 1;
-        self.pending
-            .insert((to, assigned), PendingTx { msg, attempts: 0 });
+        let s = self.slot_or_insert(to);
+        let assigned = self.next_tx[s];
+        self.next_tx[s] += 1;
+        self.pending[s].push(PendingTx {
+            seq: assigned,
+            msg,
+            attempts: 0,
+            token: None,
+        });
         self.counters.sent += 1;
         assigned
     }
 
-    /// Notes that `from` acked sequence `seq`.
-    pub fn on_ack(&mut self, from: NodeId, seq: u64) {
-        if self.pending.remove(&(from, seq)).is_some() {
-            self.counters.acks_received += 1;
-        }
+    /// Records the engine token of the retransmission timer currently
+    /// armed for `(to, seq)`, returning the replaced one (if any) so the
+    /// caller can cancel it. A no-op returning `None` when the envelope is
+    /// no longer pending.
+    pub fn set_retransmit_token(
+        &mut self,
+        to: NodeId,
+        seq: u64,
+        token: TimerToken,
+    ) -> Option<TimerToken> {
+        let s = self.slot(to)?;
+        let i = self.pending[s].binary_search_by_key(&seq, |p| p.seq).ok()?;
+        self.pending[s][i].token.replace(token)
+    }
+
+    /// Notes that `from` acked sequence `seq`. Returns the token of the
+    /// now-obsolete retransmission timer, for the caller to cancel.
+    pub fn on_ack(&mut self, from: NodeId, seq: u64) -> Option<TimerToken> {
+        let s = self.slot(from)?;
+        let i = self.pending[s].binary_search_by_key(&seq, |p| p.seq).ok()?;
+        let entry = self.pending[s].remove(i);
+        self.counters.acks_received += 1;
+        entry.token
     }
 
     /// Notes that an ack is being sent (bookkeeping only).
@@ -177,16 +251,20 @@ impl ReliableEndpoint {
     /// is pending. Everything below the base is settled from the sender's
     /// point of view — acked, abandoned, or exhausted.
     pub fn base_for(&self, to: NodeId) -> u64 {
-        self.pending
-            .range((to, 0)..=(to, u64::MAX))
-            .next()
-            .map_or_else(|| self.next_tx.get(&to).copied().unwrap_or(0), |(k, _)| k.1)
+        match self.slot(to) {
+            Some(s) => self.pending[s].first().map_or(self.next_tx[s], |p| p.seq),
+            None => 0,
+        }
     }
 
     /// Whether the envelope `(to, seq)` is still awaiting an ack (i.e. not
     /// yet acked, abandoned, or exhausted).
     pub fn is_pending(&self, to: NodeId, seq: u64) -> bool {
-        self.pending.contains_key(&(to, seq))
+        self.slot(to).is_some_and(|s| {
+            self.pending[s]
+                .binary_search_by_key(&seq, |p| p.seq)
+                .is_ok()
+        })
     }
 
     /// Processes a received envelope `(seq, base, inner)` from `from` and
@@ -205,25 +283,26 @@ impl ReliableEndpoint {
         base: u64,
         inner: ProtoMsg,
     ) -> Vec<ProtoMsg> {
-        let lane = self.rx.entry(from).or_default();
+        let s = self.slot_or_insert(from);
+        self.rx_active[s] = true;
         let mut released = Vec::new();
-        if base > lane.next {
-            let settled: Vec<u64> = lane.buffered.range(..base).map(|(&s, _)| s).collect();
-            for s in settled {
-                if let Some(msg) = lane.buffered.remove(&s) {
-                    released.push(msg);
-                }
+        if base > self.rx_next[s] {
+            let below = self.rx_buffered[s].partition_point(|&(q, _)| q < base);
+            for (_, msg) in self.rx_buffered[s].drain(..below) {
+                released.push(msg);
             }
-            lane.next = base;
+            self.rx_next[s] = base;
         }
-        if seq < lane.next || lane.buffered.contains_key(&seq) {
+        if seq < self.rx_next[s] || self.rx_buffered[s].iter().any(|&(q, _)| q == seq) {
             self.counters.dup_drops += 1;
             return released;
         }
-        lane.buffered.insert(seq, inner);
-        while let Some(msg) = lane.buffered.remove(&lane.next) {
+        let at = self.rx_buffered[s].partition_point(|&(q, _)| q < seq);
+        self.rx_buffered[s].insert(at, (seq, inner));
+        while self.rx_buffered[s].first().map(|&(q, _)| q) == Some(self.rx_next[s]) {
+            let (_, msg) = self.rx_buffered[s].remove(0);
             released.push(msg);
-            lane.next += 1;
+            self.rx_next[s] += 1;
         }
         released
     }
@@ -237,11 +316,15 @@ impl ReliableEndpoint {
         config: &ReliableConfig,
         base_rto: SimTime,
     ) -> RetransmitAction {
-        let Some(entry) = self.pending.get_mut(&(to, seq)) else {
+        let Some(s) = self.slot(to) else {
             return RetransmitAction::Done;
         };
+        let Ok(i) = self.pending[s].binary_search_by_key(&seq, |p| p.seq) else {
+            return RetransmitAction::Done;
+        };
+        let entry = &mut self.pending[s][i];
         if entry.attempts >= config.max_retries {
-            self.pending.remove(&(to, seq));
+            self.pending[s].remove(i);
             self.counters.retry_exhaustions += 1;
             return RetransmitAction::Exhausted;
         }
@@ -257,24 +340,46 @@ impl ReliableEndpoint {
 
     /// Drops every pending envelope addressed to `peer` without counting
     /// exhaustion — called when the router declares `peer` dead (upstream
-    /// failure detection) or re-points its upstream elsewhere. Retransmit
-    /// timers for the dropped entries become no-ops.
-    pub fn abandon(&mut self, peer: NodeId) {
-        let keys: Vec<(NodeId, u64)> = self
-            .pending
-            .range((peer, 0)..=(peer, u64::MAX))
-            .map(|(&k, _)| k)
-            .collect();
-        self.counters.abandoned += keys.len() as u64;
-        for k in keys {
-            self.pending.remove(&k);
-        }
+    /// failure detection) or re-points its upstream elsewhere. Returns the
+    /// tokens of the dropped entries' retransmission timers, for the
+    /// caller to cancel.
+    pub fn abandon(&mut self, peer: NodeId) -> Vec<TimerToken> {
+        let Some(s) = self.slot(peer) else {
+            return Vec::new();
+        };
+        let dropped = std::mem::take(&mut self.pending[s]);
+        self.counters.abandoned += dropped.len() as u64;
+        dropped.into_iter().filter_map(|p| p.token).collect()
     }
 
-    /// Pending `(neighbor, seq)` pairs — used by `on_reboot` to re-arm
-    /// retransmission timers that died with the node.
+    /// Garbage-collects every lane toward `peer` after the router declares
+    /// it dead: pending envelopes are abandoned (as [`Self::abandon`]) and
+    /// the receive lane — cursor and gap buffer — is reclaimed, so long
+    /// campaigns with churn don't accumulate state for corpses. The
+    /// transmit sequence counter deliberately survives; see the module
+    /// docs for why restarting it would wedge a falsely-declared-dead
+    /// neighbor's receive lane.
+    ///
+    /// Returns the retransmission-timer tokens to cancel.
+    pub fn gc_peer(&mut self, peer: NodeId) -> Vec<TimerToken> {
+        let tokens = self.abandon(peer);
+        if let Some(s) = self.slot(peer) {
+            self.rx_next[s] = 0;
+            self.rx_buffered[s].clear();
+            self.rx_buffered[s].shrink_to_fit();
+            self.rx_active[s] = false;
+        }
+        tokens
+    }
+
+    /// Pending `(neighbor, seq)` pairs, ascending — used by `on_reboot` to
+    /// re-arm retransmission timers that died with the node.
     pub fn pending_keys(&self) -> Vec<(NodeId, u64)> {
-        self.pending.keys().copied().collect()
+        let mut keys: Vec<(NodeId, u64)> = (0..self.peers.len())
+            .flat_map(|s| self.pending[s].iter().map(move |p| (self.peers[s], p.seq)))
+            .collect();
+        keys.sort_unstable();
+        keys
     }
 }
 
@@ -418,5 +523,78 @@ mod tests {
             RetransmitAction::Retry { .. }
         ));
         assert_eq!(ep.pending_keys(), vec![(n(2), s2)]);
+    }
+
+    #[test]
+    fn gc_reclaims_rx_lane_and_pending_but_not_tx_sequence() {
+        let mut ep = ReliableEndpoint::default();
+        // Build up state toward n(1): a pending envelope and a receive
+        // lane with a buffered gap.
+        let s0 = ep.register(n(1), ProtoMsg::Refresh);
+        assert_eq!(s0, 0);
+        assert!(ep.on_receive(n(1), 1, 0, ProtoMsg::LeaveReq).is_empty());
+        assert_eq!(ep.lane_count(), 1);
+
+        ep.gc_peer(n(1));
+        assert_eq!(ep.lane_count(), 0, "lane reclaimed after death");
+        assert_eq!(ep.counters().abandoned, 1);
+        assert!(!ep.is_pending(n(1), s0));
+
+        // The tx sequence survives: the next envelope continues the lane
+        // instead of restarting at 0, so a falsely-declared-dead neighbor
+        // (whose receive cursor is still beyond 0) does not dup-drop
+        // everything we send forever.
+        assert_eq!(ep.register(n(1), ProtoMsg::Refresh), 1);
+    }
+
+    #[test]
+    fn lane_count_counts_each_neighbor_once() {
+        let mut ep = ReliableEndpoint::default();
+        ep.register(n(1), ProtoMsg::Refresh);
+        ep.on_receive(n(1), 0, 0, ProtoMsg::Refresh);
+        ep.register(n(2), ProtoMsg::Refresh);
+        assert_eq!(ep.lane_count(), 2);
+        // Acking n(2)'s envelope empties its pending lane; it never had
+        // receive state, so it stops counting.
+        ep.on_ack(n(2), 0);
+        assert_eq!(ep.lane_count(), 1);
+    }
+
+    #[test]
+    fn ack_and_abandon_surrender_retransmit_tokens() {
+        // Fake tokens by arming through a real context is engine-level;
+        // here we only check the plumbing: a token recorded for a pending
+        // envelope comes back from the ack (or abandon) that retires it.
+        let mut ep = ReliableEndpoint::default();
+        let seq = ep.register(n(1), ProtoMsg::Refresh);
+        assert_eq!(ep.on_ack(n(1), seq), None, "no token recorded yet");
+        let seq2 = ep.register(n(1), ProtoMsg::Refresh);
+        // set_retransmit_token on an unknown key is a no-op.
+        ep.set_retransmit_token(n(9), 0, fake_token());
+        ep.set_retransmit_token(n(1), seq2, fake_token());
+        assert!(ep.on_ack(n(1), seq2).is_some());
+        let seq3 = ep.register(n(1), ProtoMsg::Refresh);
+        ep.set_retransmit_token(n(1), seq3, fake_token());
+        assert_eq!(ep.abandon(n(1)).len(), 1);
+    }
+
+    /// Builds a real token through a throwaway simulation context.
+    fn fake_token() -> TimerToken {
+        use smrp_net::Graph;
+        use smrp_sim::{Ctx, NetSim, NodeBehavior};
+        struct Noop;
+        impl NodeBehavior for Noop {
+            type Msg = ();
+            type Timer = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, Self>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, Self>, _: ()) {}
+        }
+        let g = Graph::with_nodes(1);
+        let mut sim = NetSim::new(&g, vec![Noop]);
+        let mut token = None;
+        sim.with_node(g.node_ids().next().unwrap(), |_, ctx| {
+            token = Some(ctx.set_timer(SimTime::from_ms(1.0), ()));
+        });
+        token.unwrap()
     }
 }

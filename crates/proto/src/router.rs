@@ -10,7 +10,7 @@
 //! simulated unicast-reconvergence delay for the global detour baseline.
 
 use smrp_net::NodeId;
-use smrp_sim::{Ctx, NodeBehavior, SimTime};
+use smrp_sim::{Ctx, NodeBehavior, SimTime, TimerToken};
 
 use crate::messages::{ProtoMsg, TimerKind};
 use crate::reliable::{ReliabilityCounters, ReliableConfig, ReliableEndpoint, RetransmitAction};
@@ -101,6 +101,62 @@ pub struct RecoveryPlan {
     pub wait: SimTime,
 }
 
+/// Downstream interface set in struct-of-arrays layout: the soft state
+/// toward `nodes[i]` expires at `expires[i]`. The data fan-out loop — the
+/// hottest per-packet path in a session — touches only `nodes`; the
+/// expiry sweep touches only `expires`. Insertion order is preserved so
+/// forwarding order stays deterministic.
+#[derive(Debug, Clone, Default)]
+struct DownstreamSet {
+    nodes: Vec<NodeId>,
+    expires: Vec<SimTime>,
+}
+
+impl DownstreamSet {
+    /// Installs `node` (or pushes its deadline forward).
+    fn refresh(&mut self, node: NodeId, expires: SimTime) {
+        match self.nodes.iter().position(|&n| n == node) {
+            Some(i) => self.expires[i] = expires,
+            None => {
+                self.nodes.push(node);
+                self.expires.push(expires);
+            }
+        }
+    }
+
+    fn remove(&mut self, node: NodeId) {
+        if let Some(i) = self.nodes.iter().position(|&n| n == node) {
+            self.nodes.remove(i);
+            self.expires.remove(i);
+        }
+    }
+
+    /// Drops every entry whose deadline has passed at `now`, returning the
+    /// pruned nodes (their reliable lanes get garbage-collected: an
+    /// expired downstream is a presumed-dead neighbor).
+    fn expire(&mut self, now: SimTime) -> Vec<NodeId> {
+        let mut pruned = Vec::new();
+        let mut i = 0;
+        while i < self.nodes.len() {
+            if self.expires[i] > now {
+                i += 1;
+            } else {
+                pruned.push(self.nodes.remove(i));
+                self.expires.remove(i);
+            }
+        }
+        pruned
+    }
+
+    fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
 /// One delivered data packet.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Delivery {
@@ -118,7 +174,7 @@ pub struct Router {
     is_member: bool,
     on_tree: bool,
     upstream: Option<NodeId>,
-    downstream: Vec<(NodeId, SimTime)>,
+    downstream: DownstreamSet,
     last_upstream_heard: SimTime,
     /// Whether the current upstream has been heard *helloing* since it was
     /// installed. A freshly grafted upstream only starts heartbeating once
@@ -144,8 +200,18 @@ pub struct Router {
     next_seq: u64,
     deliveries: Vec<Delivery>,
     forwarded: u64,
-    periodic_timers_armed: bool,
-    upstream_check_armed: bool,
+    /// Engine tokens of the live periodic timer chains, one per class.
+    /// `None` means the chain is not running. Storing tokens (rather than
+    /// boolean "armed" flags) lets prune and reboot *cancel* a chain in
+    /// the engine's timer wheel instead of letting stale links fire into
+    /// filtering checks — a chain armed before an outage would otherwise
+    /// survive the reboot and run duplicated alongside the re-armed one.
+    hello_token: Option<TimerToken>,
+    refresh_token: Option<TimerToken>,
+    expiry_token: Option<TimerToken>,
+    upstream_check_token: Option<TimerToken>,
+    starvation_token: Option<TimerToken>,
+    data_token: Option<TimerToken>,
     control_sent: ControlCounters,
     reliable: ReliableEndpoint,
     /// Unicast routing state (installed from the routing protocol): next
@@ -213,7 +279,7 @@ impl Router {
             is_member: false,
             on_tree: false,
             upstream: None,
-            downstream: Vec::new(),
+            downstream: DownstreamSet::default(),
             last_upstream_heard: SimTime::ZERO,
             upstream_heard: true,
             pending_graft: None,
@@ -224,8 +290,12 @@ impl Router {
             next_seq: 0,
             deliveries: Vec::new(),
             forwarded: 0,
-            periodic_timers_armed: false,
-            upstream_check_armed: false,
+            hello_token: None,
+            refresh_token: None,
+            expiry_token: None,
+            upstream_check_token: None,
+            starvation_token: None,
+            data_token: None,
             control_sent: ControlCounters::default(),
             reliable: ReliableEndpoint::default(),
             next_hop_to_source: None,
@@ -248,10 +318,10 @@ impl Router {
         self.on_tree = true;
         self.upstream = upstream;
         self.upstream_heard = true; // preloaded trees start in steady state.
-        self.downstream = downstream
-            .iter()
-            .map(|&d| (d, self.config.holdtime))
-            .collect();
+        self.downstream = DownstreamSet::default();
+        for &d in downstream {
+            self.downstream.refresh(d, self.config.holdtime);
+        }
         self.is_member = member;
     }
 
@@ -277,7 +347,14 @@ impl Router {
 
     /// Current downstream interfaces.
     pub fn downstream(&self) -> Vec<NodeId> {
-        self.downstream.iter().map(|&(d, _)| d).collect()
+        self.downstream.nodes().to_vec()
+    }
+
+    /// Number of reliable-delivery lanes currently holding state (see
+    /// [`ReliableEndpoint::lane_count`]). Campaign audits use this to
+    /// verify that lanes toward dead neighbors are reclaimed.
+    pub fn reliable_lane_count(&self) -> usize {
+        self.reliable.lane_count()
     }
 
     /// Data packets delivered to this (member) router.
@@ -377,30 +454,51 @@ impl Router {
         self.last_data_heard = ctx.now();
         self.ensure_periodic_timers(ctx);
         self.ensure_upstream_check(ctx);
-        if self.is_member && !self.is_source {
-            ctx.set_timer(self.config.starvation_limit, TimerKind::StarvationCheck);
+        if self.is_member && !self.is_source && self.starvation_token.is_none() {
+            self.starvation_token =
+                Some(ctx.set_timer(self.config.starvation_limit, TimerKind::StarvationCheck));
         }
-        if self.is_source {
-            ctx.set_timer(self.config.data_interval, TimerKind::DataTick);
+        if self.is_source && self.data_token.is_none() {
+            self.data_token = Some(ctx.set_timer(self.config.data_interval, TimerKind::DataTick));
         }
     }
 
     fn ensure_periodic_timers(&mut self, ctx: &mut Ctx<'_, Self>) {
-        if self.periodic_timers_armed {
+        if self.hello_token.is_some() {
             return;
         }
-        self.periodic_timers_armed = true;
-        ctx.set_timer(self.config.hello_interval, TimerKind::HelloTick);
-        ctx.set_timer(self.config.refresh_interval, TimerKind::RefreshTick);
-        ctx.set_timer(self.config.holdtime, TimerKind::ExpiryCheck);
+        self.hello_token = Some(ctx.set_timer(self.config.hello_interval, TimerKind::HelloTick));
+        self.refresh_token =
+            Some(ctx.set_timer(self.config.refresh_interval, TimerKind::RefreshTick));
+        self.expiry_token = Some(ctx.set_timer(self.config.holdtime, TimerKind::ExpiryCheck));
     }
 
     fn ensure_upstream_check(&mut self, ctx: &mut Ctx<'_, Self>) {
-        if self.upstream.is_none() || self.upstream_check_armed {
+        if self.upstream.is_none() || self.upstream_check_token.is_some() {
             return;
         }
-        self.upstream_check_armed = true;
-        ctx.set_timer(self.config.hello_interval, TimerKind::UpstreamCheck);
+        self.upstream_check_token =
+            Some(ctx.set_timer(self.config.hello_interval, TimerKind::UpstreamCheck));
+    }
+
+    /// Cancels every live timer chain and forgets the tokens. Used on
+    /// reboot (pending chain links died conceptually with the node, but
+    /// their wheel entries would survive a quick repair and duplicate the
+    /// re-armed chains) and when a pruned router leaves the tree.
+    fn cancel_periodic_timers(&mut self, ctx: &mut Ctx<'_, Self>) {
+        for token in [
+            self.hello_token.take(),
+            self.refresh_token.take(),
+            self.expiry_token.take(),
+            self.upstream_check_token.take(),
+            self.starvation_token.take(),
+            self.data_token.take(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            ctx.cancel_timer(token);
+        }
     }
 
     /// The retransmission timeout toward `to`: 4× the one-way link delay,
@@ -425,7 +523,8 @@ impl Router {
             },
         );
         let rto = self.rto_for(ctx, to);
-        ctx.set_timer(rto, TimerKind::Retransmit { to, seq });
+        let token = ctx.set_timer(rto, TimerKind::Retransmit { to, seq });
+        self.reliable.set_retransmit_token(to, seq, token);
         seq
     }
 
@@ -442,10 +541,12 @@ impl Router {
     /// reliable traffic still pending toward the old upstream (retrying
     /// into a dead or bypassed branch is pointless and would otherwise be
     /// miscounted as retry exhaustion).
-    fn repoint_upstream(&mut self, ctx: &Ctx<'_, Self>, new_up: NodeId) {
+    fn repoint_upstream(&mut self, ctx: &mut Ctx<'_, Self>, new_up: NodeId) {
         if let Some(old) = self.upstream {
             if old != new_up {
-                self.reliable.abandon(old);
+                for token in self.reliable.abandon(old) {
+                    ctx.cancel_timer(token);
+                }
             }
         }
         if self.upstream != Some(new_up) {
@@ -477,11 +578,8 @@ impl Router {
     }
 
     fn install_downstream(&mut self, ctx: &Ctx<'_, Self>, node: NodeId) {
-        let expires = ctx.now() + self.config.holdtime;
-        match self.downstream.iter_mut().find(|(d, _)| *d == node) {
-            Some(entry) => entry.1 = expires,
-            None => self.downstream.push((node, expires)),
-        }
+        self.downstream
+            .refresh(node, ctx.now() + self.config.holdtime);
     }
 
     /// Re-extends a pruned branch: rejoin toward the upstream this router
@@ -514,9 +612,14 @@ impl Router {
     fn detect_upstream_failure(&mut self, ctx: &mut Ctx<'_, Self>) {
         self.recovering = true;
         // The upstream is presumed dead: keeping envelopes in flight
-        // toward it would only burn the retry budget.
+        // toward it would only burn the retry budget, and its reliable
+        // lanes are reclaimed wholesale (the transmit sequence counter
+        // survives inside the endpoint in case the neighbor was declared
+        // dead by mistake).
         if let Some(up) = self.upstream {
-            self.reliable.abandon(up);
+            for token in self.reliable.gc_peer(up) {
+                ctx.cancel_timer(token);
+            }
         }
         let Some(plan) = self.recovery_plan.clone() else {
             return; // nothing can be done (modelled as unrecoverable).
@@ -552,20 +655,28 @@ impl NodeBehavior for Router {
     type Timer = TimerKind;
 
     fn on_reboot(&mut self, ctx: &mut Ctx<'_, Self>) {
-        // Every pending tick was dropped while the node was down, so the
-        // periodic chains must be rebuilt from scratch. `start_timers`
-        // also resets the upstream/data silence clocks: the reboot must
-        // not mistake its own outage window for an upstream failure.
-        self.periodic_timers_armed = false;
-        self.upstream_check_armed = false;
+        // The periodic chains must be rebuilt from scratch — and the old
+        // chains *cancelled*, not merely forgotten: a tick armed before
+        // the outage survives in the timer wheel, and if the repair lands
+        // before it fires it would run duplicated alongside the re-armed
+        // chain (double hello rate, double refresh traffic). Cancelling by
+        // token makes the stale links unreachable regardless of timing.
+        // `start_timers` also resets the upstream/data silence clocks: the
+        // reboot must not mistake its own outage window for an upstream
+        // failure.
+        self.cancel_periodic_timers(ctx);
         if self.on_tree || self.is_source {
             self.start_timers(ctx);
         }
-        // Retransmission timers died with the node too; re-arm one per
-        // still-pending envelope so unacked control traffic resumes.
+        // Retransmission timers need the same treatment: re-arm one per
+        // still-pending envelope so unacked control traffic resumes, and
+        // cancel whatever the old timer chain left in the wheel.
         for (to, seq) in self.reliable.pending_keys() {
             let rto = self.rto_for(ctx, to);
-            ctx.set_timer(rto, TimerKind::Retransmit { to, seq });
+            let token = ctx.set_timer(rto, TimerKind::Retransmit { to, seq });
+            if let Some(old) = self.reliable.set_retransmit_token(to, seq, token) {
+                ctx.cancel_timer(old);
+            }
         }
     }
 
@@ -593,7 +704,12 @@ impl NodeBehavior for Router {
                 if self.upstream == Some(from) {
                     self.last_upstream_heard = ctx.now();
                 }
-                self.reliable.on_ack(from, seq);
+                // The ack retires the envelope; its retransmission timer
+                // is cancelled in the wheel rather than left to fire into
+                // a "still pending?" check.
+                if let Some(token) = self.reliable.on_ack(from, seq) {
+                    ctx.cancel_timer(token);
+                }
             }
             ProtoMsg::Reliable { seq, base, inner } => {
                 // Ack every copy — the sender's copy of the ack may have
@@ -671,7 +787,7 @@ impl Router {
                 // above, nothing to forward (PIM merge semantics).
             }
             ProtoMsg::LeaveReq => {
-                self.downstream.retain(|&(d, _)| d != from);
+                self.downstream.remove(from);
             }
             ProtoMsg::Data { seq } => {
                 if self.upstream != Some(from) && !self.is_source {
@@ -684,7 +800,7 @@ impl Router {
                         seq,
                     });
                 }
-                for &(d, _) in &self.downstream {
+                for &d in self.downstream.nodes() {
                     ctx.send(d, ProtoMsg::Data { seq });
                     self.forwarded += 1;
                 }
@@ -777,12 +893,13 @@ impl Router {
                         self.control_sent.hellos += 1;
                         ctx.send(up, ProtoMsg::Hello);
                     }
-                    for &(d, _) in &self.downstream {
+                    for &d in self.downstream.nodes() {
                         self.control_sent.hellos += 1;
                         ctx.send(d, ProtoMsg::Hello);
                     }
                 }
-                ctx.set_timer(self.config.hello_interval, TimerKind::HelloTick);
+                self.hello_token =
+                    Some(ctx.set_timer(self.config.hello_interval, TimerKind::HelloTick));
             }
             TimerKind::UpstreamCheck => {
                 if let Some(up) = self.upstream.filter(|_| self.on_tree && !self.recovering) {
@@ -809,9 +926,10 @@ impl Router {
                     }
                 }
                 if self.upstream.is_some() {
-                    ctx.set_timer(self.config.hello_interval, TimerKind::UpstreamCheck);
+                    self.upstream_check_token =
+                        Some(ctx.set_timer(self.config.hello_interval, TimerKind::UpstreamCheck));
                 } else {
-                    self.upstream_check_armed = false;
+                    self.upstream_check_token = None;
                 }
             }
             TimerKind::RefreshTick => {
@@ -830,11 +948,20 @@ impl Router {
                         }
                     }
                 }
-                ctx.set_timer(self.config.refresh_interval, TimerKind::RefreshTick);
+                self.refresh_token =
+                    Some(ctx.set_timer(self.config.refresh_interval, TimerKind::RefreshTick));
             }
             TimerKind::ExpiryCheck => {
                 let now = ctx.now();
-                self.downstream.retain(|&(_, exp)| exp > now);
+                // Expired downstream neighbors are presumed dead (or gone
+                // for good): reclaim their reliable lanes so long churny
+                // campaigns don't accumulate state for corpses, and cancel
+                // any retransmission timers aimed at them.
+                for dead in self.downstream.expire(now) {
+                    for token in self.reliable.gc_peer(dead) {
+                        ctx.cancel_timer(token);
+                    }
+                }
                 if self.on_tree && !self.is_source && !self.is_member && self.downstream.is_empty()
                 {
                     // A relay with no remaining downstream state leaves the
@@ -847,7 +974,9 @@ impl Router {
                             // The upstream is already presumed dead; a
                             // leave toward it would only retransmit into
                             // the void until the budget ran out.
-                            self.reliable.abandon(up);
+                            for token in self.reliable.gc_peer(up) {
+                                ctx.cancel_timer(token);
+                            }
                         } else {
                             self.control_sent.leaves += 1;
                             self.send_reliable(ctx, up, ProtoMsg::LeaveReq);
@@ -855,7 +984,8 @@ impl Router {
                     }
                     self.on_tree = false;
                 }
-                ctx.set_timer(self.config.holdtime, TimerKind::ExpiryCheck);
+                self.expiry_token =
+                    Some(ctx.set_timer(self.config.holdtime, TimerKind::ExpiryCheck));
             }
             TimerKind::DataTick => {
                 if self.is_source {
@@ -867,11 +997,14 @@ impl Router {
                             seq,
                         });
                     }
-                    for &(d, _) in &self.downstream {
+                    for &d in self.downstream.nodes() {
                         ctx.send(d, ProtoMsg::Data { seq });
                         self.forwarded += 1;
                     }
-                    ctx.set_timer(self.config.data_interval, TimerKind::DataTick);
+                    self.data_token =
+                        Some(ctx.set_timer(self.config.data_interval, TimerKind::DataTick));
+                } else {
+                    self.data_token = None;
                 }
             }
             TimerKind::StarvationCheck => {
@@ -891,9 +1024,11 @@ impl Router {
                     // actually flows.
                     self.detect_upstream_failure(ctx);
                 }
-                if self.is_member {
-                    ctx.set_timer(self.config.starvation_limit, TimerKind::StarvationCheck);
-                }
+                self.starvation_token = if self.is_member {
+                    Some(ctx.set_timer(self.config.starvation_limit, TimerKind::StarvationCheck))
+                } else {
+                    None
+                };
             }
             TimerKind::QueryTimeout => {
                 let Some(pending) = self.pending_join.take() else {
@@ -940,7 +1075,8 @@ impl Router {
                                 inner: Box::new(msg),
                             },
                         );
-                        ctx.set_timer(delay, TimerKind::Retransmit { to, seq });
+                        let token = ctx.set_timer(delay, TimerKind::Retransmit { to, seq });
+                        self.reliable.set_retransmit_token(to, seq, token);
                     }
                     // Exhaustion is already counted by the endpoint and
                     // surfaced through health reporting; acked/abandoned

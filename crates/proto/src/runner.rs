@@ -13,7 +13,7 @@ use smrp_core::recovery::{self, DetourKind, Recovery};
 use smrp_core::{MulticastTree, SmrpConfig, SmrpError, SmrpSession, SpfSession};
 use smrp_metrics::ControlHealth;
 use smrp_net::{FailureScenario, Graph, NodeId};
-use smrp_sim::{ChannelModel, ChannelSpec, NetSim, SimTime, TraceLog};
+use smrp_sim::{ChannelModel, ChannelSpec, NetSim, SimTime, TimerBackend, TraceLog};
 
 use crate::router::{RecoveryPlan, Router, RouterConfig};
 
@@ -247,6 +247,7 @@ pub struct ProtoSession<'g> {
     source: NodeId,
     tree: MulticastTree,
     router_config: RouterConfig,
+    timer_backend: TimerBackend,
 }
 
 impl<'g> ProtoSession<'g> {
@@ -282,12 +283,25 @@ impl<'g> ProtoSession<'g> {
             source,
             tree,
             router_config: RouterConfig::default(),
+            timer_backend: TimerBackend::default(),
         })
     }
 
     /// Overrides the protocol timing parameters.
     pub fn set_router_config(&mut self, config: RouterConfig) {
         self.router_config = config;
+    }
+
+    /// Selects the engine timer backend for this session's runs. Defaults
+    /// to the production timer wheel; the reference heap exists for
+    /// differential tests (the two must produce byte-identical traces).
+    pub fn set_timer_backend(&mut self, backend: TimerBackend) {
+        self.timer_backend = backend;
+    }
+
+    /// The engine timer backend this session's runs use.
+    pub fn timer_backend(&self) -> TimerBackend {
+        self.timer_backend
     }
 
     /// The protocol timing parameters routers are loaded with.
@@ -358,6 +372,7 @@ impl<'g> ProtoSession<'g> {
     pub fn run_steady(&self, duration: SimTime) -> OverheadReport {
         let routers = self.routers();
         let mut sim = NetSim::new(self.graph, routers);
+        sim.set_timer_backend(self.timer_backend);
         sim.set_trace(TraceLog::disabled());
         for n in self.tree.on_tree_nodes() {
             sim.with_node(n, |r, ctx| r.start_timers(ctx));
@@ -526,6 +541,7 @@ impl<'g> ProtoSession<'g> {
         }
 
         let mut sim = NetSim::new(self.graph, routers);
+        sim.set_timer_backend(self.timer_backend);
         sim.set_trace(TraceLog::disabled());
         if !channel.is_perfect() {
             sim.set_channel(Some(ChannelModel::new(channel)));

@@ -1,0 +1,146 @@
+//! Differential tests: the production timer wheel vs the reference heap.
+//!
+//! The engine offers two timer backends (`smrp_sim::TimerBackend`): the
+//! hierarchical wheel used everywhere, and a reference implementation
+//! where timers ride the binary-heap event queue and cancellations are
+//! filtered at fire time. Both share the global insertion-sequence
+//! counter, so they are contractually *byte-identical* — not just
+//! statistically equivalent. These tests replay the repo's golden
+//! protocol scenarios under both backends and diff the full simulator
+//! trace and the resulting reports, byte for byte.
+
+use smrp_core::SmrpConfig;
+use smrp_net::{FailureScenario, Graph, NodeId};
+use smrp_proto::{
+    FailureTiming, InjectionTiming, MultiRecoveryReport, MultiSession, ProtoSession,
+    RecoveryStrategy, TreeProtocol,
+};
+use smrp_sim::{ChannelSpec, SimTime, TimerBackend, TraceLog};
+
+/// Runs one multi-session failure experiment under `backend`, returning
+/// the report and the full trace rendered to strings.
+fn run_with_backend(
+    sessions: &[ProtoSession<'_>],
+    scenario: &FailureScenario,
+    channel: &ChannelSpec,
+    until: SimTime,
+    backend: TimerBackend,
+) -> (MultiRecoveryReport, Vec<String>) {
+    let mut multi = MultiSession::from_sessions(sessions.to_vec());
+    multi.set_timer_backend(backend);
+    let (report, trace) = multi.run_failure_spec_traced(
+        scenario,
+        RecoveryStrategy::LocalDetour,
+        InjectionTiming::Once(FailureTiming::persistent(SimTime::from_ms(100.0))),
+        channel,
+        until,
+        TraceLog::new(1 << 20),
+    );
+    assert_eq!(trace.discarded(), 0, "trace capacity must hold the run");
+    let lines = trace.entries().iter().map(|e| format!("{e:?}")).collect();
+    (report, lines)
+}
+
+/// Asserts byte-identical traces and reports across the two backends.
+fn assert_backends_agree(
+    sessions: &[ProtoSession<'_>],
+    scenario: &FailureScenario,
+    channel: &ChannelSpec,
+    until: SimTime,
+) {
+    let (wheel_report, wheel_trace) =
+        run_with_backend(sessions, scenario, channel, until, TimerBackend::Wheel);
+    let (heap_report, heap_trace) = run_with_backend(
+        sessions,
+        scenario,
+        channel,
+        until,
+        TimerBackend::ReferenceHeap,
+    );
+    for (i, (w, h)) in wheel_trace.iter().zip(&heap_trace).enumerate() {
+        assert_eq!(w, h, "trace diverged at entry {i}");
+    }
+    assert_eq!(wheel_trace.len(), heap_trace.len(), "trace length diverged");
+    assert_eq!(
+        format!("{wheel_report:?}"),
+        format!("{heap_report:?}"),
+        "reports diverged"
+    );
+    assert!(
+        wheel_report.all_restored(),
+        "golden cases restore: {:?}",
+        wheel_report.groups
+    );
+}
+
+/// Figure 1 local detour: member D grafts to C after the A–D cut.
+#[test]
+fn figure1_detour_is_byte_identical_across_backends() {
+    let (graph, nodes) = smrp_core::paper::figure1_graph();
+    let session = ProtoSession::build(
+        &graph,
+        nodes.s,
+        &[nodes.c, nodes.d],
+        TreeProtocol::Smrp(SmrpConfig::default()),
+    )
+    .unwrap();
+    let l_ad = graph.link_between(nodes.a, nodes.d).unwrap();
+    assert_backends_agree(
+        &[session],
+        &FailureScenario::link(l_ad),
+        &ChannelSpec::perfect(),
+        SimTime::from_ms(3000.0),
+    );
+}
+
+/// Two sources behind one transit spine, two members behind one shared
+/// conduit: the shared-fate SRLG topology from the faultlab tests.
+fn shared_fate_topology() -> (Graph, [NodeId; 7]) {
+    let mut g = Graph::with_nodes(7);
+    let n: Vec<NodeId> = g.node_ids().collect();
+    let [s0, s1, x, y, m0, m1, d] = [n[0], n[1], n[2], n[3], n[4], n[5], n[6]];
+    g.add_link(s0, x, 1.0).unwrap();
+    g.add_link(s1, x, 1.0).unwrap();
+    g.add_link(x, y, 1.0).unwrap();
+    g.add_link(y, m0, 1.0).unwrap();
+    g.add_link(y, m1, 1.0).unwrap();
+    g.add_link(d, x, 1.0).unwrap();
+    g.add_link(d, m0, 2.0).unwrap();
+    g.add_link(d, m1, 2.0).unwrap();
+    (g, [s0, s1, x, y, m0, m1, d])
+}
+
+/// Shared-fate SRLG: one conduit cut severs two groups' trees at once and
+/// both detours contend for the same relay — heavy same-instant timer
+/// pileups across lanes, the regime where wheel slot ordering matters.
+#[test]
+fn shared_fate_srlg_is_byte_identical_across_backends() {
+    let (graph, [s0, s1, _x, y, m0, m1, _d]) = shared_fate_topology();
+    let g0 = ProtoSession::build(&graph, s0, &[m0], TreeProtocol::Spf).unwrap();
+    let g1 = ProtoSession::build(&graph, s1, &[m1], TreeProtocol::Spf).unwrap();
+    let l_ym0 = graph.link_between(y, m0).unwrap();
+    let l_ym1 = graph.link_between(y, m1).unwrap();
+    assert_backends_agree(
+        &[g0, g1],
+        &FailureScenario::links([l_ym0, l_ym1]),
+        &ChannelSpec::perfect(),
+        SimTime::from_ms(3000.0),
+    );
+}
+
+/// A lossy channel multiplies retransmission timers — cancel-heavy wheel
+/// traffic (every ack kills a timer). The backends must still agree on
+/// every event.
+#[test]
+fn lossy_figure1_is_byte_identical_across_backends() {
+    let (graph, nodes) = smrp_core::paper::figure1_graph();
+    let session =
+        ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+    let l_ad = graph.link_between(nodes.a, nodes.d).unwrap();
+    assert_backends_agree(
+        &[session],
+        &FailureScenario::link(l_ad),
+        &ChannelSpec::uniform_loss(0.1, 0xFEED),
+        SimTime::from_ms(3000.0),
+    );
+}

@@ -1,11 +1,43 @@
 //! The simulation engine: nodes, message delivery, timers, failures.
 
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+
 use smrp_net::{FailureScenario, Graph, LinkId, NodeId};
 
 use crate::channel::{ChannelModel, ChannelStats};
 use crate::event::EventQueue;
 use crate::time::SimTime;
 use crate::trace::{DropReason, TraceEvent, TraceLog};
+use crate::wheel::{TimerHandle, TimerWheel};
+
+/// An engine-issued identity for one armed timer.
+///
+/// Every [`Ctx::set_timer`] call allocates a fresh token; the token can
+/// later be passed to [`Ctx::cancel_timer`] to revoke the timer before it
+/// fires. Tokens are never reused within a simulation, so cancelling an
+/// already-fired (or already-cancelled) timer is a harmless no-op — the
+/// stale token no longer matches anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(u64);
+
+/// Which structure carries timer events.
+///
+/// The default [`TimerBackend::Wheel`] parks timers in a hierarchical
+/// [`TimerWheel`] with O(1) schedule/cancel. [`TimerBackend::ReferenceHeap`]
+/// keeps timers in the main binary-heap event queue (the pre-wheel engine
+/// layout) and realizes cancellation by filtering tokens at fire time; it
+/// exists so differential tests can assert that both engines produce
+/// byte-identical traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimerBackend {
+    /// Hierarchical timer wheel (the production path).
+    #[default]
+    Wheel,
+    /// Timers ride the binary-heap event queue; cancellations are
+    /// filtered at fire time. Reference semantics for differential tests.
+    ReferenceHeap,
+}
 
 /// Protocol logic of one node.
 ///
@@ -64,6 +96,16 @@ pub enum NodeCommand<M, T> {
         delay: SimTime,
         /// The timer tag.
         timer: T,
+        /// The engine-issued identity of this timer (see [`TimerToken`]).
+        /// Multiplexers re-issuing an inner lane's timer must preserve it
+        /// via [`Ctx::set_timer_with_token`], so the lane's later
+        /// [`Ctx::cancel_timer`] still targets the right entry.
+        token: TimerToken,
+    },
+    /// Revoke a previously armed timer before it fires.
+    CancelTimer {
+        /// Token returned by the [`Ctx::set_timer`] that armed it.
+        token: TimerToken,
     },
 }
 
@@ -78,6 +120,7 @@ pub struct Ctx<'a, N: NodeBehavior> {
     graph: &'a Graph,
     failures: &'a FailureScenario,
     commands: Vec<NodeCommand<N::Msg, N::Timer>>,
+    next_token: &'a Cell<u64>,
 }
 
 impl<'a, N: NodeBehavior> Ctx<'a, N> {
@@ -114,9 +157,38 @@ impl<'a, N: NodeBehavior> Ctx<'a, N> {
         self.commands.push(NodeCommand::Send { to, msg });
     }
 
-    /// Arms a timer on this node `delay` from now.
-    pub fn set_timer(&mut self, delay: SimTime, timer: N::Timer) {
-        self.commands.push(NodeCommand::Timer { delay, timer });
+    /// Arms a timer on this node `delay` from now. The returned token can
+    /// be passed to [`Ctx::cancel_timer`] (possibly from a later handler
+    /// invocation) to revoke the timer before it fires.
+    pub fn set_timer(&mut self, delay: SimTime, timer: N::Timer) -> TimerToken {
+        let token = TimerToken(self.next_token.get());
+        self.next_token.set(token.0 + 1);
+        self.commands.push(NodeCommand::Timer {
+            delay,
+            timer,
+            token,
+        });
+        token
+    }
+
+    /// Arms a timer under a caller-supplied token instead of allocating a
+    /// fresh one. This is for multiplexing behaviors translating an inner
+    /// lane's [`NodeCommand::Timer`] onto the outer context: re-issuing
+    /// under the *original* token keeps the lane's handle valid, so its
+    /// later cancellation still reaches the engine entry.
+    pub fn set_timer_with_token(&mut self, delay: SimTime, timer: N::Timer, token: TimerToken) {
+        self.commands.push(NodeCommand::Timer {
+            delay,
+            timer,
+            token,
+        });
+    }
+
+    /// Revokes a previously armed timer. Cancelling a timer that already
+    /// fired (or was already cancelled) is a no-op: tokens are unique for
+    /// the lifetime of the simulation, so a stale token matches nothing.
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        self.commands.push(NodeCommand::CancelTimer { token });
     }
 
     /// Derives a context for an *inner* behavior `N2` sharing this node's
@@ -135,6 +207,10 @@ impl<'a, N: NodeBehavior> Ctx<'a, N> {
             graph: self.graph,
             failures: self.failures,
             commands: Vec::new(),
+            // The token counter is shared: tokens allocated by inner
+            // lanes stay globally unique, so re-issuing them on the outer
+            // context cannot collide.
+            next_token: self.next_token,
         }
     }
 
@@ -189,9 +265,12 @@ enum SimEvent<M, T> {
         link: LinkId,
         msg: M,
     },
+    /// Only present in [`TimerBackend::ReferenceHeap`] mode; the wheel
+    /// backend carries timers outside the heap.
     Timer {
         node: NodeId,
         timer: T,
+        token: TimerToken,
     },
     FailLink(LinkId),
     FailNode(NodeId),
@@ -235,6 +314,21 @@ pub struct NetSim<'g, N: NodeBehavior> {
     graph: &'g Graph,
     nodes: Vec<N>,
     queue: EventQueue<SimEvent<N::Msg, N::Timer>>,
+    /// Timer events (wheel backend). Shares the global `seq` with
+    /// `queue`, so the merged pop order is identical to one heap keyed by
+    /// `(time, seq)`.
+    wheel: TimerWheel<(NodeId, N::Timer, TimerToken)>,
+    backend: TimerBackend,
+    /// Global scheduling sequence shared by the heap and the wheel.
+    seq: u64,
+    /// Timer-token allocator, shared with every [`Ctx`] handed out.
+    next_token: Cell<u64>,
+    /// Wheel backend: token → wheel handle, for cancellation. Entries are
+    /// removed when the timer fires or is cancelled.
+    timer_handles: HashMap<u64, TimerHandle>,
+    /// Reference backend: tokens cancelled before firing; the heap entry
+    /// is filtered when it surfaces.
+    cancelled_tokens: HashSet<u64>,
     now: SimTime,
     failures: FailureScenario,
     processing_delay: SimTime,
@@ -261,6 +355,12 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
             graph,
             nodes,
             queue: EventQueue::new(),
+            wheel: TimerWheel::new(),
+            backend: TimerBackend::default(),
+            seq: 0,
+            next_token: Cell::new(0),
+            timer_handles: HashMap::new(),
+            cancelled_tokens: HashSet::new(),
             now: SimTime::ZERO,
             failures: FailureScenario::none(),
             processing_delay: SimTime::ZERO,
@@ -274,6 +374,27 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
     /// Sets the per-hop processing delay added on top of link propagation.
     pub fn set_processing_delay(&mut self, delay: SimTime) {
         self.processing_delay = delay;
+    }
+
+    /// Selects the timer backend. Must be called before any timers are
+    /// armed; switching mid-run would strand pending timers in the other
+    /// structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if timers are already pending.
+    pub fn set_timer_backend(&mut self, backend: TimerBackend) {
+        assert!(
+            self.timer_handles.is_empty() && self.wheel.is_empty() && self.next_token.get() == 0,
+            "timer backend must be chosen before timers are armed"
+        );
+        self.backend = backend;
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
     }
 
     /// Replaces the trace log (e.g. [`TraceLog::disabled`] for long runs).
@@ -344,12 +465,14 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
 
     /// Schedules a link failure at absolute time `at`.
     pub fn schedule_link_failure(&mut self, at: SimTime, link: LinkId) {
-        self.queue.schedule(at, SimEvent::FailLink(link));
+        let seq = self.next_seq();
+        self.queue.schedule_keyed(at, seq, SimEvent::FailLink(link));
     }
 
     /// Schedules a node failure at absolute time `at`.
     pub fn schedule_node_failure(&mut self, at: SimTime, node: NodeId) {
-        self.queue.schedule(at, SimEvent::FailNode(node));
+        let seq = self.next_seq();
+        self.queue.schedule_keyed(at, seq, SimEvent::FailNode(node));
     }
 
     /// Schedules a link repair at absolute time `at` — models *transient*
@@ -357,14 +480,18 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
     /// the paper's persistent cuts. Messages sent while the link was down
     /// stay lost; traffic sent after the repair flows normally.
     pub fn schedule_link_repair(&mut self, at: SimTime, link: LinkId) {
-        self.queue.schedule(at, SimEvent::RepairLink(link));
+        let seq = self.next_seq();
+        self.queue
+            .schedule_keyed(at, seq, SimEvent::RepairLink(link));
     }
 
     /// Schedules a node repair at absolute time `at`. The node resumes
     /// forwarding on the next message it receives; timers that elapsed
     /// while it was down are gone (a rebooted router restarts cold).
     pub fn schedule_node_repair(&mut self, at: SimTime, node: NodeId) {
-        self.queue.schedule(at, SimEvent::RepairNode(node));
+        let seq = self.next_seq();
+        self.queue
+            .schedule_keyed(at, seq, SimEvent::RepairNode(node));
     }
 
     /// Runs `f` against a node with a live [`Ctx`], applying any sends and
@@ -377,6 +504,7 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
             graph: self.graph,
             failures: &self.failures,
             commands: Vec::new(),
+            next_token: &self.next_token,
         };
         f(&mut self.nodes[id.index()], &mut ctx);
         let commands = ctx.commands;
@@ -428,8 +556,10 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
                     let base =
                         SimTime::from_ms(self.graph.link(link).delay()) + self.processing_delay;
                     for extra in extra_delays_ms {
-                        self.queue.schedule(
+                        let seq = self.next_seq();
+                        self.queue.schedule_keyed(
                             self.now + base + SimTime::from_ms(extra),
+                            seq,
                             SimEvent::Deliver {
                                 from,
                                 to,
@@ -439,19 +569,93 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
                         );
                     }
                 }
-                NodeCommand::Timer { delay, timer } => {
-                    self.queue
-                        .schedule(self.now + delay, SimEvent::Timer { node: from, timer });
+                NodeCommand::Timer {
+                    delay,
+                    timer,
+                    token,
+                } => {
+                    let at = self.now + delay;
+                    let seq = self.next_seq();
+                    match self.backend {
+                        TimerBackend::Wheel => {
+                            let handle = self.wheel.schedule(at, seq, (from, timer, token));
+                            self.timer_handles.insert(token.0, handle);
+                        }
+                        TimerBackend::ReferenceHeap => {
+                            self.queue.schedule_keyed(
+                                at,
+                                seq,
+                                SimEvent::Timer {
+                                    node: from,
+                                    timer,
+                                    token,
+                                },
+                            );
+                        }
+                    }
                 }
+                NodeCommand::CancelTimer { token } => match self.backend {
+                    TimerBackend::Wheel => {
+                        if let Some(handle) = self.timer_handles.remove(&token.0) {
+                            self.wheel.cancel(handle);
+                        }
+                    }
+                    TimerBackend::ReferenceHeap => {
+                        self.cancelled_tokens.insert(token.0);
+                    }
+                },
             }
         }
     }
 
+    /// `(time, seq)` of the earliest pending event across the heap and
+    /// the timer wheel.
+    fn peek_next_key(&mut self) -> Option<(SimTime, u64)> {
+        match (self.queue.peek_key(), self.wheel.peek_key()) {
+            (None, None) => None,
+            (Some(h), None) => Some(h),
+            (None, Some(w)) => Some(w),
+            (Some(h), Some(w)) => Some(h.min(w)),
+        }
+    }
+
+    /// Fires a timer on `node`, unless the node is down (dead nodes do
+    /// not tick).
+    fn fire_timer(&mut self, time: SimTime, node: NodeId, timer: N::Timer) {
+        if !self.failures.node_usable(node) {
+            return;
+        }
+        if self.trace.is_enabled() {
+            self.trace.push(TraceEvent::TimerFired {
+                time,
+                node,
+                what: format!("{timer:?}"),
+            });
+        }
+        self.with_node(node, |n, ctx| n.on_timer(ctx, timer));
+    }
+
     /// Processes one event. Returns `false` when the queue is empty.
+    ///
+    /// The heap (deliveries, failures, repairs) and the wheel (timers)
+    /// share one sequence counter, so popping whichever holds the smaller
+    /// `(time, seq)` key reproduces the order of a single merged queue.
     pub fn step(&mut self) -> bool {
-        let Some((time, event)) = self.queue.pop() else {
-            return false;
+        let take_wheel = match (self.queue.peek_key(), self.wheel.peek_key()) {
+            (None, None) => return false,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(h), Some(w)) => w < h,
         };
+        if take_wheel {
+            let (time, _seq, (node, timer, token)) =
+                self.wheel.pop().expect("peeked wheel entry exists");
+            self.now = time;
+            self.timer_handles.remove(&token.0);
+            self.fire_timer(time, node, timer);
+            return true;
+        }
+        let (time, event) = self.queue.pop().expect("peeked heap entry exists");
         self.now = time;
         match event {
             SimEvent::Deliver {
@@ -479,18 +683,11 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
                 }
                 self.with_node(to, |n, ctx| n.on_message(ctx, from, msg));
             }
-            SimEvent::Timer { node, timer } => {
-                if !self.failures.node_usable(node) {
-                    return true; // dead nodes do not tick.
+            SimEvent::Timer { node, timer, token } => {
+                if self.cancelled_tokens.remove(&token.0) {
+                    return true; // cancelled before firing (reference mode).
                 }
-                if self.trace.is_enabled() {
-                    self.trace.push(TraceEvent::TimerFired {
-                        time,
-                        node,
-                        what: format!("{timer:?}"),
-                    });
-                }
-                self.with_node(node, |n, ctx| n.on_timer(ctx, timer));
+                self.fire_timer(time, node, timer);
             }
             SimEvent::FailLink(link) => {
                 self.failures.fail_link(link);
@@ -512,7 +709,7 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
     /// Processes all events up to and including `limit`, then sets the
     /// clock to `limit`.
     pub fn run_until(&mut self, limit: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
+        while let Some((t, _)) = self.peek_next_key() {
             if t > limit {
                 break;
             }
@@ -537,7 +734,7 @@ impl<'g, N: NodeBehavior> std::fmt::Debug for NetSim<'g, N> {
         f.debug_struct("NetSim")
             .field("now", &self.now)
             .field("nodes", &self.nodes.len())
-            .field("pending_events", &self.queue.len())
+            .field("pending_events", &(self.queue.len() + self.wheel.len()))
             .field("delivered", &self.delivered)
             .field("dropped", &self.dropped)
             .finish()
@@ -648,7 +845,9 @@ mod tests {
     fn failed_node_neither_receives_nor_ticks() {
         let (g, ids) = line_graph();
         let mut sim = NetSim::new(&g, fresh(&g));
-        sim.with_node(ids[1], |_, ctx| ctx.set_timer(SimTime::from_ms(5.0), 9));
+        sim.with_node(ids[1], |_, ctx| {
+            ctx.set_timer(SimTime::from_ms(5.0), 9);
+        });
         sim.fail_node_now(ids[1]);
         sim.with_node(ids[0], |_, ctx| ctx.send(ids[1], Msg::Ping));
         sim.run_to_completion(10);
@@ -676,7 +875,9 @@ mod tests {
     fn timers_fire_and_chain() {
         let (g, ids) = line_graph();
         let mut sim = NetSim::new(&g, fresh(&g));
-        sim.with_node(ids[2], |_, ctx| ctx.set_timer(SimTime::from_ms(1.0), 1));
+        sim.with_node(ids[2], |_, ctx| {
+            ctx.set_timer(SimTime::from_ms(1.0), 1);
+        });
         sim.run_to_completion(10);
         // Timer 1 fires (+100) and chains timer 2 (+100).
         assert_eq!(sim.node(ids[2]).received, 200);
@@ -753,6 +954,86 @@ mod tests {
     fn node_count_mismatch_panics() {
         let (g, _) = line_graph();
         let _ = NetSim::new(&g, vec![PingPong::default()]);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires_on_either_backend() {
+        for backend in [TimerBackend::Wheel, TimerBackend::ReferenceHeap] {
+            let (g, ids) = line_graph();
+            let mut sim = NetSim::new(&g, fresh(&g));
+            sim.set_timer_backend(backend);
+            let mut token = None;
+            sim.with_node(ids[0], |_, ctx| {
+                token = Some(ctx.set_timer(SimTime::from_ms(1.0), 3));
+                ctx.set_timer(SimTime::from_ms(2.0), 3);
+            });
+            sim.with_node(ids[0], |_, ctx| ctx.cancel_timer(token.unwrap()));
+            sim.run_to_completion(10);
+            // Only the uncancelled timer fired.
+            assert_eq!(sim.node(ids[0]).received, 100, "{backend:?}");
+            assert_eq!(sim.now(), SimTime::from_ms(2.0), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn cancelling_a_fired_timer_is_a_noop() {
+        for backend in [TimerBackend::Wheel, TimerBackend::ReferenceHeap] {
+            let (g, ids) = line_graph();
+            let mut sim = NetSim::new(&g, fresh(&g));
+            sim.set_timer_backend(backend);
+            let mut token = None;
+            sim.with_node(ids[0], |_, ctx| {
+                token = Some(ctx.set_timer(SimTime::from_ms(1.0), 3));
+            });
+            sim.run_to_completion(10);
+            assert_eq!(sim.node(ids[0]).received, 100, "{backend:?}");
+            // The timer is gone; cancelling its stale token changes nothing.
+            sim.with_node(ids[0], |_, ctx| ctx.cancel_timer(token.unwrap()));
+            sim.with_node(ids[0], |_, ctx| {
+                ctx.set_timer(SimTime::from_ms(1.0), 3);
+            });
+            sim.run_to_completion(10);
+            assert_eq!(sim.node(ids[0]).received, 200, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn wheel_and_reference_heap_produce_identical_traces() {
+        let run = |backend: TimerBackend| -> Vec<String> {
+            let (g, ids) = line_graph();
+            let mut sim = NetSim::new(&g, fresh(&g));
+            sim.set_timer_backend(backend);
+            sim.with_node(ids[0], |_, ctx| {
+                ctx.send(ids[1], Msg::Ping);
+                // Deliberate same-instant pileup at t=2.0: the delivery
+                // and three timers must come out in scheduling order.
+                ctx.set_timer(SimTime::from_ms(2.0), 1);
+                ctx.set_timer(SimTime::from_ms(2.0), 3);
+            });
+            sim.with_node(ids[2], |_, ctx| {
+                ctx.set_timer(SimTime::from_ms(2.0), 4);
+            });
+            sim.run_to_completion(100);
+            sim.trace()
+                .entries()
+                .iter()
+                .map(|e| format!("{e:?}"))
+                .collect()
+        };
+        let wheel = run(TimerBackend::Wheel);
+        let reference = run(TimerBackend::ReferenceHeap);
+        assert_eq!(wheel, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "before timers are armed")]
+    fn backend_switch_after_arming_panics() {
+        let (g, ids) = line_graph();
+        let mut sim = NetSim::new(&g, fresh(&g));
+        sim.with_node(ids[0], |_, ctx| {
+            ctx.set_timer(SimTime::from_ms(1.0), 1);
+        });
+        sim.set_timer_backend(TimerBackend::ReferenceHeap);
     }
 
     #[test]

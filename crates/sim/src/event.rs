@@ -72,6 +72,18 @@ impl<E> EventQueue<E> {
         self.heap.push(Entry { time, seq, event });
     }
 
+    /// Schedules `event` at `time` under a caller-supplied sequence
+    /// number. This lets an engine share one global ordering sequence
+    /// between this heap and other event structures (the timer wheel):
+    /// popping whichever structure holds the smaller `(time, seq)` key
+    /// reproduces the order of a single merged heap.
+    ///
+    /// Do not mix with [`EventQueue::schedule`] on the same queue — the
+    /// internal counter knows nothing about caller-supplied values.
+    pub fn schedule_keyed(&mut self, time: SimTime, seq: u64, event: E) {
+        self.heap.push(Entry { time, seq, event });
+    }
+
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| (e.time, e.event))
@@ -80,6 +92,11 @@ impl<E> EventQueue<E> {
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
+    }
+
+    /// `(time, seq)` key of the earliest pending event.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|e| (e.time, e.seq))
     }
 
     /// Number of pending events.

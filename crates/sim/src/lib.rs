@@ -8,8 +8,10 @@
 //! framing, queuing) affects the paper's metrics, so the simulator models
 //! exactly what matters:
 //!
-//! * virtual time ([`SimTime`]) with a deterministic event queue
-//!   ([`EventQueue`]) — ties broken by insertion sequence;
+//! * integer-nanosecond virtual time ([`SimTime`]) with a deterministic
+//!   event queue ([`EventQueue`]) — ties broken by insertion sequence;
+//!   timer traffic runs on a hierarchical [`TimerWheel`] with O(1)
+//!   schedule and cancel ([`TimerToken`]);
 //! * hop-by-hop message delivery over the links of a
 //!   [`smrp_net::Graph`], honoring per-link propagation delay and a
 //!   configurable per-hop processing delay;
@@ -30,9 +32,11 @@ pub mod engine;
 pub mod event;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use channel::{ChannelModel, ChannelParams, ChannelSpec, ChannelStats, LinkDegrade};
-pub use engine::{Ctx, DropCounts, NetSim, NodeBehavior, NodeCommand};
+pub use engine::{Ctx, DropCounts, NetSim, NodeBehavior, NodeCommand, TimerBackend, TimerToken};
 pub use event::EventQueue;
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceLog};
+pub use wheel::{TimerHandle, TimerWheel};

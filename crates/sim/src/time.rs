@@ -5,55 +5,72 @@ use std::ops::{Add, AddAssign, Sub};
 
 use serde::{Deserialize, Serialize};
 
-/// A point in virtual time, in milliseconds.
+/// A point in virtual time, held as integer nanoseconds.
 ///
-/// `SimTime` is a totally ordered wrapper over `f64` (NaN is rejected at
-/// construction), so it can key the event queue directly.
+/// The public unit of account is still milliseconds ([`SimTime::from_ms`],
+/// [`SimTime::as_ms`]), but the representation is a `u64` nanosecond count:
+/// adding an interval to a time is exact, so N repeated re-arms of a
+/// refresh or RTO timer land on the *exact* instant `N × interval` and
+/// same-instant ties are broken purely by scheduling order. (The previous
+/// `f64`-milliseconds representation accumulated rounding error under
+/// repeated `+=`, which made tie-breaking depend on how a timestamp had
+/// been summed.)
 ///
 /// ```
 /// use smrp_sim::SimTime;
 /// let t = SimTime::ZERO + SimTime::from_ms(2.5);
 /// assert_eq!(t.as_ms(), 2.5);
 /// assert!(t > SimTime::ZERO);
+///
+/// // Repeated accumulation is exact: 1000 × 0.1ms == 100ms, to the bit.
+/// let step = SimTime::from_ms(0.1);
+/// let mut acc = SimTime::ZERO;
+/// for _ in 0..1000 { acc += step; }
+/// assert_eq!(acc, SimTime::from_ms(100.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct SimTime(f64);
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimTime(u64);
 
 impl SimTime {
     /// The origin of simulated time.
-    pub const ZERO: SimTime = SimTime(0.0);
+    pub const ZERO: SimTime = SimTime(0);
 
-    /// Creates a time from milliseconds.
+    /// Nanoseconds per millisecond.
+    const NS_PER_MS: f64 = 1_000_000.0;
+
+    /// Creates a time from milliseconds, rounding to the nearest
+    /// nanosecond.
     ///
     /// # Panics
     ///
-    /// Panics on NaN or negative values — virtual time is monotone.
+    /// Panics on NaN, infinite or negative values — virtual time is
+    /// monotone.
     pub fn from_ms(ms: f64) -> Self {
         assert!(
             ms.is_finite() && ms >= 0.0,
             "time must be finite and non-negative"
         );
-        SimTime(ms)
+        SimTime((ms * Self::NS_PER_MS).round() as u64)
+    }
+
+    /// Creates a time from integer nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
     }
 
     /// The value in milliseconds.
     #[inline]
     pub fn as_ms(self) -> f64 {
+        self.0 as f64 / Self::NS_PER_MS
+    }
+
+    /// The value in integer nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
         self.0
-    }
-}
-
-impl Eq for SimTime {}
-
-impl Ord for SimTime {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
-impl PartialOrd for SimTime {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
     }
 }
 
@@ -74,19 +91,13 @@ impl Sub for SimTime {
     type Output = SimTime;
     /// Saturating difference: virtual time cannot go negative.
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime((self.0 - rhs.0).max(0.0))
+        SimTime(self.0.saturating_sub(rhs.0))
     }
 }
 
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.3}ms", self.0)
-    }
-}
-
-impl Default for SimTime {
-    fn default() -> Self {
-        SimTime::ZERO
+        write!(f, "{:.3}ms", self.as_ms())
     }
 }
 
@@ -114,6 +125,28 @@ mod tests {
         let mut c = a;
         c += b;
         assert_eq!(c.as_ms(), 2.0);
+    }
+
+    #[test]
+    fn nanosecond_round_trip() {
+        let t = SimTime::from_ns(1_234_567);
+        assert_eq!(t.as_ns(), 1_234_567);
+        assert_eq!(SimTime::from_ms(1.234567), t);
+        assert_eq!(SimTime::from_ms(0.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn repeated_accumulation_is_exact() {
+        // The f64 representation failed this: 1000 × 0.1 != 100.0 in
+        // binary floating point, so two timers meant for the same instant
+        // compared unequal depending on how their timestamps were summed.
+        let step = SimTime::from_ms(0.1);
+        let mut acc = SimTime::ZERO;
+        for _ in 0..1000 {
+            acc += step;
+        }
+        assert_eq!(acc, SimTime::from_ms(100.0));
+        assert_eq!(acc.as_ns(), 100_000_000);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Regression tests for the f64 → integer-nanosecond `SimTime` fix.
+//!
+//! With the old `f64`-milliseconds representation, N repeated
+//! `+= refresh_interval` accumulated binary rounding error (1000 × 0.1 ms
+//! summed to 99.99999999999986 ms), so two timers meant for the same
+//! instant compared *unequal* depending on how their timestamps had been
+//! summed — and FIFO tie-breaking silently never applied. Integer
+//! nanoseconds make interval accumulation exact.
+
+use smrp_net::{Graph, NodeId};
+use smrp_sim::{Ctx, EventQueue, NetSim, NodeBehavior, SimTime};
+
+/// SMRP's default refresh interval is 50 ms; 0.1 ms is the classic
+/// non-representable binary fraction. Both must accumulate exactly.
+#[test]
+fn repeated_refresh_rearms_land_on_the_exact_instant() {
+    for (interval_ms, n, total_ms) in [(0.1, 1000, 100.0), (50.0, 400, 20_000.0), (0.3, 10, 3.0)] {
+        let interval = SimTime::from_ms(interval_ms);
+        let mut acc = SimTime::ZERO;
+        for _ in 0..n {
+            acc += interval;
+        }
+        assert_eq!(
+            acc,
+            SimTime::from_ms(total_ms),
+            "{n} × {interval_ms}ms must equal {total_ms}ms exactly"
+        );
+        // And the instant is bit-identical whichever way it was reached.
+        let direct = SimTime::from_ms(interval_ms * n as f64);
+        assert_eq!(acc, direct);
+    }
+}
+
+/// Events scheduled for the same accumulated instant — one timestamp
+/// built by repeated `+=`, one in a single multiplication — are true
+/// ties, popped in arrival order.
+#[test]
+fn tie_order_matches_arrival_order_under_accumulated_time() {
+    let step = SimTime::from_ms(0.1);
+    let mut summed = SimTime::ZERO;
+    for _ in 0..1000 {
+        summed += step;
+    }
+    let direct = SimTime::from_ms(100.0);
+
+    let mut q = EventQueue::new();
+    // Interleave the two spellings of t=100ms; arrival order must win.
+    q.schedule(summed, "a");
+    q.schedule(direct, "b");
+    q.schedule(summed, "c");
+    q.schedule(direct, "d");
+    let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+    assert_eq!(order, vec!["a", "b", "c", "d"]);
+}
+
+/// The same property end-to-end through the engine: a periodic timer
+/// chain re-armed by `+= interval` collides with a one-shot timer armed
+/// directly at the far instant; the trace must show both firing at the
+/// same timestamp, chain first (it was scheduled first).
+#[derive(Default)]
+struct Chained {
+    fired: Vec<(SimTime, u8)>,
+    remaining: u32,
+}
+
+impl NodeBehavior for Chained {
+    type Msg = ();
+    type Timer = u8;
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Self>, _from: NodeId, _msg: ()) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self>, t: u8) {
+        self.fired.push((ctx.now(), t));
+        if t == 1 && self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.set_timer(SimTime::from_ms(0.1), 1);
+        }
+    }
+}
+
+#[test]
+fn periodic_chain_meets_oneshot_at_the_same_instant() {
+    let mut g = Graph::with_nodes(2);
+    let ids: Vec<_> = g.node_ids().collect();
+    g.add_link(ids[0], ids[1], 1.0).unwrap();
+    let nodes = vec![
+        Chained {
+            fired: Vec::new(),
+            remaining: 999,
+        },
+        Chained::default(),
+    ];
+    let mut sim = NetSim::new(&g, nodes);
+    sim.set_trace(smrp_sim::TraceLog::disabled());
+    sim.with_node(ids[0], |_, ctx| {
+        // The chain starts at 0.1 ms and re-arms 999 times: its last link
+        // fires at exactly 100 ms...
+        ctx.set_timer(SimTime::from_ms(0.1), 1);
+        // ...where the one-shot, armed directly, collides with it.
+        ctx.set_timer(SimTime::from_ms(100.0), 2);
+    });
+    sim.run_to_completion(100_000);
+
+    let fired = &sim.node(ids[0]).fired;
+    assert_eq!(fired.len(), 1001);
+    let t100 = SimTime::from_ms(100.0);
+    let at_100: Vec<u8> = fired
+        .iter()
+        .filter(|(t, _)| *t == t100)
+        .map(|(_, tag)| *tag)
+        .collect();
+    // Both land on the exact instant. The one-shot fires first: it was
+    // scheduled at t=0, the chain's final link only at t=99.9 — pure
+    // arrival order, no float noise. (Under f64 drift the chain would
+    // miss the instant entirely and the filter above would find one
+    // event, not two.)
+    assert_eq!(at_100, vec![2, 1]);
+    assert_eq!(sim.now(), t100);
+}
