@@ -28,6 +28,11 @@
 //!   topology — a 32-session case simulates 32 trees in one event
 //!   queue, so the sweep trades scenario count for session count;
 //!   later flags override the preset;
+//! * `--dump-trace DIR` — instead of a campaign, emit the golden scripted
+//!   scenario files (`figure1`, `shared_fate_srlg`, `figure1_lossy`) into
+//!   DIR: self-contained JSON traces with the sim's converged outcome and
+//!   its digest embedded, replayable through the `smrpd` daemon and handy
+//!   standalone as minimal reproducers. Byte-identical for any `--jobs`;
 //! * `--loss P` — ambient control-plane loss probability applied to every
 //!   case that doesn't carry its own degraded channel (default 0);
 //! * `--scenarios N` — number of fault cases (default 1000);
@@ -56,6 +61,7 @@ struct Args {
     jobs: usize,
     bench: bool,
     bench_multi: bool,
+    dump_trace: Option<std::path::PathBuf>,
     out: std::path::PathBuf,
 }
 
@@ -228,6 +234,7 @@ fn parse_args() -> Result<Args, String> {
     let mut jobs = std::thread::available_parallelism().map_or(1, usize::from);
     let mut bench = false;
     let mut bench_multi = false;
+    let mut dump_trace: Option<std::path::PathBuf> = None;
     let mut out: Option<std::path::PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -251,6 +258,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--bench" => {
                 bench = true;
+            }
+            "--dump-trace" => {
+                dump_trace = Some(value("--dump-trace")?.into());
             }
             "--bench-multi" => {
                 bench_multi = true;
@@ -311,6 +321,7 @@ fn parse_args() -> Result<Args, String> {
         jobs,
         bench,
         bench_multi,
+        dump_trace,
         out: out.unwrap_or_else(|| {
             results_dir().join(if bench_multi {
                 "faultlab-multisession.json"
@@ -432,6 +443,20 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(dir) = &args.dump_trace {
+        return match smrp_faultlab::dump_traces(dir, args.jobs) {
+            Ok(paths) => {
+                for p in &paths {
+                    println!("wrote {}", p.display());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("faultlab: trace dump failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     if args.bench_multi {
         return run_bench_multi(&args);
     }

@@ -52,6 +52,7 @@ pub mod audit;
 pub mod campaign;
 pub mod generate;
 pub mod report;
+pub mod trace;
 
 pub use audit::{audit_recovery, rebuild_after_recovery, Invariant, Violation};
 pub use campaign::{
@@ -66,3 +67,4 @@ pub use report::{
     CampaignReport, CaseRow, FamilyLatency, GroupSummary, HealthSummary, LatencySummary,
     OutcomeCounts, Reproducer,
 };
+pub use trace::{dump_traces, golden_scenarios, GoldenTrace, TRACE_VERSION};

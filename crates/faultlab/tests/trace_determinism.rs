@@ -1,0 +1,87 @@
+//! Golden-trace dump determinism.
+//!
+//! `faultlab --dump-trace <dir>` must emit byte-identical files no matter
+//! how many worker threads generate them, and the committed golden files
+//! under `crates/smrpd/tests/golden/` must stay in lockstep with the
+//! generator — otherwise the daemon's conformance CI would assert against
+//! stale sim digests.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use smrp_faultlab::{dump_traces, golden_scenarios, GoldenTrace};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "smrp-trace-{}-{}-{tag}",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-"),
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn read_all(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        out.insert(
+            path.file_name().unwrap().to_string_lossy().into_owned(),
+            fs::read(&path).unwrap(),
+        );
+    }
+    out
+}
+
+#[test]
+fn dump_is_byte_identical_across_jobs_1_and_8() {
+    let d1 = scratch_dir("jobs1");
+    let d8 = scratch_dir("jobs8");
+    let p1 = dump_traces(&d1, 1).unwrap();
+    let p8 = dump_traces(&d8, 8).unwrap();
+    assert_eq!(p1.len(), p8.len());
+    assert!(!p1.is_empty());
+
+    let f1 = read_all(&d1);
+    let f8 = read_all(&d8);
+    assert_eq!(
+        f1.keys().collect::<Vec<_>>(),
+        f8.keys().collect::<Vec<_>>(),
+        "same file set"
+    );
+    for (name, bytes) in &f1 {
+        assert_eq!(bytes, &f8[name], "{name} differs between --jobs 1 and 8");
+    }
+    let _ = fs::remove_dir_all(&d1);
+    let _ = fs::remove_dir_all(&d8);
+}
+
+#[test]
+fn committed_golden_files_match_the_generator() {
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../smrpd/tests/golden");
+    for trace in golden_scenarios() {
+        let path = golden_dir.join(format!("{}.json", trace.name));
+        let committed = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing committed golden trace {} — regenerate with \
+                 `cargo run --bin faultlab -- --dump-trace crates/smrpd/tests/golden` ({e})",
+                path.display()
+            )
+        });
+        assert_eq!(
+            committed,
+            trace.to_json(),
+            "{}.json drifted from the generator — regenerate with \
+             `cargo run --bin faultlab -- --dump-trace crates/smrpd/tests/golden`",
+            trace.name
+        );
+        // And the committed digest really is the digest of the committed
+        // expected state (the file was not hand-edited).
+        let parsed = GoldenTrace::from_json(&committed).unwrap();
+        assert_eq!(parsed.expected.digest(), parsed.expected_digest);
+    }
+}

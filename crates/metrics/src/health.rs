@@ -61,6 +61,19 @@ impl ControlHealth {
         total
     }
 
+    /// Absorbs one reliable-delivery endpoint's counters (a router lane's
+    /// view of retransmits, suppressed duplicates, exhausted retries and
+    /// acks it sent). Every host of the router — the simulator's report
+    /// builder and the daemon's introspection dump — rolls lanes up
+    /// through this one definition, so their health numbers agree
+    /// field-for-field.
+    pub fn absorb_lane(&mut self, retransmits: u64, dup_drops: u64, exhaustions: u64, acks: u64) {
+        self.retransmits += retransmits;
+        self.dup_drops += dup_drops;
+        self.retry_exhaustions += exhaustions;
+        self.acks += acks;
+    }
+
     /// Total messages lost by the channel across all classes.
     pub fn total_lost(&self) -> u64 {
         self.loss_by_class.values().sum()

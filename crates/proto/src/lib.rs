@@ -29,7 +29,12 @@
 //! * [`hierarchy`] — the N-level recovery architecture of §3.3.3
 //!   instantiated for 2 levels on transit-stub topologies: per-domain
 //!   SMRP sessions with border *agents*, failure attribution to a domain,
-//!   and confinement metrics.
+//!   and confinement metrics;
+//! * [`wire`] — the versioned binary codec that puts [`GroupMsg`] values
+//!   on a real transport (the `smrpd` daemon's UDP datagrams and framed
+//!   streams);
+//! * [`snapshot`] — timing-insensitive final-state capture and the
+//!   conformance digest that ties daemon replays back to sim runs.
 
 pub mod hierarchy;
 pub mod membership;
@@ -39,13 +44,17 @@ pub mod query;
 pub mod reliable;
 pub mod router;
 pub mod runner;
+pub mod snapshot;
+pub mod wire;
 
 pub use membership::DynamicSession;
 pub use messages::{GroupMsg, GroupTimer, ProtoMsg, TimerKind};
 pub use multi::{GroupRecoveryReport, MultiRecoveryReport, MultiRouter, MultiSession};
 pub use reliable::{ReliabilityCounters, ReliableConfig};
-pub use router::{ControlCounters, Router, RouterConfig};
+pub use router::{ControlCounters, RecoveryPlan, Router, RouterConfig};
 pub use runner::{
     FailureTiming, InjectionTiming, OverheadReport, ProtoSession, RecoveryPlans, RecoveryReport,
     RecoveryStrategy, TreeProtocol,
 };
+pub use snapshot::{AffectedGroup, GroupState, NodeTreeState, SessionState};
+pub use wire::{WireError, WIRE_VERSION};

@@ -364,6 +364,45 @@ impl<'g> MultiSession<'g> {
         until: SimTime,
         trace: TraceLog,
     ) -> (MultiRecoveryReport, TraceLog) {
+        let (report, trace, _procs) =
+            self.run_failure_capture_traced(scenario, strategy, timing, channel, until, trace);
+        (report, trace)
+    }
+
+    /// [`run_failure_spec`](Self::run_failure_spec) that additionally
+    /// returns every node's final [`MultiRouter`] state, in node-id order.
+    ///
+    /// This is the sim side of the conformance harness: the final states
+    /// feed [`crate::snapshot::SessionState::capture`], whose digest a
+    /// daemon replay of the same scenario must reproduce.
+    pub fn run_failure_capture(
+        &self,
+        scenario: &FailureScenario,
+        strategy: RecoveryStrategy,
+        timing: InjectionTiming,
+        channel: &ChannelSpec,
+        until: SimTime,
+    ) -> (MultiRecoveryReport, Vec<MultiRouter>) {
+        let (report, _trace, procs) = self.run_failure_capture_traced(
+            scenario,
+            strategy,
+            timing,
+            channel,
+            until,
+            TraceLog::disabled(),
+        );
+        (report, procs)
+    }
+
+    fn run_failure_capture_traced(
+        &self,
+        scenario: &FailureScenario,
+        strategy: RecoveryStrategy,
+        timing: InjectionTiming,
+        channel: &ChannelSpec,
+        until: SimTime,
+        trace: TraceLog,
+    ) -> (MultiRecoveryReport, TraceLog, Vec<MultiRouter>) {
         let fail_at = timing.fail_at();
         let config = self.sessions[0]
             .router_config()
@@ -449,10 +488,12 @@ impl<'g> MultiSession<'g> {
             for n in self.graph.node_ids() {
                 if let Some(lane) = sim.node(n).lane(group) {
                     let r = lane.reliability();
-                    reliability.retransmits += r.retransmits;
-                    reliability.dup_drops += r.dup_drops;
-                    reliability.retry_exhaustions += r.retry_exhaustions;
-                    reliability.acks += r.acks_sent;
+                    reliability.absorb_lane(
+                        r.retransmits,
+                        r.dup_drops,
+                        r.retry_exhaustions,
+                        r.acks_sent,
+                    );
                     control.merge(&lane.control_sent());
                 }
             }
@@ -480,7 +521,8 @@ impl<'g> MultiSession<'g> {
             messages_delivered: sim.delivered_count(),
             messages_dropped: sim.dropped_count(),
         };
-        (report, sim.trace().clone())
+        let trace = sim.trace().clone();
+        (report, trace, sim.into_nodes())
     }
 }
 

@@ -1,0 +1,258 @@
+//! Byte-exact snapshot fixtures for the wire codec.
+//!
+//! Every [`ProtoMsg`] variant has a pinned encoding here. These bytes are
+//! the compatibility contract between daemons: if any fixture changes, the
+//! format changed, and `WIRE_VERSION` must be bumped so old and new
+//! binaries refuse to misread each other (the graceful-rejection test at
+//! the bottom is what that refusal looks like).
+
+use smrp_net::{GroupId, NodeId};
+use smrp_proto::wire::{
+    decode_datagram, decode_msg, encode_datagram, encode_msg, WireError, MAX_NESTING, WIRE_VERSION,
+};
+use smrp_proto::{GroupMsg, ProtoMsg};
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+fn gm(inner: ProtoMsg) -> GroupMsg {
+    GroupMsg {
+        group: GroupId::new(2),
+        inner,
+    }
+}
+
+/// `[version][group=2 LE]` — the prefix shared by every fixture.
+fn header() -> Vec<u8> {
+    vec![WIRE_VERSION, 2, 0, 0, 0]
+}
+
+#[track_caller]
+fn assert_snapshot(msg: ProtoMsg, body: &[u8]) {
+    let msg = gm(msg);
+    let mut expected = header();
+    expected.extend_from_slice(body);
+    let encoded = encode_msg(&msg);
+    assert_eq!(encoded, expected, "encoding drifted for {:?}", msg.inner);
+    assert_eq!(decode_msg(&encoded).unwrap(), msg, "round-trip failed");
+}
+
+#[test]
+fn setup_snapshot() {
+    assert_snapshot(
+        ProtoMsg::Setup {
+            path: vec![n(1), n(2), n(3)],
+            idx: 1,
+        },
+        &[
+            0, // tag
+            3, 0, 0, 0, // path len
+            1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, // path
+            1, 0, 0, 0, // idx
+        ],
+    );
+}
+
+#[test]
+fn leave_req_snapshot() {
+    assert_snapshot(ProtoMsg::LeaveReq, &[1]);
+}
+
+#[test]
+fn refresh_snapshot() {
+    assert_snapshot(ProtoMsg::Refresh, &[2]);
+}
+
+#[test]
+fn hello_snapshot() {
+    assert_snapshot(ProtoMsg::Hello, &[3]);
+}
+
+#[test]
+fn data_snapshot() {
+    assert_snapshot(
+        ProtoMsg::Data {
+            seq: 0x0102_0304_0506_0708,
+        },
+        &[4, 8, 7, 6, 5, 4, 3, 2, 1],
+    );
+}
+
+#[test]
+fn query_snapshot() {
+    assert_snapshot(
+        ProtoMsg::Query {
+            origin: n(4),
+            path: vec![n(4), n(5)],
+            delay: 1.5,
+        },
+        &[
+            5, // tag
+            4, 0, 0, 0, // origin
+            2, 0, 0, 0, 4, 0, 0, 0, 5, 0, 0, 0, // path
+            0, 0, 0, 0, 0, 0, 0xf8, 0x3f, // 1.5 f64 LE
+        ],
+    );
+}
+
+#[test]
+fn query_resp_snapshot() {
+    assert_snapshot(
+        ProtoMsg::QueryResp {
+            approach: vec![n(6)],
+            approach_delay: 2.0,
+            shr: 7,
+            tree_delay: 0.25,
+            idx: 0,
+        },
+        &[
+            6, // tag
+            1, 0, 0, 0, 6, 0, 0, 0, // approach
+            0, 0, 0, 0, 0, 0, 0, 0x40, // 2.0
+            7, 0, 0, 0, // shr
+            0, 0, 0, 0, 0, 0, 0xd0, 0x3f, // 0.25
+            0, 0, 0, 0, // idx
+        ],
+    );
+}
+
+#[test]
+fn reliable_snapshot() {
+    assert_snapshot(
+        ProtoMsg::Reliable {
+            seq: 9,
+            base: 3,
+            inner: Box::new(ProtoMsg::Refresh),
+        },
+        &[
+            7, // tag
+            9, 0, 0, 0, 0, 0, 0, 0, // seq
+            3, 0, 0, 0, 0, 0, 0, 0, // base
+            2, // inner Refresh
+        ],
+    );
+}
+
+#[test]
+fn ack_snapshot() {
+    assert_snapshot(ProtoMsg::Ack { seq: 1 }, &[8, 1, 0, 0, 0, 0, 0, 0, 0]);
+}
+
+#[test]
+fn datagram_snapshot_carries_sender_before_group() {
+    let bytes = encode_datagram(n(9), &gm(ProtoMsg::Hello));
+    assert_eq!(bytes, vec![WIRE_VERSION, 9, 0, 0, 0, 2, 0, 0, 0, 3]);
+    assert_eq!(
+        decode_datagram(&bytes).unwrap(),
+        (n(9), gm(ProtoMsg::Hello))
+    );
+}
+
+#[test]
+fn every_variant_round_trips() {
+    let variants = vec![
+        ProtoMsg::Setup {
+            path: vec![n(0), n(7), n(3)],
+            idx: 2,
+        },
+        ProtoMsg::LeaveReq,
+        ProtoMsg::Refresh,
+        ProtoMsg::Hello,
+        ProtoMsg::Data { seq: u64::MAX },
+        ProtoMsg::Query {
+            origin: n(1),
+            path: vec![n(1)],
+            delay: 0.0,
+        },
+        ProtoMsg::QueryResp {
+            approach: vec![],
+            approach_delay: f64::MAX,
+            shr: u32::MAX,
+            tree_delay: f64::MIN_POSITIVE,
+            idx: 41,
+        },
+        ProtoMsg::Reliable {
+            seq: 5,
+            base: 5,
+            inner: Box::new(ProtoMsg::Setup {
+                path: vec![n(2), n(4)],
+                idx: 0,
+            }),
+        },
+        ProtoMsg::Ack { seq: 0 },
+    ];
+    for inner in variants {
+        let msg = gm(inner);
+        let round = decode_msg(&encode_msg(&msg)).unwrap();
+        assert_eq!(round, msg);
+    }
+}
+
+#[test]
+fn unknown_version_is_rejected_gracefully() {
+    let mut bytes = encode_msg(&gm(ProtoMsg::Hello));
+    bytes[0] = WIRE_VERSION + 1;
+    assert_eq!(
+        decode_msg(&bytes),
+        Err(WireError::UnknownVersion(WIRE_VERSION + 1))
+    );
+    // The error carries enough to explain itself to an operator.
+    let rendered = WireError::UnknownVersion(WIRE_VERSION + 1).to_string();
+    assert!(rendered.contains("unknown wire version"), "{rendered}");
+}
+
+#[test]
+fn unknown_tag_is_rejected() {
+    let mut bytes = header();
+    bytes.push(99);
+    assert_eq!(decode_msg(&bytes), Err(WireError::UnknownTag(99)));
+}
+
+#[test]
+fn truncation_anywhere_is_rejected_not_panicked() {
+    let bytes = encode_msg(&gm(ProtoMsg::Reliable {
+        seq: 1,
+        base: 0,
+        inner: Box::new(ProtoMsg::Setup {
+            path: vec![n(1), n(2)],
+            idx: 1,
+        }),
+    }));
+    for cut in 0..bytes.len() {
+        let err = decode_msg(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, WireError::Truncated | WireError::UnknownVersion(_)),
+            "cut at {cut} gave {err:?}"
+        );
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut bytes = encode_msg(&gm(ProtoMsg::Hello));
+    bytes.push(0xAB);
+    assert_eq!(decode_msg(&bytes), Err(WireError::TrailingBytes(1)));
+}
+
+#[test]
+fn nesting_limit_is_documented_and_enforced() {
+    // Depth MAX_NESTING decodes; one deeper does not.
+    let mut ok = ProtoMsg::Hello;
+    for _ in 0..MAX_NESTING {
+        ok = ProtoMsg::Reliable {
+            seq: 0,
+            base: 0,
+            inner: Box::new(ok),
+        };
+    }
+    let msg = gm(ok);
+    assert_eq!(decode_msg(&encode_msg(&msg)).unwrap(), msg);
+
+    let deeper = gm(ProtoMsg::Reliable {
+        seq: 0,
+        base: 0,
+        inner: Box::new(msg.inner),
+    });
+    assert_eq!(decode_msg(&encode_msg(&deeper)), Err(WireError::TooDeep));
+}

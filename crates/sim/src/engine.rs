@@ -21,6 +21,22 @@ use crate::wheel::{TimerHandle, TimerWheel};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerToken(u64);
 
+impl TimerToken {
+    /// Rebuilds a token from its raw counter value.
+    ///
+    /// For harnesses that mirror the engine's token bookkeeping outside
+    /// the simulator (the daemon's wall-clock timer driver); inside a
+    /// simulation, tokens should only ever come from [`Ctx::set_timer`].
+    pub fn from_raw(raw: u64) -> Self {
+        TimerToken(raw)
+    }
+
+    /// The raw counter value behind this token.
+    pub fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// Which structure carries timer events.
 ///
 /// The default [`TimerBackend::Wheel`] parks timers in a hierarchical
@@ -124,6 +140,33 @@ pub struct Ctx<'a, N: NodeBehavior> {
 }
 
 impl<'a, N: NodeBehavior> Ctx<'a, N> {
+    /// Builds a context outside the simulator, for hosts that drive a
+    /// [`NodeBehavior`] themselves — the `smrpd` daemon runs each router's
+    /// handlers against a standalone context and interprets the resulting
+    /// [`NodeCommand`]s over a real transport and a real timer driver.
+    ///
+    /// `failures` is the host's *local view* of the failure state (it backs
+    /// [`Ctx::link_up`]), and `next_token` is the host's node-wide timer
+    /// token counter: it must be the same cell across every context built
+    /// for one node so [`TimerToken`]s stay unique for the node's lifetime,
+    /// exactly as the engine guarantees within a simulation.
+    pub fn standalone(
+        now: SimTime,
+        me: NodeId,
+        graph: &'a Graph,
+        failures: &'a FailureScenario,
+        next_token: &'a Cell<u64>,
+    ) -> Self {
+        Ctx {
+            now,
+            me,
+            graph,
+            failures,
+            commands: Vec::new(),
+            next_token,
+        }
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -426,6 +469,14 @@ impl<'g, N: NodeBehavior> NetSim<'g, N> {
     /// Read access to a node's behavior state.
     pub fn node(&self, id: NodeId) -> &N {
         &self.nodes[id.index()]
+    }
+
+    /// Consumes the simulator, yielding every node's final behavior state
+    /// in node-id order. This is the capture hook for conformance digests:
+    /// a finished run's protocol state can be snapshotted and compared
+    /// against the same scenario replayed on a real transport.
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
     }
 
     /// The current failure scenario.

@@ -28,6 +28,7 @@
 //! `smrp-proto` for the SMRP router implementation.
 
 pub mod channel;
+pub mod clock;
 pub mod engine;
 pub mod event;
 pub mod time;
@@ -35,6 +36,7 @@ pub mod trace;
 pub mod wheel;
 
 pub use channel::{ChannelModel, ChannelParams, ChannelSpec, ChannelStats, LinkDegrade};
+pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use engine::{Ctx, DropCounts, NetSim, NodeBehavior, NodeCommand, TimerBackend, TimerToken};
 pub use event::EventQueue;
 pub use time::SimTime;

@@ -1,0 +1,226 @@
+//! The `smrpd` daemon binary.
+//!
+//! Two modes:
+//!
+//! * **Replay** — conformance-check a golden trace against the sim:
+//!
+//!   ```text
+//!   smrpd --replay crates/smrpd/tests/golden/figure1.json \
+//!         --transport udp --speed 5 --assert-digest
+//!   ```
+//!
+//! * **Demo** — free-running multicast sessions with live introspection:
+//!
+//!   ```text
+//!   smrpd --nodes 8 --topology ring --groups 2 \
+//!         --duration-ms 2000 --introspect 127.0.0.1:7171
+//!   curl http://127.0.0.1:7171/groups/0/tree
+//!   ```
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use smrp_faultlab::GoldenTrace;
+use smrp_sim::SimTime;
+use smrpd::daemon::{launch_demo, replay, DemoOptions, ReplayOptions, Topology, TransportKind};
+
+const USAGE: &str = "\
+smrpd - SMRP control-plane daemon
+
+Replay mode (golden-trace conformance):
+  --replay <trace.json>     replay a faultlab --dump-trace file
+  --assert-digest           exit non-zero unless the digest matches the sim
+
+Demo mode:
+  --nodes <n>               router count [8]
+  --topology ring|line|star shape [ring]
+  --groups <n>              concurrent multicast groups [2]
+  --duration-ms <ms>        protocol-time runtime [2000]
+
+Common:
+  --transport channel|udp   datagram fabric [channel]
+  --speed <x>               protocol seconds per wall second [5]
+  --introspect <addr>       serve HTTP introspection (e.g. 127.0.0.1:0)
+  --help                    this text
+";
+
+struct Args {
+    replay: Option<PathBuf>,
+    assert_digest: bool,
+    nodes: usize,
+    topology: Topology,
+    groups: usize,
+    duration: SimTime,
+    transport: TransportKind,
+    speed: f64,
+    introspect: Option<SocketAddr>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        replay: None,
+        assert_digest: false,
+        nodes: 8,
+        topology: Topology::Ring,
+        groups: 2,
+        duration: SimTime::from_ms(2000.0),
+        transport: TransportKind::Channel,
+        speed: 5.0,
+        introspect: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects a value\n\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
+            "--assert-digest" => args.assert_digest = true,
+            "--nodes" => {
+                args.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--topology" => {
+                args.topology = match value("--topology")?.as_str() {
+                    "ring" => Topology::Ring,
+                    "line" => Topology::Line,
+                    "star" => Topology::Star,
+                    other => return Err(format!("unknown topology {other:?}")),
+                }
+            }
+            "--groups" => {
+                args.groups = value("--groups")?
+                    .parse()
+                    .map_err(|e| format!("--groups: {e}"))?
+            }
+            "--duration-ms" => {
+                let ms: f64 = value("--duration-ms")?
+                    .parse()
+                    .map_err(|e| format!("--duration-ms: {e}"))?;
+                args.duration = SimTime::from_ms(ms);
+            }
+            "--transport" => {
+                args.transport = match value("--transport")?.as_str() {
+                    "channel" => TransportKind::Channel,
+                    "udp" => TransportKind::Udp,
+                    other => return Err(format!("unknown transport {other:?}")),
+                }
+            }
+            "--speed" => {
+                args.speed = value("--speed")?
+                    .parse()
+                    .map_err(|e| format!("--speed: {e}"))?
+            }
+            "--introspect" => {
+                args.introspect = Some(
+                    value("--introspect")?
+                        .parse()
+                        .map_err(|e| format!("--introspect: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_replay(args: &Args, trace_path: &Path) -> Result<ExitCode, String> {
+    let trace = GoldenTrace::load(trace_path)
+        .map_err(|e| format!("loading {}: {e}", trace_path.display()))?;
+    let opts = ReplayOptions {
+        transport: args.transport,
+        speed: args.speed,
+        introspect: args.introspect,
+    };
+    eprintln!(
+        "replaying {:?}: {} nodes, {} group(s), horizon {:.0} ms at {}x over {:?}",
+        trace.name,
+        trace.nodes,
+        trace.groups.len(),
+        SimTime::from_ns(trace.horizon_ns).as_ms(),
+        opts.speed,
+        opts.transport,
+    );
+    let outcome = replay(&trace, &opts).map_err(|e| format!("replay failed: {e}"))?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&outcome.state).expect("state serializes")
+    );
+    eprintln!(
+        "digest {} (sim expected {}) — {}",
+        outcome.digest,
+        outcome.expected_digest,
+        if outcome.matches() {
+            "CONFORMANT"
+        } else {
+            "DIVERGED"
+        }
+    );
+    if args.assert_digest && !outcome.matches() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_demo(args: &Args) -> Result<ExitCode, String> {
+    let opts = DemoOptions {
+        nodes: args.nodes,
+        topology: args.topology,
+        groups: args.groups,
+        duration: args.duration,
+        speed: args.speed,
+        transport: args.transport,
+        introspect: args.introspect,
+    };
+    let daemon = launch_demo(&opts).map_err(|e| format!("launch failed: {e}"))?;
+    if let Some(addr) = daemon.introspect_addr() {
+        eprintln!(
+            "introspection at http://{addr}/status (also /nodes/<i>, /groups/<g>/tree, /health)"
+        );
+    }
+    eprintln!(
+        "demo: {} nodes ({:?}), {} group(s), running {:.0} ms of protocol time at {}x...",
+        opts.nodes,
+        opts.topology,
+        opts.groups,
+        opts.duration.as_ms(),
+        opts.speed
+    );
+    let board = daemon.board();
+    daemon
+        .join()
+        .map_err(|e| format!("node thread failed: {e}"))?;
+    let final_view = smrpd::StatusView {
+        nodes: board.snapshot(),
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&final_view).expect("view serializes")
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &args.replay {
+        Some(path) => run_replay(&args, path),
+        None => run_demo(&args),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

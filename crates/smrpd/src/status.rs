@@ -1,0 +1,134 @@
+//! Shared introspection state.
+//!
+//! Each node runtime periodically publishes a [`NodeStatus`] snapshot of
+//! its router state into the [`StatusBoard`]; the HTTP introspection
+//! server (see [`crate::introspect`]) reads the board without ever
+//! touching live router state, so observation can never perturb the
+//! protocol.
+
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+use smrp_metrics::ControlHealth;
+use smrp_net::NodeId;
+use smrp_proto::MultiRouter;
+use smrp_sim::SimTime;
+
+/// One group lane's tree state as seen by one router.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupStatus {
+    /// Group id.
+    pub group: u32,
+    /// Whether this node currently forwards for the group.
+    pub on_tree: bool,
+    /// Whether this node is a subscribed member.
+    pub member: bool,
+    /// Upstream (parent) node, if any.
+    pub upstream: Option<u32>,
+    /// Downstream (children) nodes, sorted.
+    pub downstream: Vec<u32>,
+    /// The Sub-tree Height Rank this node advertises in query replies.
+    pub shr: u32,
+    /// Whether a local-detour recovery is in flight.
+    pub recovering: bool,
+    /// Multicast data packets delivered to the member application.
+    pub deliveries: u64,
+}
+
+/// One node's published state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeStatus {
+    /// Node id.
+    pub node: u32,
+    /// Whether the node is currently failed (crashed).
+    pub down: bool,
+    /// The node's protocol clock when the snapshot was taken, in ns.
+    pub now_ns: u64,
+    /// Per-group lane state.
+    pub groups: Vec<GroupStatus>,
+    /// Reliable-lane health aggregated over all lanes.
+    pub health: ControlHealth,
+}
+
+impl NodeStatus {
+    /// Snapshots `router` as seen at `now`.
+    pub fn capture(me: NodeId, down: bool, now: SimTime, router: &MultiRouter) -> NodeStatus {
+        let mut groups = Vec::new();
+        let mut health = ControlHealth::default();
+        for g in router.groups() {
+            let lane = router.lane(g).expect("groups() yields live lanes");
+            let mut downstream: Vec<u32> =
+                lane.downstream().iter().map(|n| n.index() as u32).collect();
+            downstream.sort_unstable();
+            groups.push(GroupStatus {
+                group: g.index() as u32,
+                on_tree: lane.is_on_tree(),
+                member: lane.is_member(),
+                upstream: lane.upstream().map(|n| n.index() as u32),
+                downstream,
+                shr: lane.advertised_shr(),
+                recovering: lane.is_recovering(),
+                deliveries: lane.deliveries().len() as u64,
+            });
+            let r = lane.reliability();
+            health.absorb_lane(r.retransmits, r.dup_drops, r.retry_exhaustions, r.acks_sent);
+        }
+        NodeStatus {
+            node: me.index() as u32,
+            down,
+            now_ns: now.as_ns(),
+            groups,
+            health,
+        }
+    }
+}
+
+/// Lock-per-slot bulletin board: node `i` writes slot `i`, readers take
+/// a point-in-time copy.
+#[derive(Debug)]
+pub struct StatusBoard {
+    slots: Vec<Mutex<Option<NodeStatus>>>,
+}
+
+impl StatusBoard {
+    /// A board with `n` empty slots.
+    pub fn new(n: usize) -> StatusBoard {
+        StatusBoard {
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the board has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Publishes `status` into its node's slot.
+    pub fn publish(&self, status: NodeStatus) {
+        let idx = status.node as usize;
+        if let Some(slot) = self.slots.get(idx) {
+            *slot.lock().expect("status slot poisoned") = Some(status);
+        }
+    }
+
+    /// Copies every slot. `None` entries are nodes that have not
+    /// published yet.
+    pub fn snapshot(&self) -> Vec<Option<NodeStatus>> {
+        self.slots
+            .iter()
+            .map(|s| s.lock().expect("status slot poisoned").clone())
+            .collect()
+    }
+
+    /// Copies one node's slot.
+    pub fn node(&self, idx: usize) -> Option<NodeStatus> {
+        self.slots
+            .get(idx)
+            .and_then(|s| s.lock().expect("status slot poisoned").clone())
+    }
+}

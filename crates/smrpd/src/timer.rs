@@ -1,0 +1,166 @@
+//! A monotonic-clock timer driver mirroring the simulator's
+//! [`smrp_sim::TimerToken`] semantics.
+//!
+//! The simulator's engine gives every armed timer a never-reused token;
+//! cancelling a token silences exactly that entry, and a timer armed
+//! *before* a node crash but due *after* its repair still fires. The
+//! daemon needs identical semantics on wall-clock time, so this driver
+//! keeps the same token-keyed bookkeeping over a binary heap:
+//!
+//! * [`schedule`](TimerDriver::schedule) files a `(deadline, payload)`
+//!   entry under a caller-supplied token (the one the router saw from
+//!   its [`smrp_sim::Ctx`]);
+//! * [`cancel`](TimerDriver::cancel) tombstones the token — stale heap
+//!   entries are skipped lazily on pop, the standard lazy-deletion
+//!   pattern, so cancel is O(1);
+//! * re-arming an existing token replaces its payload and deadline
+//!   (matching the engine, where `set_timer_with_token` supersedes the
+//!   previous entry for that token).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use smrp_sim::{SimTime, TimerToken};
+
+/// Pending-timer store keyed by [`TimerToken`], generic over the
+/// router's timer payload.
+#[derive(Debug)]
+pub struct TimerDriver<T> {
+    /// Min-heap of `(deadline, epoch)`; `epoch` disambiguates re-armed
+    /// tokens (only the latest epoch for a token is live).
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// epoch → (token, payload) for live entries.
+    live: HashMap<u64, (TimerToken, T)>,
+    /// token → its current epoch.
+    by_token: HashMap<TimerToken, u64>,
+    next_epoch: u64,
+}
+
+impl<T> Default for TimerDriver<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerDriver<T> {
+    /// An empty driver.
+    pub fn new() -> Self {
+        TimerDriver {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            by_token: HashMap::new(),
+            next_epoch: 0,
+        }
+    }
+
+    /// Arms (or re-arms) `token` to deliver `payload` at `deadline`.
+    pub fn schedule(&mut self, deadline: SimTime, token: TimerToken, payload: T) {
+        if let Some(old) = self.by_token.remove(&token) {
+            self.live.remove(&old);
+        }
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        self.heap.push(Reverse((deadline, epoch)));
+        self.live.insert(epoch, (token, payload));
+        self.by_token.insert(token, epoch);
+    }
+
+    /// Silences `token` if it is armed; unknown tokens are a no-op,
+    /// matching the engine's tolerance for cancelling already-fired
+    /// timers.
+    pub fn cancel(&mut self, token: TimerToken) {
+        if let Some(epoch) = self.by_token.remove(&token) {
+            self.live.remove(&epoch);
+        }
+    }
+
+    /// Earliest live deadline, if any.
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        while let Some(Reverse((at, epoch))) = self.heap.peek().copied() {
+            if self.live.contains_key(&epoch) {
+                return Some(at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pops one timer whose deadline is `<= now`, in deadline order.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(TimerToken, T)> {
+        while let Some(Reverse((at, epoch))) = self.heap.peek().copied() {
+            if at > now {
+                return None;
+            }
+            self.heap.pop();
+            if let Some((token, payload)) = self.live.remove(&epoch) {
+                self.by_token.remove(&token);
+                return Some((token, payload));
+            }
+            // Tombstoned entry — keep draining.
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) timers.
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok(ctx: &mut u64) -> TimerToken {
+        // Tokens in the daemon come from `Ctx::standalone`'s shared
+        // counter; tests fabricate the same monotone sequence.
+        let t = TimerToken::from_raw(*ctx);
+        *ctx += 1;
+        t
+    }
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut c = 0;
+        let mut d = TimerDriver::new();
+        let (t1, t2, t3) = (tok(&mut c), tok(&mut c), tok(&mut c));
+        d.schedule(SimTime::from_ms(30.0), t3, "late");
+        d.schedule(SimTime::from_ms(10.0), t1, "early");
+        d.schedule(SimTime::from_ms(20.0), t2, "mid");
+        assert_eq!(d.next_deadline(), Some(SimTime::from_ms(10.0)));
+        assert_eq!(d.pop_due(SimTime::from_ms(25.0)), Some((t1, "early")));
+        assert_eq!(d.pop_due(SimTime::from_ms(25.0)), Some((t2, "mid")));
+        assert_eq!(d.pop_due(SimTime::from_ms(25.0)), None);
+        assert_eq!(d.pop_due(SimTime::from_ms(30.0)), Some((t3, "late")));
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn cancel_tombstones_without_disturbing_others() {
+        let mut c = 0;
+        let mut d = TimerDriver::new();
+        let (t1, t2) = (tok(&mut c), tok(&mut c));
+        d.schedule(SimTime::from_ms(5.0), t1, 'a');
+        d.schedule(SimTime::from_ms(6.0), t2, 'b');
+        d.cancel(t1);
+        assert_eq!(d.pending(), 1);
+        assert_eq!(d.next_deadline(), Some(SimTime::from_ms(6.0)));
+        assert_eq!(d.pop_due(SimTime::from_ms(10.0)), Some((t2, 'b')));
+        // Cancelling something already gone is a no-op.
+        d.cancel(t2);
+        assert_eq!(d.pop_due(SimTime::from_ms(10.0)), None);
+    }
+
+    #[test]
+    fn rearming_a_token_supersedes_the_old_entry() {
+        let mut c = 0;
+        let mut d = TimerDriver::new();
+        let t = tok(&mut c);
+        d.schedule(SimTime::from_ms(5.0), t, 1u32);
+        d.schedule(SimTime::from_ms(50.0), t, 2u32);
+        assert_eq!(d.pending(), 1);
+        // The old 5 ms deadline is dead; nothing fires before 50 ms.
+        assert_eq!(d.pop_due(SimTime::from_ms(40.0)), None);
+        assert_eq!(d.pop_due(SimTime::from_ms(50.0)), Some((t, 2u32)));
+    }
+}

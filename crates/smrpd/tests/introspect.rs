@@ -1,0 +1,136 @@
+//! Live-introspection integration test: boot a demo daemon, poke the
+//! HTTP API over real TCP, and check the views describe a coherent
+//! multicast session (tree shape, SHR, member deliveries, health).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use smrp_sim::SimTime;
+use smrpd::daemon::{launch_demo, DemoOptions, Topology, TransportKind};
+use smrpd::{HealthView, NodeStatus, StatusView, TreeView};
+
+/// One-shot HTTP GET, returning `(status code, body)`.
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("introspection server reachable");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: smrpd\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("full response");
+    let code: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator")
+        .1
+        .to_string();
+    (code, body)
+}
+
+#[test]
+fn introspection_reports_live_tree_shr_and_health() {
+    let daemon = launch_demo(&DemoOptions {
+        nodes: 8,
+        topology: Topology::Ring,
+        groups: 2,
+        duration: SimTime::from_ms(1500.0),
+        speed: 2.0,
+        transport: TransportKind::Channel,
+        introspect: Some("127.0.0.1:0".parse().unwrap()),
+    })
+    .expect("demo launches");
+    let addr = daemon.introspect_addr().expect("introspection enabled");
+
+    // Wait until every node has published and group 0's members have
+    // seen multicast data flow.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let tree: TreeView = loop {
+        assert!(Instant::now() < deadline, "introspection never went live");
+        let (code, body) = get(addr, "/status");
+        assert_eq!(code, 200);
+        let status: StatusView = serde_json::from_str(&body).expect("/status parses");
+        assert_eq!(status.nodes.len(), 8);
+        if status.nodes.iter().any(|n| n.is_none()) {
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        }
+        let (code, body) = get(addr, "/groups/0/tree");
+        assert_eq!(code, 200);
+        let tree: TreeView = serde_json::from_str(&body).expect("/groups/0/tree parses");
+        if tree
+            .rows
+            .iter()
+            .any(|r| r.member && r.upstream.is_some() && r.deliveries > 0)
+        {
+            break tree;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    // The rows must describe a coherent tree: one root (the source
+    // side), parent/child pointers that agree, and non-trivial SHR
+    // metadata on interior nodes.
+    assert_eq!(tree.group, 0);
+    let roots: Vec<_> = tree
+        .rows
+        .iter()
+        .filter(|r| r.on_tree && r.upstream.is_none())
+        .collect();
+    assert_eq!(roots.len(), 1, "exactly one tree root, got {tree:#?}");
+    for row in &tree.rows {
+        if let Some(up) = row.upstream {
+            let parent = tree
+                .rows
+                .iter()
+                .find(|r| r.node == up)
+                .unwrap_or_else(|| panic!("node {}'s parent {up} missing from view", row.node));
+            assert!(
+                parent.downstream.contains(&row.node),
+                "parent {up} does not list child {}",
+                row.node
+            );
+        }
+    }
+    assert!(
+        tree.rows.iter().any(|r| r.shr > 0),
+        "SHR metadata missing from every row: {tree:#?}"
+    );
+
+    // Per-node view agrees with the fleet view.
+    let member = tree
+        .rows
+        .iter()
+        .find(|r| r.member && r.deliveries > 0)
+        .expect("a member saw data");
+    let (code, body) = get(addr, &format!("/nodes/{}", member.node));
+    assert_eq!(code, 200);
+    let node: NodeStatus = serde_json::from_str(&body).expect("/nodes/<i> parses");
+    assert_eq!(node.node, member.node);
+    assert!(!node.down);
+    assert!(node.groups.iter().any(|g| g.group == 0 && g.member));
+
+    // Health rolls the fleet up.
+    let (code, body) = get(addr, "/health");
+    assert_eq!(code, 200);
+    let health: HealthView = serde_json::from_str(&body).expect("/health parses");
+    assert_eq!(health.nodes, 8);
+    assert_eq!(health.published, 8);
+    assert_eq!(health.down, 0);
+
+    // Unknown routes 404 without wedging the server.
+    assert_eq!(get(addr, "/groups/99/tree").0, 404);
+    assert_eq!(get(addr, "/nodes/not-a-node").0, 404);
+    assert_eq!(get(addr, "/flux-capacitor").0, 404);
+
+    daemon.join().expect("clean shutdown");
+}
