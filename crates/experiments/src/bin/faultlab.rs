@@ -15,10 +15,20 @@
 //! * `--smoke-multi` — small CI campaign with 8 concurrent sessions
 //!   sharing the topology (n=60, 28 scenarios);
 //! * `--bench` — acceptance benchmark: runs the configured campaign twice
-//!   (lossless, then under `--loss` ambient loss, default 10%) and writes
-//!   one artifact with both reports plus the per-protocol
-//!   restoration-latency inflation factor (this is how
+//!   (lossless, then under `--loss` ambient loss, default 10%), plus the
+//!   protection-vs-restoration sweep, and writes one artifact with all
+//!   reports, the per-protocol restoration-latency inflation factor and
+//!   the per-loss-point protection-vs-reactive medians (this is how
 //!   `BENCH_faultlab.json` is produced);
+//! * `--protect` — the protection-vs-restoration axis on its own: SMRP
+//!   with precomputed backup detours against SMRP with on-demand search,
+//!   swept over single-link, single-node and shared-risk-group failures
+//!   at each ambient-loss point. Exits non-zero unless the sweep is
+//!   healthy *and* activation strictly beats search at every loss point;
+//! * `--protect-smoke` — small CI protection sweep (n=18, 36 cases),
+//!   byte-identical for any `--jobs`;
+//! * `--search-ms X` — modelled on-demand detour-search delay charged to
+//!   the reactive arm of a protection sweep (default 25);
 //! * `--bench-multi` — multi-session benchmark sweep: the campaign at
 //!   M ∈ {1, 8, 32} concurrent sessions, each at 0% and at `--loss`
 //!   (default 10%) ambient loss, writing one artifact with aggregate
@@ -54,13 +64,18 @@ use std::process::ExitCode;
 
 use serde::Serialize;
 use smrp_experiments::results_dir;
-use smrp_faultlab::{run_campaign, CampaignConfig, CampaignReport, ProtoKind};
+use smrp_faultlab::{
+    run_campaign, run_protect, CampaignConfig, CampaignReport, ProtectConfig, ProtectReport,
+    ProtoKind,
+};
 
 struct Args {
     config: CampaignConfig,
+    protect_config: ProtectConfig,
     jobs: usize,
     bench: bool,
     bench_multi: bool,
+    protect: bool,
     dump_trace: Option<std::path::PathBuf>,
     out: std::path::PathBuf,
 }
@@ -75,13 +90,16 @@ struct Inflation {
 }
 
 /// The `--bench` artifact: the same campaign lossless and lossy, plus the
-/// latency inflation the ambient loss costs each protocol.
+/// latency inflation the ambient loss costs each protocol, plus the
+/// protection-vs-restoration sweep (precomputed activation against
+/// on-demand search over the same seeds).
 #[derive(Serialize)]
 struct BenchReport {
     ambient_loss: f64,
     latency_inflation: Vec<Inflation>,
     lossless: CampaignReport,
     lossy: CampaignReport,
+    protection: ProtectReport,
 }
 
 fn inflation(lossless: &CampaignReport, lossy: &CampaignReport) -> Vec<Inflation> {
@@ -231,9 +249,11 @@ fn parse_args() -> Result<Args, String> {
         scenarios: 1000,
         ..CampaignConfig::default()
     };
+    let mut protect_config = ProtectConfig::default();
     let mut jobs = std::thread::available_parallelism().map_or(1, usize::from);
     let mut bench = false;
     let mut bench_multi = false;
+    let mut protect = false;
     let mut dump_trace: Option<std::path::PathBuf> = None;
     let mut out: Option<std::path::PathBuf> = None;
 
@@ -259,6 +279,25 @@ fn parse_args() -> Result<Args, String> {
             "--bench" => {
                 bench = true;
             }
+            "--protect" => {
+                protect = true;
+            }
+            "--protect-smoke" => {
+                protect = true;
+                protect_config.nodes = 18;
+                protect_config.group_size = 10;
+                protect_config.scenarios_per_cell = 6;
+                protect_config.base_seed = 11;
+                protect_config.run_until_ms = 2000.0;
+            }
+            "--search-ms" => {
+                protect_config.search_ms = value("--search-ms")?
+                    .parse()
+                    .map_err(|e| format!("--search-ms: {e}"))?;
+                if !(protect_config.search_ms.is_finite() && protect_config.search_ms >= 0.0) {
+                    return Err("--search-ms expects a non-negative delay".into());
+                }
+            }
             "--dump-trace" => {
                 dump_trace = Some(value("--dump-trace")?.into());
             }
@@ -274,21 +313,27 @@ fn parse_args() -> Result<Args, String> {
                 if !(0.0..1.0).contains(&config.ambient_loss) {
                     return Err("--loss expects a probability in [0, 1)".into());
                 }
+                // The protection sweep always keeps the lossless baseline
+                // point; `--loss` moves its degraded point.
+                protect_config.loss_points = vec![0.0, config.ambient_loss];
             }
             "--scenarios" => {
                 config.scenarios = value("--scenarios")?
                     .parse()
                     .map_err(|e| format!("--scenarios: {e}"))?;
+                protect_config.scenarios_per_cell = config.scenarios;
             }
             "--nodes" => {
                 config.nodes = value("--nodes")?
                     .parse()
                     .map_err(|e| format!("--nodes: {e}"))?;
+                protect_config.nodes = config.nodes;
             }
             "--group" => {
                 config.group_size = value("--group")?
                     .parse()
                     .map_err(|e| format!("--group: {e}"))?;
+                protect_config.group_size = config.group_size;
             }
             "--groups" => {
                 config.groups = value("--groups")?
@@ -304,6 +349,7 @@ fn parse_args() -> Result<Args, String> {
                     .strip_prefix("0x")
                     .map_or_else(|| raw.parse(), |hex| u64::from_str_radix(hex, 16))
                     .map_err(|e| format!("--seed: {e}"))?;
+                protect_config.base_seed = config.base_seed;
             }
             "--jobs" => {
                 jobs = value("--jobs")?
@@ -318,15 +364,19 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         config,
+        protect_config,
         jobs,
         bench,
         bench_multi,
+        protect,
         dump_trace,
         out: out.unwrap_or_else(|| {
             results_dir().join(if bench_multi {
                 "faultlab-multisession.json"
             } else if bench {
                 "faultlab-bench.json"
+            } else if protect {
+                "faultlab-protect.json"
             } else {
                 "faultlab.json"
             })
@@ -374,6 +424,62 @@ fn report_failures(report: &CampaignReport, out: &std::path::Path) {
     }
 }
 
+/// Runs the protection-vs-restoration sweep and prints its synopsis.
+fn protect_report(args: &Args) -> Result<ProtectReport, ExitCode> {
+    let started = std::time::Instant::now();
+    let run = match run_protect(&args.protect_config, args.jobs) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("faultlab: protection sweep failed: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let report = ProtectReport::from_run(&run);
+    print!("{}", report.synopsis());
+    println!(
+        "  ({:.2}s on {} jobs)",
+        started.elapsed().as_secs_f64(),
+        args.jobs
+    );
+    Ok(report)
+}
+
+/// Gate shared by `--protect` and the bench's protection section: the
+/// sweep must be healthy *and* activation must strictly beat search at
+/// every loss point.
+fn protect_gate(report: &ProtectReport) -> bool {
+    if !report.is_healthy() {
+        eprintln!("faultlab: protection sweep is unhealthy");
+        return false;
+    }
+    if !report.protection_wins() {
+        eprintln!(
+            "faultlab: precomputed activation did not strictly beat on-demand \
+             search at every loss point"
+        );
+        return false;
+    }
+    true
+}
+
+/// The `--protect` path: the protection sweep alone, written as its own
+/// artifact.
+fn run_protect_cli(args: &Args) -> ExitCode {
+    let report = match protect_report(args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let json = report.to_json();
+    if let Err(code) = write_out(&args.out, json) {
+        return code;
+    }
+    if protect_gate(&report) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// The `--bench` path: the configured campaign lossless, then under
 /// ambient loss, reporting the latency inflation between them.
 fn run_bench(args: &Args) -> ExitCode {
@@ -408,11 +514,16 @@ fn run_bench(args: &Args) -> ExitCode {
     }
     let lossy = reports.pop().expect("two runs");
     let lossless = reports.pop().expect("two runs");
+    let protection = match protect_report(args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
     let bench = BenchReport {
         ambient_loss,
         latency_inflation: inflation(&lossless, &lossy),
         lossless,
         lossy,
+        protection,
     };
     for i in &bench.latency_inflation {
         println!(
@@ -420,11 +531,20 @@ fn run_bench(args: &Args) -> ExitCode {
             i.proto, i.lossless_mean_ms, i.lossy_mean_ms, i.factor
         );
     }
+    for lp in &bench.protection.loss_points {
+        println!(
+            "protection[loss={:.0}%]: activation p50={:.2}ms vs search p50={:.2}ms",
+            lp.loss * 100.0,
+            lp.protection_p50_ms,
+            lp.reactive_p50_ms,
+        );
+    }
     let json = serde_json::to_string_pretty(&bench).expect("bench report serializes");
     if let Err(code) = write_out(&args.out, json) {
         return code;
     }
-    let healthy = bench.lossless.is_healthy() && bench.lossy.is_healthy();
+    let healthy =
+        bench.lossless.is_healthy() && bench.lossy.is_healthy() && protect_gate(&bench.protection);
     if healthy {
         ExitCode::SUCCESS
     } else {
@@ -462,6 +582,9 @@ fn main() -> ExitCode {
     }
     if args.bench {
         return run_bench(&args);
+    }
+    if args.protect {
+        return run_protect_cli(&args);
     }
 
     let started = std::time::Instant::now();

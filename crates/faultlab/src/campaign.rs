@@ -26,7 +26,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use smrp_core::recovery::{self, DetourKind};
 use smrp_core::SmrpConfig;
-use smrp_metrics::ControlHealth;
+use smrp_metrics::{ControlHealth, ProtectionHealth};
 use smrp_net::waxman::WaxmanConfig;
 use smrp_net::{Graph, GroupId, NetError, NodeId};
 use smrp_proto::{
@@ -78,6 +78,14 @@ pub enum Outcome {
     /// Every affected member restored service, and every graft was a
     /// fragment-root local detour.
     RestoredLocalDetour,
+    /// Every affected member restored service, but at least one cached
+    /// plan was first discarded as stale (its path crossed a component
+    /// presumed dead) and recovery re-planned around it. Full restoration
+    /// after a discard is the protection plane working as designed — a
+    /// *Restored* class, not a failure — but it is reported separately
+    /// because the discard means the precomputed plan did not survive
+    /// contact with the actual failure.
+    RestoredAfterReplan,
     /// Every affected member restored service, but not through clean root
     /// grafts: cornered roots delegated to per-member recovery, the global
     /// strategy waited out reconvergence, or a transient repair healed the
@@ -97,9 +105,10 @@ pub enum Outcome {
 
 impl Outcome {
     /// Every outcome class, in report order.
-    pub const ALL: [Outcome; 6] = [
+    pub const ALL: [Outcome; 7] = [
         Outcome::Unaffected,
         Outcome::RestoredLocalDetour,
+        Outcome::RestoredAfterReplan,
         Outcome::FellBackGlobal,
         Outcome::SourcePartitioned,
         Outcome::DetectionMissed,
@@ -111,6 +120,7 @@ impl Outcome {
         match self {
             Outcome::Unaffected => "unaffected",
             Outcome::RestoredLocalDetour => "restored-local-detour",
+            Outcome::RestoredAfterReplan => "restored-after-replan",
             Outcome::FellBackGlobal => "fell-back-global",
             Outcome::SourcePartitioned => "source-partitioned",
             Outcome::DetectionMissed => "detection-missed",
@@ -241,6 +251,10 @@ pub struct GroupOutcome {
     /// per-group control overhead of sharing the substrate. All-zero when
     /// the case was short-circuited before simulation.
     pub control: ControlCounters,
+    /// Protection-plane counters of this group's lanes: plans held,
+    /// cached-plan activations, stale discards. All-zero for purely
+    /// reactive runs that never touched a plan cache.
+    pub protection: ProtectionHealth,
 }
 
 /// The evaluation of one case against one protocol — the aggregate over
@@ -266,6 +280,8 @@ pub struct ProtoOutcome {
     /// are per *link*, so they only exist at this aggregate level).
     /// All-zero for cases short-circuited before simulation.
     pub health: ControlHealth,
+    /// Protection-plane counters summed over groups.
+    pub protection: ProtectionHealth,
     /// Per-group slices, in group order.
     pub groups: Vec<GroupOutcome>,
 }
@@ -410,6 +426,14 @@ fn evaluate_proto(
         // Lanes of pre-decided groups still ran if any *other* group
         // forced a simulation; report their control spend honestly.
         let control = slice.map(|s| s.control).unwrap_or_default();
+        let mut protection = ProtectionHealth::default();
+        if let Some(s) = slice {
+            protection.absorb(
+                s.protection.plans_held,
+                s.protection.activations,
+                s.protection.stale_discards,
+            );
+        }
         if let Some(outcome) = p.fixed {
             groups.push(GroupOutcome {
                 group: g,
@@ -419,6 +443,7 @@ fn evaluate_proto(
                 latencies_ms: Vec::new(),
                 violations: p.violations.clone(),
                 control,
+                protection,
             });
             continue;
         }
@@ -431,7 +456,13 @@ fn evaluate_proto(
                 && plans.all_root_grafts()
                 && plans.unrecoverable.is_empty()
                 && !case.timing.heals();
-            if clean_local {
+            if protection.stale_discards > 0 {
+                // At least one cached plan was discarded as stale and the
+                // group still restored fully: the re-plan worked. The
+                // discard disqualifies "clean" either way, so this takes
+                // precedence over the local/global split.
+                Outcome::RestoredAfterReplan
+            } else if clean_local {
                 Outcome::RestoredLocalDetour
             } else {
                 Outcome::FellBackGlobal
@@ -464,6 +495,7 @@ fn evaluate_proto(
             latencies_ms,
             violations: Vec::new(),
             control,
+            protection,
         });
     }
 
@@ -485,6 +517,7 @@ fn evaluate_proto(
             .flat_map(|g| g.violations.iter().cloned())
             .collect(),
         health: report.map(|r| r.health).unwrap_or_default(),
+        protection: ProtectionHealth::merged(groups.iter().map(|g| &g.protection)),
         groups,
     }
 }

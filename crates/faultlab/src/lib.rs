@@ -32,7 +32,13 @@
 //!   reproducers (case seed + scenario JSON);
 //! * [`report`] — stable JSON campaign reports with per-family×protocol
 //!   outcome tables, restoration-latency distributions and control-plane
-//!   health summaries (loss, retransmissions, retry-budget exhaustions).
+//!   health summaries (loss, retransmissions, retry-budget exhaustions);
+//! * [`protect`] — the protection-vs-restoration axis: SMRP with
+//!   precomputed, locally-activated backup detours against SMRP with
+//!   on-demand detour search, swept over single-link, single-node and
+//!   shared-risk-group failures at multiple ambient-loss points, with
+//!   restoration-latency medians, control overhead and protection-plane
+//!   state/safety counters per mode.
 //!
 //! ```
 //! use smrp_faultlab::{run_campaign, CampaignConfig, CampaignReport};
@@ -51,6 +57,7 @@
 pub mod audit;
 pub mod campaign;
 pub mod generate;
+pub mod protect;
 pub mod report;
 pub mod trace;
 
@@ -62,6 +69,11 @@ pub use campaign::{
 pub use generate::{
     derive_srlgs, generate_case, generate_mix, shared_fate_srlgs, FaultCase, FaultFamily,
     GeneratorConfig, Timing,
+};
+pub use protect::{
+    evaluate_protect, run_protect, LossPointSummary, ModeOutcomeRow, ModeSummary, ProtectCase,
+    ProtectCaseResult, ProtectCell, ProtectConfig, ProtectEval, ProtectMode, ProtectReport,
+    ProtectRun, PROTECT_FAMILIES,
 };
 pub use report::{
     CampaignReport, CaseRow, FamilyLatency, GroupSummary, HealthSummary, LatencySummary,

@@ -8,7 +8,7 @@
 //! serialized form is byte-identical across machines and `--jobs` values.
 
 use serde::{Deserialize, Serialize};
-use smrp_metrics::{ControlHealth, Stats};
+use smrp_metrics::{ControlHealth, ProtectionHealth, Stats};
 use smrp_net::GroupId;
 
 use crate::audit::Violation;
@@ -26,6 +26,9 @@ pub struct OutcomeCounts {
     pub unaffected: u32,
     /// Cases fully restored through clean fragment-root local detours.
     pub restored_local_detour: u32,
+    /// Cases fully restored after at least one stale cached plan was
+    /// discarded and recovery re-planned around it.
+    pub restored_after_replan: u32,
     /// Cases fully restored some other way (global detour, per-member
     /// fallback, transient repair).
     pub fell_back_global: u32,
@@ -44,6 +47,7 @@ impl OutcomeCounts {
             proto,
             unaffected: 0,
             restored_local_detour: 0,
+            restored_after_replan: 0,
             fell_back_global: 0,
             source_partitioned: 0,
             detection_missed: 0,
@@ -55,6 +59,7 @@ impl OutcomeCounts {
         match outcome {
             Outcome::Unaffected => self.unaffected += 1,
             Outcome::RestoredLocalDetour => self.restored_local_detour += 1,
+            Outcome::RestoredAfterReplan => self.restored_after_replan += 1,
             Outcome::FellBackGlobal => self.fell_back_global += 1,
             Outcome::SourcePartitioned => self.source_partitioned += 1,
             Outcome::DetectionMissed => self.detection_missed += 1,
@@ -66,6 +71,7 @@ impl OutcomeCounts {
     pub fn total(&self) -> u32 {
         self.unaffected
             + self.restored_local_detour
+            + self.restored_after_replan
             + self.fell_back_global
             + self.source_partitioned
             + self.detection_missed
@@ -128,11 +134,18 @@ pub struct HealthSummary {
     pub proto: ProtoKind,
     /// Reliable-layer and channel counters summed over every case.
     pub health: ControlHealth,
-    /// Retry-budget exhaustions from cases *without* gray-link overrides.
-    /// Gray links drop enough that giving up on them is correct behavior;
-    /// exhaustion under ambient/uniform loss alone means the retry budget
-    /// is miscalibrated, so campaigns gate on this being zero.
+    /// Retry-budget exhaustions from cases *without* gray-link overrides,
+    /// excluding cases classified [`Outcome::RestoredAfterReplan`]. Gray
+    /// links drop enough that giving up on them is correct behavior, and a
+    /// stale-plan discard is *triggered by* a legitimate exhaustion (the
+    /// graft probed a component that really was dead) followed by a
+    /// successful re-plan; exhaustion under ambient/uniform loss alone
+    /// means the retry budget is miscalibrated, so campaigns gate on this
+    /// being zero.
     pub exhaustions_without_gray: u64,
+    /// Protection-plane counters summed over every case: plans held,
+    /// cached-plan activations and stale discards.
+    pub protection: ProtectionHealth,
 }
 
 /// Restoration-latency summary of one (family × protocol) cell, the table
@@ -168,6 +181,8 @@ pub struct GroupSummary {
     /// Cases this group restored through clean fragment-root local
     /// detours.
     pub restored_local_detour: u32,
+    /// Cases this group restored after discarding a stale cached plan.
+    pub restored_after_replan: u32,
     /// Cases this group restored some other way.
     pub fell_back_global: u32,
     /// Cases with members of this group no protocol could restore.
@@ -197,6 +212,7 @@ impl GroupSummary {
             proto,
             unaffected: 0,
             restored_local_detour: 0,
+            restored_after_replan: 0,
             fell_back_global: 0,
             source_partitioned: 0,
             detection_missed: 0,
@@ -213,6 +229,7 @@ impl GroupSummary {
         match outcome {
             Outcome::Unaffected => self.unaffected += 1,
             Outcome::RestoredLocalDetour => self.restored_local_detour += 1,
+            Outcome::RestoredAfterReplan => self.restored_after_replan += 1,
             Outcome::FellBackGlobal => self.fell_back_global += 1,
             Outcome::SourcePartitioned => self.source_partitioned += 1,
             Outcome::DetectionMissed => self.detection_missed += 1,
@@ -308,6 +325,7 @@ impl CampaignReport {
                 proto: p,
                 health: ControlHealth::default(),
                 exhaustions_without_gray: 0,
+                protection: ProtectionHealth::default(),
             })
             .collect();
         let groups_n = run.config.groups.max(1);
@@ -344,7 +362,13 @@ impl CampaignReport {
                     .expect("every (family, proto) sample exists")
                     .extend_from_slice(&o.latencies_ms);
                 health[pi].health.merge(&o.health);
-                if r.case.channel.overrides.is_empty() {
+                health[pi].protection.merge(&o.protection);
+                // Stale-plan discards are triggered by exhaustions that
+                // correctly gave up on a dead component; once the re-plan
+                // restored everyone, those exhaustions are evidence the
+                // safety property worked, not a calibration bug.
+                if r.case.channel.overrides.is_empty() && o.outcome != Outcome::RestoredAfterReplan
+                {
                     health[pi].exhaustions_without_gray += o.health.retry_exhaustions;
                 }
                 if !o.violations.is_empty() {
@@ -453,6 +477,7 @@ impl CampaignReport {
                         .map(|c| match o {
                             Outcome::Unaffected => c.unaffected,
                             Outcome::RestoredLocalDetour => c.restored_local_detour,
+                            Outcome::RestoredAfterReplan => c.restored_after_replan,
                             Outcome::FellBackGlobal => c.fell_back_global,
                             Outcome::SourcePartitioned => c.source_partitioned,
                             Outcome::DetectionMissed => c.detection_missed,
@@ -484,6 +509,19 @@ impl CampaignReport {
                 h.health.dup_drops,
                 h.health.retry_exhaustions,
                 h.exhaustions_without_gray,
+            );
+        }
+        for h in &self.health {
+            if h.protection.is_quiet() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  protection[{}]: plans-held={} activations={} stale-discards={}",
+                h.proto,
+                h.protection.plans_held,
+                h.protection.activations,
+                h.protection.stale_discards,
             );
         }
         if self.config.groups > 1 {
@@ -614,6 +652,7 @@ mod tests {
             // classes.
             let total = g.unaffected
                 + g.restored_local_detour
+                + g.restored_after_replan
                 + g.fell_back_global
                 + g.source_partitioned
                 + g.detection_missed

@@ -15,12 +15,15 @@
 //! * [`scatter`] — an ASCII scatter plot with the `y = x` reference line
 //!   used to render Figure 7;
 //! * [`csvout`] — a minimal CSV writer so every experiment leaves a
-//!   machine-readable artifact.
+//!   machine-readable artifact;
+//! * [`health`] / [`protection`] — control-plane and protection-plane
+//!   counter aggregates campaign reports roll up.
 
 pub mod ci;
 pub mod csvout;
 pub mod health;
 pub mod histogram;
+pub mod protection;
 pub mod relative;
 pub mod scatter;
 pub mod stats;
@@ -29,4 +32,5 @@ pub mod table;
 pub use ci::ConfidenceInterval;
 pub use health::ControlHealth;
 pub use histogram::Histogram;
+pub use protection::ProtectionHealth;
 pub use stats::Stats;

@@ -16,7 +16,9 @@
 //!   2-level transit-stub model ([`transit_stub`]) for the hierarchical
 //!   recovery architecture of §3.3.3,
 //! * persistent-failure scenarios ([`failure`]) that mask out links/nodes
-//!   without mutating the underlying graph.
+//!   without mutating the underlying graph,
+//! * batch backup-detour precomputation with incremental refresh
+//!   ([`backup`]), the network-layer half of proactive protection.
 //!
 //! All randomness is funneled through seeded [`rand::rngs::SmallRng`] values
 //! so every topology and experiment in this repository is reproducible.
@@ -36,6 +38,7 @@
 //! # }
 //! ```
 
+pub mod backup;
 pub mod dijkstra;
 pub mod failure;
 pub mod geometry;

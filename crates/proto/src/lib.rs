@@ -51,7 +51,7 @@ pub use membership::DynamicSession;
 pub use messages::{GroupMsg, GroupTimer, ProtoMsg, TimerKind};
 pub use multi::{GroupRecoveryReport, MultiRecoveryReport, MultiRouter, MultiSession};
 pub use reliable::{ReliabilityCounters, ReliableConfig};
-pub use router::{ControlCounters, RecoveryPlan, Router, RouterConfig};
+pub use router::{ControlCounters, ProtectionCounters, RecoveryPlan, Router, RouterConfig};
 pub use runner::{
     FailureTiming, InjectionTiming, OverheadReport, ProtoSession, RecoveryPlans, RecoveryReport,
     RecoveryStrategy, TreeProtocol,

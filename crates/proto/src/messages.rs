@@ -106,6 +106,19 @@ pub enum TimerKind {
     QueryTimeout,
     /// Global detour: unicast routing has reconverged; re-join now.
     ReconvergenceDone,
+    /// Protection mode: periodic sweep of the precomputed backup-plan
+    /// cache, re-checking every cached plan against the current validity
+    /// epoch and dead-neighbor set. Armed only while backup plans are
+    /// installed; cancelled and re-armed across reboots like every other
+    /// periodic chain.
+    PlanSweep,
+    /// Activation confirmation: fires shortly after a cached plan was
+    /// executed. If no data has arrived since the activation, the plan
+    /// failed *silently* — its graft cascade landed in a severed fragment
+    /// or hung at a dead relay whose retry exhaustion never feeds back —
+    /// and the fallback chain advances past it (when an alternative
+    /// exists).
+    PlanConfirm,
     /// Reliable layer: check whether `(to, seq)` is still unacked and, if
     /// so, retransmit with exponential backoff. A no-op when the entry was
     /// acked or abandoned in the meantime.

@@ -191,6 +191,10 @@ pub struct GroupRecoveryReport {
     /// Control messages this group's lanes sent, by type — the per-group
     /// overhead of sharing the substrate.
     pub control: ControlCounters,
+    /// Protection-plane counters of this group's lanes (plans held,
+    /// activations, stale discards). All-zero unless the run used
+    /// [`RecoveryStrategy::Protection`].
+    pub protection: crate::router::ProtectionCounters,
 }
 
 impl GroupRecoveryReport {
@@ -409,19 +413,38 @@ impl<'g> MultiSession<'g> {
             .hardened_for_loss(channel.default.loss);
         let mut procs = self.processes(config);
 
-        let (kind, wait) = match strategy {
-            RecoveryStrategy::LocalDetour => (DetourKind::Local, SimTime::ZERO),
-            RecoveryStrategy::GlobalDetour { reconvergence } => (DetourKind::Global, reconvergence),
-        };
-        for (gi, sess) in self.sessions.iter().enumerate() {
-            let group = GroupId::new(gi);
-            for rec in sess.plan_recoveries(scenario, kind).recoveries {
-                procs[rec.member().index()]
-                    .lane_mut(group)
-                    .install_recovery_plan(RecoveryPlan {
-                        path: rec.restoration_path().nodes().to_vec(),
-                        wait,
-                    });
+        if let RecoveryStrategy::Protection = strategy {
+            // Each group's precomputed plane goes into its own lanes —
+            // per-lane caches keep one group's stale-plan discards from
+            // touching another group's protection state.
+            for (gi, sess) in self.sessions.iter().enumerate() {
+                let group = GroupId::new(gi);
+                for (node, plans) in sess.protection_plans() {
+                    procs[node.index()]
+                        .lane_mut(group)
+                        .install_backup_plans(plans);
+                }
+            }
+        } else {
+            let (kind, wait) = match strategy {
+                RecoveryStrategy::LocalDetour => (DetourKind::Local, SimTime::ZERO),
+                RecoveryStrategy::ReactiveSearch { search } => (DetourKind::Local, search),
+                RecoveryStrategy::GlobalDetour { reconvergence } => {
+                    (DetourKind::Global, reconvergence)
+                }
+                RecoveryStrategy::Protection => unreachable!(),
+            };
+            for (gi, sess) in self.sessions.iter().enumerate() {
+                let group = GroupId::new(gi);
+                for rec in sess.plan_recoveries(scenario, kind).recoveries {
+                    procs[rec.member().index()]
+                        .lane_mut(group)
+                        .install_recovery_plan(RecoveryPlan {
+                            path: rec.restoration_path().nodes().to_vec(),
+                            wait,
+                            path_delay: SimTime::from_ms(rec.restoration_path().delay(self.graph)),
+                        });
+                }
             }
         }
 
@@ -485,6 +508,7 @@ impl<'g> MultiSession<'g> {
                 .collect();
             let mut reliability = ControlHealth::default();
             let mut control = ControlCounters::default();
+            let mut protection = crate::router::ProtectionCounters::default();
             for n in self.graph.node_ids() {
                 if let Some(lane) = sim.node(n).lane(group) {
                     let r = lane.reliability();
@@ -495,6 +519,7 @@ impl<'g> MultiSession<'g> {
                         r.acks_sent,
                     );
                     control.merge(&lane.control_sent());
+                    protection.merge(&lane.protection_counters());
                 }
             }
             groups.push(GroupRecoveryReport {
@@ -503,6 +528,7 @@ impl<'g> MultiSession<'g> {
                 unaffected,
                 reliability,
                 control,
+                protection,
             });
         }
 

@@ -99,6 +99,61 @@ pub struct RecoveryPlan {
     /// Delay before the plan can execute (zero for a local detour; the
     /// unicast reconvergence time for a global detour).
     pub wait: SimTime,
+    /// Estimated one-way propagation delay of `path`, as computed by the
+    /// planner. Pads the activation-confirmation window
+    /// ([`TimerKind::PlanConfirm`]): the graft cascade must traverse the
+    /// path hop-by-hop and the first data packets must travel back, so a
+    /// long detour legitimately needs longer before "no data yet" means
+    /// "the plan failed silently". `ZERO` is always safe — the window
+    /// never shrinks below twice the detection horizon.
+    pub path_delay: SimTime,
+}
+
+/// A [`RecoveryPlan`] in the router's plan cache, stamped with the
+/// topology epoch it was last validated at.
+///
+/// The cache is an ordered preference list: the first *valid* entry wins.
+/// Entries are never silently executed against a topology they were not
+/// validated for — activation requires `epoch == topology_epoch`, and the
+/// epoch is bumped (with eager revalidation against the dead-neighbor
+/// set) on every event that can stale a plan: a neighbor newly presumed
+/// dead, a neighbor heard again after being presumed dead, an upstream
+/// repoint, a reboot, and each protection maintenance sweep.
+///
+/// Invalidated entries stay cached rather than being dropped: deadness is
+/// an inference from retry exhaustion, and a neighbor declared dead by
+/// mistake un-deads itself the moment it is heard again, which restores
+/// the plan's validity. The `stale_discards` counter records each
+/// valid→invalid transition (the plan was abandoned as unusable).
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    plan: RecoveryPlan,
+    epoch: u64,
+    valid: bool,
+}
+
+/// Protection-plane accounting (plans held, activations, stale-plan
+/// discards). Serializable so campaign reports can record the state and
+/// activation overhead of protection mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ProtectionCounters {
+    /// Backup plans currently cached and valid (state overhead gauge).
+    pub plans_held: u64,
+    /// Cached plans executed (each graft initiated from the cache).
+    pub activations: u64,
+    /// Plans abandoned because their path crossed a neighbor presumed
+    /// dead — each counts one valid→invalid transition.
+    pub stale_discards: u64,
+}
+
+impl ProtectionCounters {
+    /// Accumulates `other` into `self`. `plans_held` is a gauge and sums
+    /// across routers (total standing state), like the counters.
+    pub fn merge(&mut self, other: &ProtectionCounters) {
+        self.plans_held += other.plans_held;
+        self.activations += other.activations;
+        self.stale_discards += other.stale_discards;
+    }
 }
 
 /// Downstream interface set in struct-of-arrays layout: the soft state
@@ -190,7 +245,33 @@ pub struct Router {
     /// upstream that cannot heartbeat us before the graft lands.
     pending_graft: Option<(NodeId, u64)>,
     last_data_heard: SimTime,
-    recovery_plan: Option<RecoveryPlan>,
+    /// Path of the most recently executed plan plus the count of
+    /// consecutive executions it has had with no data arriving in
+    /// between. An activated plan can fail *silently*: its graft cascade
+    /// may land on a branch a wider failure severed from the source, or
+    /// hang at a relay whose own exhaustion never feeds back here. The
+    /// starvation check uses this count to rotate past such a plan (see
+    /// [`Router::rotate_starved_plan`]); any data delivery clears it.
+    activated_path: Option<(Vec<NodeId>, u32)>,
+    /// Ordered preference list of recovery plans (see [`CachedPlan`]).
+    /// Reactive restoration installs a single plan; protection mode
+    /// installs a precomputed fallback chain via
+    /// [`Router::install_backup_plans`].
+    plan_cache: Vec<CachedPlan>,
+    /// Monotone counter of plan-staling events. Cached plans carry the
+    /// epoch they were last validated at; only current-epoch plans
+    /// execute.
+    topology_epoch: u64,
+    /// Neighbors presumed dead: fed by retry-budget exhaustion (the only
+    /// local evidence that a path into a second failure is hopeless),
+    /// cleared per neighbor the moment that neighbor is heard again, and
+    /// wholesale on reboot.
+    dead_neighbors: Vec<NodeId>,
+    /// Whether this router runs in protection mode (a backup-plan cache
+    /// was installed); gates the plan-sweep maintenance chain.
+    protection: bool,
+    activations: u64,
+    stale_discards: u64,
     recovering: bool,
     /// The upstream this router had when soft-state expiry pruned it off
     /// the tree. A graft that merges here while the router is off-tree
@@ -212,6 +293,7 @@ pub struct Router {
     upstream_check_token: Option<TimerToken>,
     starvation_token: Option<TimerToken>,
     data_token: Option<TimerToken>,
+    plan_sweep_token: Option<TimerToken>,
     control_sent: ControlCounters,
     reliable: ReliableEndpoint,
     /// Unicast routing state (installed from the routing protocol): next
@@ -284,7 +366,13 @@ impl Router {
             upstream_heard: true,
             pending_graft: None,
             last_data_heard: SimTime::ZERO,
-            recovery_plan: None,
+            activated_path: None,
+            plan_cache: Vec::new(),
+            topology_epoch: 0,
+            dead_neighbors: Vec::new(),
+            protection: false,
+            activations: 0,
+            stale_discards: 0,
             recovering: false,
             former_upstream: None,
             next_seq: 0,
@@ -296,6 +384,7 @@ impl Router {
             upstream_check_token: None,
             starvation_token: None,
             data_token: None,
+            plan_sweep_token: None,
             control_sent: ControlCounters::default(),
             reliable: ReliableEndpoint::default(),
             next_hop_to_source: None,
@@ -317,7 +406,14 @@ impl Router {
     pub fn load_state(&mut self, upstream: Option<NodeId>, downstream: &[NodeId], member: bool) {
         self.on_tree = true;
         self.upstream = upstream;
-        self.upstream_heard = true; // preloaded trees start in steady state.
+        // Preloaded state or not, no hello has actually crossed the link
+        // yet: the first one is sent a full hello interval after boot and
+        // needs a propagation delay on top. `upstream_heard` stays false
+        // so the upstream check pads its deadline with that one-way delay
+        // (see the cold-start rule in the `UpstreamCheck` handler) —
+        // otherwise every long link in the topology boots straight into a
+        // false failure detection.
+        self.upstream_heard = false;
         self.downstream = DownstreamSet::default();
         for &d in downstream {
             self.downstream.refresh(d, self.config.holdtime);
@@ -325,9 +421,114 @@ impl Router {
         self.is_member = member;
     }
 
-    /// Installs the action to take when the upstream dies.
+    /// Installs the action to take when the upstream dies, replacing any
+    /// cached plans.
     pub fn install_recovery_plan(&mut self, plan: RecoveryPlan) {
-        self.recovery_plan = Some(plan);
+        self.plan_cache = vec![CachedPlan {
+            plan,
+            epoch: self.topology_epoch,
+            valid: true,
+        }];
+    }
+
+    /// Installs a precomputed backup-plan fallback chain (protection
+    /// mode): the first valid plan activates on failure detection without
+    /// any on-demand search; later entries are progressively less
+    /// conservative fallbacks. Enables the plan-sweep maintenance chain
+    /// the next time timers are (re)armed.
+    pub fn install_backup_plans(&mut self, plans: Vec<RecoveryPlan>) {
+        self.protection = true;
+        self.plan_cache = plans
+            .into_iter()
+            .map(|plan| CachedPlan {
+                plan,
+                epoch: self.topology_epoch,
+                valid: true,
+            })
+            .collect();
+    }
+
+    /// Whether this router runs in protection mode.
+    pub fn protection_enabled(&self) -> bool {
+        self.protection
+    }
+
+    /// Protection-plane accounting: plans currently held (valid cache
+    /// entries, the standing state overhead of protection mode — reactive
+    /// routers report zero even while a scenario-installed plan is
+    /// cached), cached-plan activations, and stale-plan discards. The
+    /// latter two count in every mode: reactive recovery flows through the
+    /// same cache and staleness machinery.
+    pub fn protection_counters(&self) -> ProtectionCounters {
+        let held = if self.protection {
+            self.plan_cache.iter().filter(|cp| cp.valid).count() as u64
+        } else {
+            0
+        };
+        ProtectionCounters {
+            plans_held: held,
+            activations: self.activations,
+            stale_discards: self.stale_discards,
+        }
+    }
+
+    /// Bumps the topology epoch and eagerly revalidates every cached plan
+    /// against the dead-neighbor set. This is the single choke point for
+    /// plan invalidation: after it returns, every cache entry is stamped
+    /// with the current epoch and its `valid` bit reflects whether its
+    /// path crosses a neighbor presumed dead. Each valid→invalid
+    /// transition counts one stale-plan discard.
+    fn bump_epoch_and_revalidate(&mut self) {
+        self.topology_epoch += 1;
+        let dead = &self.dead_neighbors;
+        for cp in &mut self.plan_cache {
+            let viable = !cp.plan.path.iter().any(|n| dead.contains(n));
+            if cp.valid && !viable {
+                self.stale_discards += 1;
+            }
+            cp.valid = viable;
+            cp.epoch = self.topology_epoch;
+        }
+    }
+
+    /// Records `node` as presumed dead (retry budget toward it ran out)
+    /// and invalidates cached plans crossing it.
+    fn note_neighbor_dead(&mut self, node: NodeId) {
+        if self.dead_neighbors.contains(&node) {
+            return;
+        }
+        self.dead_neighbors.push(node);
+        self.bump_epoch_and_revalidate();
+    }
+
+    /// Clears a mistaken death verdict: any message from `node` proves it
+    /// reachable again, which restores the validity of plans through it.
+    /// If that un-blocks a recovery that had stalled with every plan
+    /// discarded, retry immediately — the starvation re-push is gated off
+    /// while `recovering` is latched, so this is the only path back.
+    fn neighbor_heard(&mut self, ctx: &mut Ctx<'_, Self>, node: NodeId) {
+        if let Some(i) = self.dead_neighbors.iter().position(|&n| n == node) {
+            self.dead_neighbors.swap_remove(i);
+            self.bump_epoch_and_revalidate();
+            if self.recovering && self.on_tree && self.has_viable_plan() {
+                self.recovering = false;
+                self.detect_upstream_failure(ctx);
+            }
+        }
+    }
+
+    /// First cached plan that is valid *and* validated at the current
+    /// topology epoch — the only plans allowed to execute.
+    fn first_viable_plan(&self) -> Option<&RecoveryPlan> {
+        self.plan_cache
+            .iter()
+            .find(|cp| cp.valid && cp.epoch == self.topology_epoch)
+            .map(|cp| &cp.plan)
+    }
+
+    /// Whether any cached plan could currently execute.
+    fn has_viable_plan(&self) -> bool {
+        self.first_viable_plan().is_some()
     }
 
     /// Whether this router currently has tree state.
@@ -452,6 +653,7 @@ impl Router {
     pub fn start_timers(&mut self, ctx: &mut Ctx<'_, Self>) {
         self.last_upstream_heard = ctx.now();
         self.last_data_heard = ctx.now();
+        self.activated_path = None;
         self.ensure_periodic_timers(ctx);
         self.ensure_upstream_check(ctx);
         if self.is_member && !self.is_source && self.starvation_token.is_none() {
@@ -460,6 +662,9 @@ impl Router {
         }
         if self.is_source && self.data_token.is_none() {
             self.data_token = Some(ctx.set_timer(self.config.data_interval, TimerKind::DataTick));
+        }
+        if self.protection && !self.plan_cache.is_empty() && self.plan_sweep_token.is_none() {
+            self.plan_sweep_token = Some(ctx.set_timer(self.config.holdtime, TimerKind::PlanSweep));
         }
     }
 
@@ -493,6 +698,7 @@ impl Router {
             self.upstream_check_token.take(),
             self.starvation_token.take(),
             self.data_token.take(),
+            self.plan_sweep_token.take(),
         ]
         .into_iter()
         .flatten()
@@ -557,6 +763,14 @@ impl Router {
             // recovering from: re-enable failure detection on the new
             // upstream instead of staying latched on the dead one.
             self.recovering = false;
+            // A repoint is a tree event that can stale cached plans (a
+            // protection plan's contingency was built for the previous
+            // upstream). Bump the epoch so no plan executes without
+            // passing revalidation first — the revalidation is eager, so
+            // plans that remain safe (including the one whose graft
+            // caused this repoint) stay executable for starvation
+            // re-pushes.
+            self.bump_epoch_and_revalidate();
         }
     }
 
@@ -621,13 +835,13 @@ impl Router {
                 ctx.cancel_timer(token);
             }
         }
-        let Some(plan) = self.recovery_plan.clone() else {
+        let Some(wait) = self.first_viable_plan().map(|p| p.wait) else {
             return; // nothing can be done (modelled as unrecoverable).
         };
-        if plan.wait == SimTime::ZERO {
+        if wait == SimTime::ZERO {
             self.execute_recovery(ctx);
         } else {
-            ctx.set_timer(plan.wait, TimerKind::ReconvergenceDone);
+            ctx.set_timer(wait, TimerKind::ReconvergenceDone);
         }
     }
 
@@ -639,14 +853,84 @@ impl Router {
         // can resurrect. Keeping the plan lets the starvation check
         // re-execute it for as long as the member keeps starving; the
         // reliable layer's dedup makes repeated grafts idempotent.
-        let Some(plan) = self.recovery_plan.clone() else {
+        //
+        // The cache lookup enforces the protection-plane safety property:
+        // only a plan validated at the current topology epoch (and
+        // crossing no neighbor presumed dead) may execute. A plan that
+        // went stale between detection and execution — a second failure
+        // killed the planned detour while a reconvergence timer was
+        // pending, say — is skipped here rather than grafted into the
+        // dead topology.
+        let Some(plan) = self.first_viable_plan().cloned() else {
             return;
         };
+        debug_assert!(
+            !plan.path.iter().any(|n| self.dead_neighbors.contains(n)),
+            "a plan through a presumed-dead neighbor must never execute"
+        );
         if plan.path.len() < 2 {
             return;
         }
+        self.activations += 1;
+        match &mut self.activated_path {
+            Some((path, pushes)) if *path == plan.path => *pushes += 1,
+            slot => *slot = Some((plan.path.clone(), 1)),
+        }
         self.initiate_setup(ctx, plan.path, self.is_member);
         self.recovering = false;
+        // Activation is confirmed by data actually arriving. A graft can
+        // succeed hop-by-hop yet restore nothing — the target may sit in
+        // a fragment a wider failure severed from the source, or a relay
+        // deep in the path may be dead, its retry exhaustion feeding back
+        // only to its own cache, never to this node's. The confirm timer
+        // is how such silent failures advance the fallback chain instead
+        // of churning forever (see [`TimerKind::PlanConfirm`]). Twice the
+        // detection horizon leaves room for the cascade to complete and
+        // the first data packets to travel back; twice the plan's own
+        // path delay on top covers long detours, whose cascade + data
+        // round trip is dominated by propagation, not by timer grain.
+        let confirm = SimTime::from_ms(
+            2.0 * self.config.hello_interval.as_ms() * self.config.miss_limit as f64
+                + 2.0 * plan.path_delay.as_ms(),
+        );
+        ctx.set_timer(confirm, TimerKind::PlanConfirm);
+    }
+
+    /// Removes the cached plan with `path` — presumed to have failed
+    /// silently — provided a *different* viable plan exists to advance
+    /// to. A lone plan is kept and re-pushed instead: discarding it would
+    /// turn a lossy stall into a permanent outage, and for single-plan
+    /// (reactive) caches the starvation re-push is the recovery path.
+    /// Returns whether a discard happened.
+    fn discard_silent_plan(&mut self, path: &[NodeId]) -> bool {
+        let has_alternative = self
+            .plan_cache
+            .iter()
+            .any(|cp| cp.valid && cp.epoch == self.topology_epoch && cp.plan.path != path);
+        if !has_alternative {
+            return false;
+        }
+        self.plan_cache.retain(|cp| cp.plan.path != path);
+        self.stale_discards += 1;
+        self.activated_path = None;
+        true
+    }
+
+    /// Starvation-side rotation: once the same path has been pushed twice
+    /// with no data heard in between (the first re-push is kept — under a
+    /// lossy channel a stalled cascade usually completes on the second
+    /// push), the plan is presumed silently useless and the chain
+    /// advances. The safety net behind [`TimerKind::PlanConfirm`] for
+    /// members whose confirm windows raced a slow cascade.
+    fn rotate_starved_plan(&mut self) {
+        let Some((path, pushes)) = &self.activated_path else {
+            return;
+        };
+        if *pushes < 2 {
+            return;
+        }
+        let path = path.clone();
+        self.discard_silent_plan(&path);
     }
 }
 
@@ -665,6 +949,12 @@ impl NodeBehavior for Router {
         // reboot must not mistake its own outage window for an upstream
         // failure.
         self.cancel_periodic_timers(ctx);
+        // Death verdicts predate the outage and may be obsolete (the
+        // repair that brought this node back can have brought others
+        // back too). Forget them and revalidate the plan cache; real
+        // deadness re-learns itself through retry exhaustion.
+        self.dead_neighbors.clear();
+        self.bump_epoch_and_revalidate();
         if self.on_tree || self.is_source {
             self.start_timers(ctx);
         }
@@ -695,6 +985,9 @@ impl NodeBehavior for Router {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, from: NodeId, msg: ProtoMsg) {
+        // Hearing anything from a neighbor disproves its presumed death
+        // and restores the validity of cached plans through it.
+        self.neighbor_heard(ctx, from);
         match msg {
             ProtoMsg::Ack { seq } => {
                 // An ack from the upstream proves it is alive, so it feeds
@@ -757,6 +1050,29 @@ impl Router {
                 debug_assert_eq!(path.get(idx), Some(&ctx.me()));
                 self.install_downstream(ctx, from);
                 if idx + 1 < path.len() {
+                    // A relay that is *live* on the tree — data flowed
+                    // through it within the failure-detection horizon —
+                    // terminates the cascade here, PIM-merge style: the
+                    // graft's downstream leg was installed above, and the
+                    // relay keeps its own (working) upstream. Repointing a
+                    // live relay is how a scenario-blind protection plan
+                    // corrupts the tree: the plan's path was computed
+                    // against a hypothetical contingency, and when several
+                    // fragment roots activate simultaneously, their
+                    // cascades can repoint relays on each other's feed
+                    // paths into a cycle no soft-state refresh dissolves.
+                    // A merge at the first live relay is always at least
+                    // as good as the planned attach point.
+                    let horizon = SimTime::from_ms(
+                        self.config.hello_interval.as_ms() * self.config.miss_limit as f64,
+                    );
+                    let live = self.is_source
+                        || (self.on_tree
+                            && !self.recovering
+                            && ctx.now() - self.last_data_heard <= horizon);
+                    if live {
+                        return;
+                    }
                     // Interior hop of an explicit (source-routed) setup:
                     // (re)orient the upstream along the path and forward.
                     // Join paths never cross on-tree interiors (the
@@ -794,6 +1110,9 @@ impl Router {
                     return; // only accept data from the upstream interface.
                 }
                 self.last_data_heard = ctx.now();
+                // Service is flowing again: whatever plan got us here is
+                // vindicated, so the silent-failure rotation count resets.
+                self.activated_path = None;
                 if self.is_member {
                     self.deliveries.push(Delivery {
                         time: ctx.now(),
@@ -904,8 +1223,23 @@ impl Router {
             TimerKind::UpstreamCheck => {
                 if let Some(up) = self.upstream.filter(|_| self.on_tree && !self.recovering) {
                     let silence = ctx.now() - self.last_upstream_heard;
+                    // Cold-start rule: until the upstream has been heard
+                    // at least once, the silence clock includes the time
+                    // its very first hello legitimately spends in flight —
+                    // one propagation delay of the shared link (a local
+                    // link property, the moral equivalent of a configured
+                    // BFD interval). Established neighbors keep the plain
+                    // miss-limit rule: steady-state hello *inter-arrival*
+                    // equals the hello interval no matter how long the
+                    // link is.
+                    let cold_start = if self.upstream_heard {
+                        0.0
+                    } else {
+                        ctx.graph().delay_between(ctx.me(), up).unwrap_or(0.0)
+                    };
                     let deadline = SimTime::from_ms(
-                        self.config.hello_interval.as_ms() * self.config.miss_limit as f64,
+                        self.config.hello_interval.as_ms() * self.config.miss_limit as f64
+                            + cold_start,
                     );
                     // An upstream that has never helloed us is still
                     // mid-handshake: it only starts heartbeating once the
@@ -1008,10 +1342,23 @@ impl Router {
                 }
             }
             TimerKind::StarvationCheck => {
+                // While this node's own graft envelope is still unacked,
+                // re-detecting would abandon it (`detect_upstream_failure`
+                // reclaims the upstream's reliable lanes) and replace it
+                // with a fresh copy every starvation period — so the retry
+                // budget would never run out and a graft aimed at a dead
+                // detour would loop forever instead of exhausting and
+                // invalidating the plan. The in-flight envelope already
+                // retransmits on its own backoff; let its budget deliver
+                // the reachability verdict.
+                let graft_in_flight = self
+                    .pending_graft
+                    .is_some_and(|(to, seq)| self.reliable.is_pending(to, seq));
                 if self.is_member
                     && self.on_tree
                     && !self.recovering
-                    && self.recovery_plan.is_some()
+                    && !graft_in_flight
+                    && self.has_viable_plan()
                     && ctx.now() - self.last_data_heard > self.config.starvation_limit
                 {
                     // The stream died but this node's own upstream is alive:
@@ -1021,7 +1368,10 @@ impl Router {
                     // plan survives execution, so this also re-pushes a
                     // graft whose cascade stalled on a lossy channel — the
                     // member retries every starvation period until data
-                    // actually flows.
+                    // actually flows. A plan that keeps being re-pushed
+                    // without ever yielding data is presumed silently
+                    // useless and rotated out of the fallback chain first.
+                    self.rotate_starved_plan();
                     self.detect_upstream_failure(ctx);
                 }
                 self.starvation_token = if self.is_member {
@@ -1057,6 +1407,21 @@ impl Router {
             TimerKind::ReconvergenceDone => {
                 self.execute_recovery(ctx);
             }
+            TimerKind::PlanConfirm => {
+                // Data arrival clears `activated_path`, so a surviving
+                // entry means the activation it timed is still
+                // unconfirmed: the plan failed silently. Advance the
+                // chain if it has anywhere to advance to, and execute
+                // the successor immediately — restoration speed is the
+                // whole point of a precomputed fallback chain.
+                let Some((path, _)) = self.activated_path.clone() else {
+                    return;
+                };
+                if self.discard_silent_plan(&path) {
+                    self.recovering = false;
+                    self.detect_upstream_failure(ctx);
+                }
+            }
             TimerKind::Retransmit { to, seq } => {
                 let rto = self.rto_for(ctx, to);
                 match self
@@ -1078,10 +1443,49 @@ impl Router {
                         let token = ctx.set_timer(delay, TimerKind::Retransmit { to, seq });
                         self.reliable.set_retransmit_token(to, seq, token);
                     }
-                    // Exhaustion is already counted by the endpoint and
-                    // surfaced through health reporting; acked/abandoned
-                    // entries need nothing.
-                    RetransmitAction::Exhausted | RetransmitAction::Done => {}
+                    RetransmitAction::Exhausted => {
+                        // The retry budget toward `to` ran out: as far as
+                        // this router can tell, `to` is gone. Record the
+                        // verdict and invalidate every cached plan whose
+                        // path crosses it — the stale-plan fix: a plan
+                        // computed before a second failure must be
+                        // discarded, not re-grafted into the dead
+                        // topology by the next starvation check. (The
+                        // exhaustion itself is already counted by the
+                        // endpoint and surfaced through health
+                        // reporting.)
+                        self.note_neighbor_dead(to);
+                        if self.pending_graft.is_some_and(|(p, s)| p == to && s == seq) {
+                            self.pending_graft = None;
+                        }
+                        // If the dead neighbor is the upstream this
+                        // router was grafting toward, the recovery
+                        // attempt failed: fall back to the next viable
+                        // cached plan (protection fallback chain), or
+                        // stay latched in `recovering` with no plan —
+                        // which also stops the starvation re-push loop.
+                        if self.upstream == Some(to) && self.on_tree {
+                            self.recovering = false;
+                            self.detect_upstream_failure(ctx);
+                        }
+                    }
+                    // Acked/abandoned entries need nothing.
+                    RetransmitAction::Done => {}
+                }
+            }
+            TimerKind::PlanSweep => {
+                // Protection maintenance: re-stamp the cache against the
+                // current dead-neighbor set so a plan staled between
+                // failures is caught even while no activation is in
+                // flight. The chain re-arms only while protection mode
+                // holds plans, and its token lives in
+                // `cancel_periodic_timers` like every other chain.
+                if self.protection && !self.plan_cache.is_empty() {
+                    self.bump_epoch_and_revalidate();
+                    self.plan_sweep_token =
+                        Some(ctx.set_timer(self.config.holdtime, TimerKind::PlanSweep));
+                } else {
+                    self.plan_sweep_token = None;
                 }
             }
         }
@@ -1183,6 +1587,7 @@ mod tests {
         routers[m.index()].install_recovery_plan(RecoveryPlan {
             path: vec![m, x, s],
             wait: SimTime::ZERO,
+            path_delay: SimTime::ZERO,
         });
         let mut sim = NetSim::new(&g, routers);
         for &n in &ids {
@@ -1221,6 +1626,7 @@ mod tests {
         routers[m.index()].install_recovery_plan(RecoveryPlan {
             path: vec![m, x, s],
             wait: reconvergence,
+            path_delay: SimTime::ZERO,
         });
         let mut sim = NetSim::new(&g, routers);
         for &n in &ids {
@@ -1339,6 +1745,167 @@ mod tests {
                 .is_some(),
             "data must flow once the graft lands"
         );
+    }
+
+    /// Square S-R-M-X plus a second detour M-Y-S, for two-failure tests.
+    fn pentagon() -> (Graph, [NodeId; 5]) {
+        let mut g = Graph::with_nodes(5);
+        let ids: Vec<_> = g.node_ids().collect();
+        let [s, r, m, x, y] = [ids[0], ids[1], ids[2], ids[3], ids[4]];
+        g.add_link(s, r, 1.0).unwrap();
+        g.add_link(r, m, 1.0).unwrap();
+        g.add_link(m, x, 1.0).unwrap();
+        g.add_link(x, s, 1.0).unwrap();
+        g.add_link(m, y, 1.0).unwrap();
+        g.add_link(y, s, 1.0).unwrap();
+        (g, [s, r, m, x, y])
+    }
+
+    fn loaded_pentagon(g: &Graph, nodes: &[NodeId; 5]) -> Vec<Router> {
+        let [s, r, m, _, _] = *nodes;
+        let mut routers: Vec<Router> = (0..5).map(|_| Router::new(config())).collect();
+        routers[s.index()].set_source();
+        routers[s.index()].load_state(None, &[r], false);
+        routers[r.index()].load_state(Some(s), &[m], false);
+        routers[m.index()].load_state(Some(r), &[], true);
+        let _ = g;
+        routers
+    }
+
+    #[test]
+    fn stale_plan_is_discarded_after_second_failure() {
+        // Two-failure regression (reactive mode): M's plan routes through
+        // X with a reconvergence wait; X dies before the plan fires. The
+        // plan must be discarded once the graft's retry budget proves X
+        // dead — not re-executed against the dead topology by every
+        // starvation check forever.
+        let (g, nodes) = pentagon();
+        let [s, r, m, x, _] = nodes;
+        let mut routers = loaded_pentagon(&g, &nodes);
+        routers[m.index()].install_recovery_plan(RecoveryPlan {
+            path: vec![m, x, s],
+            wait: SimTime::from_ms(500.0),
+            path_delay: SimTime::ZERO,
+        });
+        let mut sim = NetSim::new(&g, routers);
+        for &n in &nodes {
+            sim.with_node(n, |rt, ctx| rt.start_timers(ctx));
+        }
+        sim.run_until(SimTime::from_ms(60.0));
+        let fail_at = sim.now();
+        sim.fail_node_now(r);
+        // The planned detour dies before the reconvergence timer fires.
+        sim.schedule_node_failure(SimTime::from_ms(100.0), x);
+        sim.run_until(SimTime::from_ms(4000.0));
+        let setups_then = sim.node(m).control_sent().setups;
+        sim.run_until(SimTime::from_ms(8000.0));
+        let member = sim.node(m);
+        // Both paths to S are gone: nothing can restore service — but the
+        // stale plan must not keep grafting into dead X either.
+        assert!(member
+            .first_delivery_after(fail_at + SimTime::from_ms(1.0))
+            .is_none());
+        assert!(member.is_recovering(), "stays latched with no viable plan");
+        assert_eq!(
+            member.control_sent().setups,
+            setups_then,
+            "grafts into the dead detour must stop once the plan is discarded"
+        );
+        assert_eq!(member.protection_counters().stale_discards, 1);
+    }
+
+    #[test]
+    fn protection_fallback_restores_after_second_failure() {
+        // Two-failure regression (protection mode): M holds a precomputed
+        // fallback chain [via X, via Y]. X dies before R does, so the
+        // primary plan is stale at activation time; the graft toward X
+        // exhausts, X is marked dead, the primary is discarded and the
+        // fallback through Y restores service.
+        let (g, nodes) = pentagon();
+        let [s, r, m, x, y] = nodes;
+        let mut routers = loaded_pentagon(&g, &nodes);
+        routers[m.index()].install_backup_plans(vec![
+            RecoveryPlan {
+                path: vec![m, x, s],
+                wait: SimTime::ZERO,
+                path_delay: SimTime::ZERO,
+            },
+            RecoveryPlan {
+                path: vec![m, y, s],
+                wait: SimTime::ZERO,
+                path_delay: SimTime::ZERO,
+            },
+        ]);
+        let mut sim = NetSim::new(&g, routers);
+        for &n in &nodes {
+            sim.with_node(n, |rt, ctx| rt.start_timers(ctx));
+        }
+        sim.run_until(SimTime::from_ms(40.0));
+        sim.fail_node_now(x); // second-failure-to-be, before detection
+        sim.run_until(SimTime::from_ms(60.0));
+        let fail_at = sim.now();
+        sim.fail_node_now(r);
+        sim.run_until(SimTime::from_ms(4000.0));
+        let member = sim.node(m);
+        let resumed = member
+            .first_delivery_after(fail_at + SimTime::from_ms(1.0))
+            .expect("the fallback plan must restore service");
+        assert_eq!(member.upstream(), Some(y));
+        let counters = member.protection_counters();
+        assert_eq!(counters.stale_discards, 1, "the plan through X staled");
+        assert!(counters.activations >= 2, "primary then fallback executed");
+        assert_eq!(counters.plans_held, 1, "only the plan through Y survives");
+        // Restoration = detection (~30 ms) + retry budget toward X
+        // (~1.1 s) + graft through Y.
+        let latency = (resumed.time - fail_at).as_ms();
+        assert!(latency < 2000.0, "latency {latency}ms");
+    }
+
+    #[test]
+    fn mistaken_death_verdict_clears_on_contact() {
+        // A neighbor marked dead by retry exhaustion comes back (the
+        // failure was transient): hearing from it must clear the verdict
+        // and restore the cached plan, and the starvation re-push must
+        // then restore service through it.
+        let (g, nodes) = pentagon();
+        let [s, r, m, x, _] = nodes;
+        let mut routers = loaded_pentagon(&g, &nodes);
+        routers[m.index()].install_recovery_plan(RecoveryPlan {
+            path: vec![m, x, s],
+            wait: SimTime::ZERO,
+            path_delay: SimTime::ZERO,
+        });
+        let mut sim = NetSim::new(&g, routers);
+        for &n in &nodes {
+            sim.with_node(n, |rt, ctx| rt.start_timers(ctx));
+        }
+        sim.run_until(SimTime::from_ms(40.0));
+        sim.fail_node_now(x);
+        sim.run_until(SimTime::from_ms(60.0));
+        let fail_at = sim.now();
+        sim.fail_node_now(r);
+        // X repairs well after the graft toward it has exhausted its
+        // retry budget and the plan has been discarded.
+        sim.schedule_node_repair(SimTime::from_ms(4000.0), x);
+        sim.run_until(SimTime::from_ms(3900.0));
+        assert_eq!(sim.node(m).protection_counters().stale_discards, 1);
+        assert!(sim
+            .node(m)
+            .first_delivery_after(fail_at + SimTime::from_ms(1.0))
+            .is_none());
+        // The repaired X announces itself to its former peer (an off-tree
+        // node arms no timers, so the contact is injected explicitly).
+        sim.run_until(SimTime::from_ms(4500.0));
+        sim.with_node(x, |_, ctx| ctx.send(m, ProtoMsg::Hello));
+        sim.run_until(SimTime::from_ms(10_000.0));
+        let member = sim.node(m);
+        assert!(
+            member
+                .first_delivery_after(SimTime::from_ms(4000.0))
+                .is_some(),
+            "service must restore through the repaired detour"
+        );
+        assert_eq!(member.upstream(), Some(x));
     }
 
     #[test]

@@ -12,7 +12,8 @@
 use smrp_core::recovery::{self, DetourKind, Recovery};
 use smrp_core::{MulticastTree, SmrpConfig, SmrpError, SmrpSession, SpfSession};
 use smrp_metrics::ControlHealth;
-use smrp_net::{FailureScenario, Graph, NodeId};
+use smrp_net::backup::{BackupPlanner, DetourRequest};
+use smrp_net::{FailureScenario, Graph, LinkId, NodeId};
 use smrp_sim::{ChannelModel, ChannelSpec, NetSim, SimTime, TimerBackend, TraceLog};
 
 use crate::router::{RecoveryPlan, Router, RouterConfig};
@@ -32,12 +33,31 @@ pub enum RecoveryStrategy {
     /// SMRP: graft to the nearest connected on-tree node immediately after
     /// detection.
     LocalDetour,
+    /// SMRP with the on-demand restoration search made explicit: after
+    /// detection, the fragment root spends `search` locating a detour
+    /// (modelling the §3.3.1 query round against the surviving tree)
+    /// before the graft fires. [`LocalDetour`](Self::LocalDetour) treats
+    /// that search as free; this variant is the honest reactive baseline
+    /// that protection mode is measured against.
+    ReactiveSearch {
+        /// Modelled on-demand detour-search delay between detection and
+        /// graft initiation.
+        search: SimTime,
+    },
     /// Baseline: wait for unicast reconvergence, then re-join along the new
     /// shortest path.
     GlobalDetour {
         /// Modelled unicast (OSPF) reconvergence delay.
         reconvergence: SimTime,
     },
+    /// Proactive protection: every on-tree node precomputes backup detours
+    /// against its own upstream contingencies *before* any failure (see
+    /// [`ProtoSession::protection_plans`]) and keeps them cached;
+    /// restoration is local plan activation with no search delay. Plans
+    /// are computed without knowledge of the scenario actually injected —
+    /// the fidelity point that separates protection from the
+    /// scenario-aware plan installation of the reactive strategies.
+    Protection,
 }
 
 /// When a failure is injected and (optionally) repaired during a run.
@@ -173,6 +193,10 @@ pub struct RecoveryReport {
     /// routers plus what the degraded channel did. All-zero for lossless
     /// runs.
     pub health: ControlHealth,
+    /// Protection-plane counters aggregated across all routers: plans
+    /// held, local activations, stale-plan discards. All-zero unless the
+    /// run used [`RecoveryStrategy::Protection`].
+    pub protection: crate::router::ProtectionCounters,
 }
 
 impl RecoveryReport {
@@ -248,6 +272,7 @@ pub struct ProtoSession<'g> {
     tree: MulticastTree,
     router_config: RouterConfig,
     timer_backend: TimerBackend,
+    srlgs: Vec<Vec<LinkId>>,
 }
 
 impl<'g> ProtoSession<'g> {
@@ -284,12 +309,21 @@ impl<'g> ProtoSession<'g> {
             tree,
             router_config: RouterConfig::default(),
             timer_backend: TimerBackend::default(),
+            srlgs: Vec::new(),
         })
     }
 
     /// Overrides the protocol timing parameters.
     pub fn set_router_config(&mut self, config: RouterConfig) {
         self.router_config = config;
+    }
+
+    /// Declares the shared-risk link groups protection plans must respect:
+    /// a node whose upstream link belongs to an SRLG assumes the *whole
+    /// group* fails together when precomputing its primary backup detour.
+    /// Has no effect on the reactive strategies.
+    pub fn set_srlgs(&mut self, srlgs: Vec<Vec<LinkId>>) {
+        self.srlgs = srlgs;
     }
 
     /// Selects the engine timer backend for this session's runs. Defaults
@@ -468,6 +502,132 @@ impl<'g> ProtoSession<'g> {
         plans
     }
 
+    /// Precomputes the protection plane: for every on-tree node with an
+    /// upstream, a fallback chain of backup detours computed against that
+    /// node's *hypothetical* upstream contingencies — no knowledge of any
+    /// actual failure is used.
+    ///
+    /// Contingencies per node `v` with upstream `u`, most conservative
+    /// first:
+    ///
+    /// 1. `u`, the link `v–u`, and every link sharing an SRLG with `v–u`
+    ///    (only when SRLG metadata was declared via
+    ///    [`set_srlgs`](Self::set_srlgs) and covers the link);
+    /// 2. `u` and the link `v–u` (upstream node protection);
+    /// 3. the link `v–u` alone (upstream link protection).
+    ///
+    /// A detour computed against a contingency survives any *subset* of
+    /// that contingency actually failing, so the primary plan already
+    /// covers single-link, single-node and shared-fate SRLG failures; the
+    /// relaxed fallbacks only matter when the conservative contingency
+    /// disconnects `v` entirely. Each detour targets the nearest on-tree
+    /// node still tree-connected to the source under the contingency
+    /// ([`recovery::surviving_connected`]), which automatically excludes
+    /// `v`'s own subtree. Batch computation goes through
+    /// [`BackupPlanner`], the incremental-refresh half of the scheme.
+    pub fn protection_plans(&self) -> Vec<(NodeId, Vec<RecoveryPlan>)> {
+        let mut planner = BackupPlanner::new();
+        // Per request: which nodes its contingency still allows as graft
+        // targets. Parallel to the planner's request ids.
+        let mut target_masks: Vec<Vec<bool>> = Vec::new();
+        // Per protected node: its request ids, most conservative first.
+        let mut per_node: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        for v in self.tree.on_tree_nodes() {
+            let Some(u) = self.tree.parent(v) else {
+                continue;
+            };
+            let Some(l) = self.graph.link_between(v, u) else {
+                continue;
+            };
+            let link_only = FailureScenario::link(l);
+            let node_and_link = FailureScenario::link(l).with_node(u);
+            let mut conservative = FailureScenario::link(l).with_node(u);
+            let mut group_links = FailureScenario::link(l);
+            let mut shares_fate = false;
+            for group in self.srlgs.iter().filter(|g| g.contains(&l)) {
+                shares_fate = true;
+                for &gl in group {
+                    conservative.fail_link(gl);
+                    group_links.fail_link(gl);
+                }
+            }
+            // The fallback chain, ordered by contingency *robustness*, not
+            // by detour optimality. Each entry is `(avoid, anchored)`;
+            // anchored requests graft straight onto the source — the one
+            // target no remote failure can cut off from itself — instead
+            // of the nearest on-tree node judged surviving under the
+            // contingency (that judgment is only as good as the
+            // contingency, so a wider actual failure can leave every
+            // nearby target in the same severed fragment and the
+            // activation restores nothing).
+            //
+            // Cell-avoiding entries come first for shared-fate nodes,
+            // *including the cell-avoiding source anchors, ahead of the
+            // single-link/node fallbacks*: a shared-fate cut fails many
+            // links at once and a plan computed against a narrower
+            // contingency routinely crosses another link of the same cell
+            // — silently. Each silently-failing entry costs one
+            // activation-confirmation window before the rotation advances,
+            // so fragile entries ahead of robust ones translate directly
+            // into restoration latency. Note the cell-only contingency
+            // (without `u`): cells are *geographic*, the links sharing
+            // `v–u`'s conduit crowd one neighborhood, so avoiding the cell
+            // plus `u` often disconnects `v` locally while the cell alone
+            // — exactly robust for a shared-fate cut, which leaves `u`
+            // itself alive — survives far more topologies.
+            let mut chain: Vec<(FailureScenario, bool)> = Vec::new();
+            if shares_fate {
+                chain.push((conservative.clone(), false));
+                chain.push((group_links.clone(), false));
+                chain.push((conservative, true));
+                chain.push((group_links, true));
+            }
+            chain.push((node_and_link.clone(), false));
+            chain.push((link_only.clone(), false));
+            chain.push((node_and_link, true));
+            chain.push((link_only, true));
+
+            let mut ids = Vec::new();
+            for (avoid, anchored) in chain {
+                let mut mask = vec![false; self.graph.node_count()];
+                if anchored {
+                    mask[self.tree.source().index()] = true;
+                } else {
+                    for t in recovery::surviving_connected(self.graph, &self.tree, &avoid) {
+                        mask[t.index()] = true;
+                    }
+                }
+                ids.push(planner.insert(DetourRequest { from: v, avoid }));
+                target_masks.push(mask);
+            }
+            per_node.push((v, ids));
+        }
+        planner.refresh(self.graph, |id, n| target_masks[id][n.index()]);
+
+        let mut out = Vec::new();
+        for (v, ids) in per_node {
+            let mut plans: Vec<RecoveryPlan> = Vec::new();
+            for id in ids {
+                if let Some(p) = planner.plan(id) {
+                    let path = p.nodes().to_vec();
+                    // Relaxed contingencies often rediscover the primary
+                    // detour; keep the chain free of duplicates.
+                    if !plans.iter().any(|rp| rp.path == path) {
+                        plans.push(RecoveryPlan {
+                            path,
+                            wait: SimTime::ZERO,
+                            path_delay: SimTime::from_ms(p.delay(self.graph)),
+                        });
+                    }
+                }
+            }
+            if !plans.is_empty() {
+                out.push((v, plans));
+            }
+        }
+        out
+    }
+
     /// Runs a failure experiment: warm up, inject `scenario` at `fail_at`,
     /// run until `until`, report restoration latencies for affected
     /// members.
@@ -529,15 +689,29 @@ impl<'g> ProtoSession<'g> {
         let config = self.router_config.hardened_for_loss(channel.default.loss);
         let mut routers = self.routers_with(config);
 
-        let (kind, wait) = match strategy {
-            RecoveryStrategy::LocalDetour => (DetourKind::Local, SimTime::ZERO),
-            RecoveryStrategy::GlobalDetour { reconvergence } => (DetourKind::Global, reconvergence),
-        };
-        for rec in self.plan_recoveries(scenario, kind).recoveries {
-            routers[rec.member().index()].install_recovery_plan(RecoveryPlan {
-                path: rec.restoration_path().nodes().to_vec(),
-                wait,
-            });
+        if let RecoveryStrategy::Protection = strategy {
+            // Protection installs the precomputed plane on *every*
+            // protected node, before (and regardless of) the scenario —
+            // restoration is local activation of whatever was cached.
+            for (node, plans) in self.protection_plans() {
+                routers[node.index()].install_backup_plans(plans);
+            }
+        } else {
+            let (kind, wait) = match strategy {
+                RecoveryStrategy::LocalDetour => (DetourKind::Local, SimTime::ZERO),
+                RecoveryStrategy::ReactiveSearch { search } => (DetourKind::Local, search),
+                RecoveryStrategy::GlobalDetour { reconvergence } => {
+                    (DetourKind::Global, reconvergence)
+                }
+                RecoveryStrategy::Protection => unreachable!(),
+            };
+            for rec in self.plan_recoveries(scenario, kind).recoveries {
+                routers[rec.member().index()].install_recovery_plan(RecoveryPlan {
+                    path: rec.restoration_path().nodes().to_vec(),
+                    wait,
+                    path_delay: SimTime::from_ms(rec.restoration_path().delay(self.graph)),
+                });
+            }
         }
 
         let mut sim = NetSim::new(self.graph, routers);
@@ -591,12 +765,14 @@ impl<'g> ProtoSession<'g> {
             .filter(|m| !affected_set.contains(m))
             .collect();
         let mut health = ControlHealth::default();
+        let mut protection = crate::router::ProtectionCounters::default();
         for n in self.graph.node_ids() {
             let r = sim.node(n).reliability();
             health.retransmits += r.retransmits;
             health.dup_drops += r.dup_drops;
             health.retry_exhaustions += r.retry_exhaustions;
             health.acks += r.acks_sent;
+            protection.merge(&sim.node(n).protection_counters());
         }
         if let Some(ch) = sim.channel_stats() {
             health.channel_dupes = ch.duplicated;
@@ -612,6 +788,7 @@ impl<'g> ProtoSession<'g> {
             messages_delivered: sim.delivered_count(),
             messages_dropped: sim.dropped_count(),
             health,
+            protection,
         }
     }
 }
@@ -923,6 +1100,130 @@ mod tests {
         // service must also be alive *after* that point.
         let member = ids[2];
         assert_eq!(report.restorations[0].0, member);
+    }
+
+    #[test]
+    fn protection_plans_cover_every_upstream_bearing_node() {
+        let (graph, nodes) = paper::figure1_graph();
+        let session =
+            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        let plans = session.protection_plans();
+        // Every on-tree node except the source holds at least one plan...
+        let expected: Vec<NodeId> = session
+            .tree()
+            .on_tree_nodes()
+            .filter(|&n| session.tree().parent(n).is_some())
+            .collect();
+        let planned: Vec<NodeId> = plans.iter().map(|(n, _)| *n).collect();
+        assert_eq!(planned, expected);
+        // ...every plan starts at its owner and activates with no wait,
+        // and the *primary* (most conservative) plan avoids the upstream
+        // node outright. Relaxed fallbacks may legitimately route through
+        // it — link protection assumes the node survived.
+        for (n, chain) in &plans {
+            assert!(!chain.is_empty());
+            let up = session.tree().parent(*n).unwrap();
+            for plan in chain {
+                assert_eq!(plan.path[0], *n);
+                assert_eq!(plan.wait, SimTime::ZERO);
+            }
+            // A source child has no node-protection plan (losing the
+            // source is unrecoverable), so its primary legitimately
+            // re-attaches *at* the upstream; it must still never transit
+            // through it.
+            let transit = &chain[0].path[..chain[0].path.len() - 1];
+            assert!(
+                !transit[1..].contains(&up),
+                "the primary detour must not transit the upstream it protects against"
+            );
+        }
+    }
+
+    #[test]
+    fn protection_restores_faster_than_reactive_search() {
+        let (graph, nodes) = paper::figure1_graph();
+        let session =
+            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        let l_ad = graph.link_between(nodes.a, nodes.d).unwrap();
+        let scenario = FailureScenario::link(l_ad);
+        let fail_at = SimTime::from_ms(100.0);
+        let until = SimTime::from_ms(3000.0);
+
+        let reactive = session.run_failure(
+            &scenario,
+            RecoveryStrategy::ReactiveSearch {
+                search: SimTime::from_ms(25.0),
+            },
+            fail_at,
+            until,
+        );
+        let protected =
+            session.run_failure(&scenario, RecoveryStrategy::Protection, fail_at, until);
+        assert!(reactive.all_restored(), "{:?}", reactive.restorations);
+        assert!(protected.all_restored(), "{:?}", protected.restorations);
+        let r = reactive.mean_latency_ms().unwrap();
+        let p = protected.mean_latency_ms().unwrap();
+        assert!(
+            p < r,
+            "local activation ({p}ms) must beat the on-demand search ({r}ms)"
+        );
+        assert!(protected.protection.plans_held > 0, "plans stay cached");
+        assert!(protected.protection.activations >= 1, "the plan fired");
+        assert_eq!(protected.protection.stale_discards, 0, "nothing staled");
+        assert_eq!(
+            reactive.protection.plans_held, 0,
+            "reactive runs hold no protection state"
+        );
+    }
+
+    #[test]
+    fn protection_survives_node_failure_via_conservative_contingency() {
+        // Node failure of the relay A: both members' plans were computed
+        // against the upstream-node contingency, so local activation must
+        // restore them without any scenario-specific planning.
+        let (graph, nodes) = paper::figure1_graph();
+        let session =
+            ProtoSession::build(&graph, nodes.s, &[nodes.c, nodes.d], TreeProtocol::Spf).unwrap();
+        let report = session.run_failure(
+            &FailureScenario::node(nodes.a),
+            RecoveryStrategy::Protection,
+            SimTime::from_ms(100.0),
+            SimTime::from_ms(3000.0),
+        );
+        assert!(report.all_restored(), "{:?}", report.restorations);
+        assert!(report.protection.activations >= 1);
+        assert_eq!(report.health.retry_exhaustions, 0);
+    }
+
+    #[test]
+    fn srlg_aware_plan_avoids_the_whole_shared_fate_group() {
+        // Square S - A - M, S - B - M plus a third detour M - C - S. Links
+        // A-M and B-M share fate: a plan for M that only avoided its
+        // upstream link could pick the sibling link and die with it.
+        let mut g = Graph::with_nodes(5);
+        let ids: Vec<_> = g.node_ids().collect();
+        let (s, a, b, m, c) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        g.add_link(s, a, 1.0).unwrap();
+        let l_am = g.add_link(a, m, 1.0).unwrap();
+        g.add_link(s, b, 1.0).unwrap();
+        let l_bm = g.add_link(b, m, 1.0).unwrap();
+        g.add_link(s, c, 3.0).unwrap();
+        g.add_link(c, m, 3.0).unwrap();
+        let mut session = ProtoSession::build(&g, s, &[m], TreeProtocol::Spf).unwrap();
+        session.set_srlgs(vec![vec![l_am, l_bm]]);
+        let plans = session.protection_plans();
+        let (_, chain) = plans.iter().find(|(n, _)| *n == m).unwrap();
+        // The primary (most conservative) plan must detour via C, not B.
+        assert_eq!(chain[0].path, vec![m, c, s]);
+        // And the shared-fate failure itself is survived by activation.
+        let report = session.run_failure(
+            &FailureScenario::links([l_am, l_bm]),
+            RecoveryStrategy::Protection,
+            SimTime::from_ms(100.0),
+            SimTime::from_ms(3000.0),
+        );
+        assert!(report.all_restored(), "{:?}", report.restorations);
+        assert_eq!(report.health.retry_exhaustions, 0);
     }
 
     #[test]

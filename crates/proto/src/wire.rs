@@ -416,6 +416,77 @@ mod tests {
         assert_eq!(decode_msg(&bytes), Err(WireError::TooDeep));
     }
 
+    /// One representative value per [`ProtoMsg`] variant, exercising every
+    /// field the codec serializes (empty and non-empty sequences, nesting,
+    /// floats, zero and large integers).
+    fn every_variant() -> Vec<ProtoMsg> {
+        vec![
+            ProtoMsg::Setup {
+                path: vec![NodeId::new(0), NodeId::new(5), NodeId::new(2)],
+                idx: 2,
+            },
+            ProtoMsg::Setup {
+                path: Vec::new(),
+                idx: 0,
+            },
+            ProtoMsg::LeaveReq,
+            ProtoMsg::Refresh,
+            ProtoMsg::Hello,
+            ProtoMsg::Data { seq: 0 },
+            ProtoMsg::Data { seq: u64::MAX },
+            ProtoMsg::Query {
+                origin: NodeId::new(9),
+                path: vec![NodeId::new(9), NodeId::new(4)],
+                delay: 3.25,
+            },
+            ProtoMsg::QueryResp {
+                approach: vec![NodeId::new(9), NodeId::new(4), NodeId::new(1)],
+                approach_delay: 0.5,
+                shr: 7,
+                tree_delay: 12.75,
+                idx: 1,
+            },
+            ProtoMsg::Reliable {
+                seq: 42,
+                base: 40,
+                inner: Box::new(ProtoMsg::Setup {
+                    path: vec![NodeId::new(3)],
+                    idx: 0,
+                }),
+            },
+            ProtoMsg::Ack { seq: 42 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for msg in every_variant() {
+            let wrapped = gm(msg);
+            let bytes = encode_msg(&wrapped);
+            assert_eq!(decode_msg(&bytes).as_ref(), Ok(&wrapped), "{wrapped:?}");
+            let datagram = encode_datagram(NodeId::new(11), &wrapped);
+            assert_eq!(
+                decode_datagram(&datagram),
+                Ok((NodeId::new(11), wrapped.clone())),
+                "{wrapped:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_for_every_variant() {
+        for msg in every_variant() {
+            let wrapped = gm(msg);
+            let mut bytes = encode_msg(&wrapped);
+            bytes.push(0xAB);
+            assert_eq!(
+                decode_msg(&bytes),
+                Err(WireError::TrailingBytes(1)),
+                "{wrapped:?}"
+            );
+        }
+    }
+
     #[test]
     fn oversized_path_length_is_rejected_before_allocation() {
         let mut bytes = vec![WIRE_VERSION];

@@ -217,3 +217,30 @@ fn route(path: &str, board: &StatusBoard) -> (u16, String) {
         _ => not_found(),
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::NodeStatus;
+
+    #[test]
+    fn health_keeps_serving_over_a_poisoned_slot() {
+        let board = StatusBoard::new(2);
+        board.publish(NodeStatus {
+            node: 0,
+            down: false,
+            now_ns: 7,
+            groups: Vec::new(),
+            health: ControlHealth::default(),
+        });
+        board.poison_slot_for_test(0);
+        let (code, body) = route("/health", &board);
+        assert_eq!(code, 200, "a dead publisher must not take down /health");
+        let view: HealthView = serde_json::from_str(&body).unwrap();
+        assert_eq!(view.nodes, 2);
+        assert_eq!(view.published, 1);
+        // The other endpoints cross the same lock and must survive too.
+        assert_eq!(route("/status", &board).0, 200);
+        assert_eq!(route("/nodes/0", &board).0, 200);
+    }
+}

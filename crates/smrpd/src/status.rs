@@ -90,6 +90,15 @@ pub struct StatusBoard {
     slots: Vec<Mutex<Option<NodeStatus>>>,
 }
 
+/// Locks a slot, recovering from poison: a publisher that panicked
+/// mid-write leaves at worst a stale-but-structurally-intact snapshot
+/// (the slot holds an `Option` that is replaced wholesale, never edited
+/// in place), so introspection must keep serving rather than cascade the
+/// panic into every `/health` probe.
+fn lock_slot(slot: &Mutex<Option<NodeStatus>>) -> std::sync::MutexGuard<'_, Option<NodeStatus>> {
+    slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 impl StatusBoard {
     /// A board with `n` empty slots.
     pub fn new(n: usize) -> StatusBoard {
@@ -112,23 +121,66 @@ impl StatusBoard {
     pub fn publish(&self, status: NodeStatus) {
         let idx = status.node as usize;
         if let Some(slot) = self.slots.get(idx) {
-            *slot.lock().expect("status slot poisoned") = Some(status);
+            *lock_slot(slot) = Some(status);
         }
     }
 
     /// Copies every slot. `None` entries are nodes that have not
     /// published yet.
     pub fn snapshot(&self) -> Vec<Option<NodeStatus>> {
-        self.slots
-            .iter()
-            .map(|s| s.lock().expect("status slot poisoned").clone())
-            .collect()
+        self.slots.iter().map(|s| lock_slot(s).clone()).collect()
     }
 
     /// Copies one node's slot.
     pub fn node(&self, idx: usize) -> Option<NodeStatus> {
-        self.slots
-            .get(idx)
-            .and_then(|s| s.lock().expect("status slot poisoned").clone())
+        self.slots.get(idx).and_then(|s| lock_slot(s).clone())
+    }
+
+    /// Test hook: poisons slot `idx` by panicking while holding its lock,
+    /// simulating a publisher that died mid-write.
+    #[cfg(test)]
+    pub(crate) fn poison_slot_for_test(&self, idx: usize) {
+        std::thread::scope(|s| {
+            let _ = s
+                .spawn(|| {
+                    let _guard = self.slots[idx].lock().unwrap();
+                    panic!("poison the slot on purpose");
+                })
+                .join();
+        });
+        assert!(self.slots[idx].is_poisoned(), "setup must actually poison");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(node: u32) -> NodeStatus {
+        NodeStatus {
+            node,
+            down: false,
+            now_ns: 1,
+            groups: Vec::new(),
+            health: ControlHealth::default(),
+        }
+    }
+
+    #[test]
+    fn poisoned_slot_still_publishes_and_reads() {
+        let board = StatusBoard::new(2);
+        board.publish(status(0));
+        board.poison_slot_for_test(0);
+        // The board keeps serving: reads see the pre-poison snapshot,
+        // writes land, and whole-board snapshots include the slot.
+        assert_eq!(board.node(0).unwrap().now_ns, 1);
+        let mut updated = status(0);
+        updated.now_ns = 2;
+        board.publish(updated);
+        assert_eq!(board.node(0).unwrap().now_ns, 2);
+        let snap = board.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].as_ref().unwrap().now_ns, 2);
+        assert!(snap[1].is_none());
     }
 }
