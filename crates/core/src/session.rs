@@ -277,6 +277,30 @@ impl<'g> SmrpSession<'g> {
         })
     }
 
+    /// Joins `node` as an aggregated attachment point serving `weight`
+    /// receivers (§3.3.3 at scale): path selection is identical to
+    /// [`join`](Self::join), but the membership enters the Eq. 2 `SHR`/`N`
+    /// maintenance with the full population weight.
+    ///
+    /// # Errors
+    ///
+    /// The [`join`](Self::join) errors, plus
+    /// [`SmrpError::InvalidConfig`] for a zero weight.
+    pub fn join_weighted(&mut self, node: NodeId, weight: u32) -> Result<JoinOutcome, SmrpError> {
+        if weight == 0 {
+            return Err(SmrpError::InvalidConfig {
+                name: "weight",
+                reason: "aggregated populations must serve at least one receiver",
+            });
+        }
+        let out = self.join(node)?;
+        if weight != 1 {
+            self.tree.set_member_weight(node, weight)?;
+            self.shr_baseline[node.index()] = self.tree.shr(node);
+        }
+        Ok(out)
+    }
+
     /// Removes `node` from the session, pruning the released branch.
     ///
     /// # Errors

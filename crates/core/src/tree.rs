@@ -67,12 +67,19 @@ pub struct MulticastTree {
     children: Vec<Vec<NodeId>>,
     on_tree: Vec<bool>,
     member: Vec<bool>,
-    /// `N_R`: members in the subtree rooted at each node. Valid for nodes
-    /// connected to the source after `recompute_stats`.
+    /// `N_R`: members in the subtree rooted at each node, each weighted by
+    /// its aggregated population (see [`set_member_weight`]). Valid for
+    /// nodes connected to the source after `recompute_stats`.
+    ///
+    /// [`set_member_weight`]: Self::set_member_weight
     n: Vec<u32>,
     /// `SHR(S,R)` per Eq. 2. Valid for nodes connected to the source.
     shr: Vec<u32>,
     member_count: usize,
+    /// Aggregated receiver population behind each member (1 = a plain
+    /// receiver). Lazily materialized: an empty vector means every member
+    /// weighs 1, which keeps unweighted trees byte-compatible.
+    weight: Vec<u32>,
 }
 
 impl MulticastTree {
@@ -95,6 +102,7 @@ impl MulticastTree {
             n: vec![0; n],
             shr: vec![0; n],
             member_count: 0,
+            weight: Vec::new(),
         };
         tree.on_tree[source.index()] = true;
         Ok(tree)
@@ -150,10 +158,47 @@ impl MulticastTree {
             .collect()
     }
 
-    /// Number of members.
+    /// Number of members (attachment points; aggregated populations count
+    /// once — see [`population`](Self::population) for receiver totals).
     #[inline]
     pub fn member_count(&self) -> usize {
         self.member_count
+    }
+
+    /// Aggregated receiver population behind `node`'s membership: 1 for a
+    /// plain member, the configured weight for an aggregated attachment
+    /// point, 0 for a non-member.
+    #[inline]
+    pub fn member_weight(&self, node: NodeId) -> u32 {
+        if self.member[node.index()] {
+            self.weight_of(node.index())
+        } else {
+            0
+        }
+    }
+
+    /// Total receiver population over all members (sum of member weights).
+    pub fn population(&self) -> u64 {
+        self.member
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| u64::from(self.weight_of(i)))
+            .sum()
+    }
+
+    /// The weight slot for a node index; an unmaterialized vector means 1.
+    #[inline]
+    fn weight_of(&self, i: usize) -> u32 {
+        self.weight.get(i).copied().unwrap_or(1)
+    }
+
+    /// Materializes the weight vector (all-1) so a slot can be written.
+    fn weight_slot(&mut self, i: usize) -> &mut u32 {
+        if self.weight.is_empty() {
+            self.weight = vec![1; self.member.len()];
+        }
+        &mut self.weight[i]
     }
 
     /// Iterator over members in node-id order.
@@ -311,7 +356,7 @@ impl MulticastTree {
         let delta: i64 = self
             .subtree_nodes(new_root)
             .iter()
-            .map(|&v| i64::from(self.member[v.index()]))
+            .map(|&v| i64::from(self.member_weight(v)))
             .sum();
         // Every chain node's subtree is exactly the grafted fragment.
         for &v in &nodes[..nodes.len() - 1] {
@@ -431,6 +476,12 @@ impl MulticastTree {
             if !self.member[node.index()] {
                 self.member[node.index()] = true;
                 self.member_count += 1;
+                // A fresh membership always starts at weight 1; aggregated
+                // populations are declared afterwards via
+                // `set_member_weight`.
+                if !self.weight.is_empty() {
+                    self.weight[node.index()] = 1;
+                }
                 self.propagate_member_delta(node, 1, None);
                 self.audit_stats();
             }
@@ -438,11 +489,45 @@ impl MulticastTree {
             if !self.member[node.index()] {
                 return Err(SmrpError::NotMember(node));
             }
+            let removed = i64::from(self.weight_of(node.index()));
             self.member[node.index()] = false;
             self.member_count -= 1;
-            self.propagate_member_delta(node, -1, None);
+            if !self.weight.is_empty() {
+                self.weight[node.index()] = 1;
+            }
+            self.propagate_member_delta(node, -removed, None);
             self.audit_stats();
         }
+        Ok(())
+    }
+
+    /// Declares `node`'s membership as an aggregated attachment point
+    /// serving `weight` receivers (§3.3.3 at scale: a leaf-domain agent
+    /// fronting thousands of users). The weight enters the Eq. 2
+    /// maintenance exactly like `weight` individual members behind one
+    /// node: `N` along the source path and `SHR` of off-path subtrees move
+    /// by the weight delta.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmrpError::NotMember`] if `node` is not a member and
+    /// [`SmrpError::InvalidConfig`] for a zero weight (leaving is
+    /// [`set_member`](Self::set_member)`(node, false)`).
+    pub fn set_member_weight(&mut self, node: NodeId, weight: u32) -> Result<(), SmrpError> {
+        if weight == 0 {
+            return Err(SmrpError::InvalidConfig {
+                name: "weight",
+                reason: "aggregated populations must serve at least one receiver",
+            });
+        }
+        if !self.member[node.index()] {
+            return Err(SmrpError::NotMember(node));
+        }
+        let old = i64::from(self.weight_of(node.index()));
+        let delta = i64::from(weight) - old;
+        *self.weight_slot(node.index()) = weight;
+        self.propagate_member_delta(node, delta, None);
+        self.audit_stats();
         Ok(())
     }
 
@@ -546,7 +631,7 @@ impl MulticastTree {
         // Post-order accumulation of N, then pre-order SHR.
         let order = self.source_connected_nodes(); // parents before children
         for &u in order.iter().rev() {
-            let mut count = u32::from(self.member[u.index()]);
+            let mut count = self.member_weight(u);
             for &c in &self.children[u.index()] {
                 count += self.n[c.index()];
             }
@@ -623,11 +708,12 @@ impl MulticastTree {
                 return Err(format!("leaf {u} is a relay, tree was not pruned"));
             }
         }
-        // (6) N recount.
+        // (6) N recount (weighted: an aggregated population counts its
+        // full receiver population, per Eq. 2 with weighted deltas).
         for &u in &connected {
             let mut recount = 0u32;
             for v in self.subtree_nodes(u) {
-                recount += u32::from(self.member[v.index()]);
+                recount += self.member_weight(v);
             }
             if recount != self.n[u.index()] {
                 return Err(format!(
@@ -642,7 +728,9 @@ impl MulticastTree {
         for m in self.members() {
             let p = self.path_from_source(m).expect("validated above");
             for l in p.links(graph) {
-                *link_load.entry(l).or_insert(0) += 1;
+                // Each of the `weight` receivers behind `m` loads every
+                // link of `m`'s source path once (Eq. 1, weighted).
+                *link_load.entry(l).or_insert(0) += self.member_weight(m);
             }
         }
         for &u in &connected {
@@ -882,6 +970,74 @@ mod tests {
         assert!(matches!(
             MulticastTree::new(&g, NodeId::new(7)),
             Err(SmrpError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn weighted_members_scale_n_and_shr() {
+        let (g, mut t, [s, a, _, c, d]) = figure1_tree();
+        // C fronts 1000 receivers: N along S→C gains 999, D's SHR gains
+        // one updated link's worth (the shared S–A link).
+        t.set_member_weight(c, 1000).unwrap();
+        assert_eq!(t.member_weight(c), 1000);
+        assert_eq!(t.member_weight(d), 1);
+        assert_eq!(t.population(), 1001);
+        assert_eq!(t.member_count(), 2);
+        assert_eq!(t.subtree_members(a), 1001);
+        assert_eq!(t.subtree_members(c), 1000);
+        // SHR(S,C) = N_{L(S,A)} + N_{L(A,C)} = 1001 + 1000.
+        assert_eq!(t.shr(c), 2001);
+        // SHR(S,D) = 1001 + 1.
+        assert_eq!(t.shr(d), 1002);
+        assert_eq!(t.shr(s), 0);
+        t.validate(&g).unwrap();
+
+        // Shrinking the population propagates the negative delta.
+        t.set_member_weight(c, 10).unwrap();
+        assert_eq!(t.subtree_members(a), 11);
+        assert_eq!(t.shr(d), 12);
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn leaving_drops_the_whole_population_and_rejoin_resets_weight() {
+        let (g, mut t, [_, a, _, c, d]) = figure1_tree();
+        t.set_member_weight(d, 500).unwrap();
+        assert_eq!(t.subtree_members(a), 501);
+        t.set_member(d, false).unwrap();
+        assert_eq!(t.subtree_members(a), 1);
+        assert_eq!(t.population(), 1);
+        // Rejoining starts back at weight 1, not the stale 500.
+        t.set_member(d, true).unwrap();
+        assert_eq!(t.member_weight(d), 1);
+        assert_eq!(t.subtree_members(a), 2);
+        t.validate(&g).unwrap();
+        let _ = c;
+    }
+
+    #[test]
+    fn weighted_fragment_detach_and_reattach_carry_population() {
+        let (g, mut t, [_, a, _, c, _]) = figure1_tree();
+        t.set_member_weight(c, 77).unwrap();
+        let keeper = t.detach_subtree(c).unwrap();
+        assert_eq!(keeper, a);
+        assert_eq!(t.subtree_members(a), 1); // only D remains upstream.
+        t.attach_path(&Path::new(vec![c, a]));
+        assert_eq!(t.subtree_members(a), 78);
+        assert_eq!(t.member_weight(c), 77);
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn weight_errors() {
+        let (_, mut t, [_, a, _, c, _]) = figure1_tree();
+        assert!(matches!(
+            t.set_member_weight(a, 5),
+            Err(SmrpError::NotMember(_))
+        ));
+        assert!(matches!(
+            t.set_member_weight(c, 0),
+            Err(SmrpError::InvalidConfig { .. })
         ));
     }
 

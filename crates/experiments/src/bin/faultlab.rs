@@ -38,6 +38,16 @@
 //!   topology — a 32-session case simulates 32 trees in one event
 //!   queue, so the sweep trades scenario count for session count;
 //!   later flags override the preset;
+//! * `--hierarchy` — wire-level N-level recovery-domain campaign: every
+//!   active domain's session runs as one group over the shared topology,
+//!   repairs stay confined to the owning domain, and the full message
+//!   trace of every case is audited against the DomainLocality invariant.
+//!   Exits non-zero unless the campaign is clean (zero border crossings,
+//!   full audit coverage, every member restored);
+//! * `--levels N` — depth of the `--hierarchy` domain tree (default 3,
+//!   minimum 2 — the paper's transit-stub shape);
+//! * `--population N` — aggregated receivers spread over the hierarchy's
+//!   leaf domains, weighted into `SHR/N` per Eq. 2 (default 10000);
 //! * `--dump-trace DIR` — instead of a campaign, emit the golden scripted
 //!   scenario files (`figure1`, `shared_fate_srlg`, `figure1_lossy`) into
 //!   DIR: self-contained JSON traces with the sim's converged outcome and
@@ -65,17 +75,19 @@ use std::process::ExitCode;
 use serde::Serialize;
 use smrp_experiments::results_dir;
 use smrp_faultlab::{
-    run_campaign, run_protect, CampaignConfig, CampaignReport, ProtectConfig, ProtectReport,
-    ProtoKind,
+    run_campaign, run_hierarchy, run_protect, CampaignConfig, CampaignReport, HierarchyConfig,
+    HierarchyReport, ProtectConfig, ProtectReport, ProtoKind,
 };
 
 struct Args {
     config: CampaignConfig,
     protect_config: ProtectConfig,
+    hierarchy_config: HierarchyConfig,
     jobs: usize,
     bench: bool,
     bench_multi: bool,
     protect: bool,
+    hierarchy: bool,
     dump_trace: Option<std::path::PathBuf>,
     out: std::path::PathBuf,
 }
@@ -250,10 +262,12 @@ fn parse_args() -> Result<Args, String> {
         ..CampaignConfig::default()
     };
     let mut protect_config = ProtectConfig::default();
+    let mut hierarchy_config = HierarchyConfig::default();
     let mut jobs = std::thread::available_parallelism().map_or(1, usize::from);
     let mut bench = false;
     let mut bench_multi = false;
     let mut protect = false;
+    let mut hierarchy = false;
     let mut dump_trace: Option<std::path::PathBuf> = None;
     let mut out: Option<std::path::PathBuf> = None;
 
@@ -281,6 +295,22 @@ fn parse_args() -> Result<Args, String> {
             }
             "--protect" => {
                 protect = true;
+            }
+            "--hierarchy" => {
+                hierarchy = true;
+            }
+            "--levels" => {
+                hierarchy_config.levels = value("--levels")?
+                    .parse()
+                    .map_err(|e| format!("--levels: {e}"))?;
+                if hierarchy_config.levels < 2 {
+                    return Err("--levels expects a depth of at least 2".into());
+                }
+            }
+            "--population" => {
+                hierarchy_config.population = value("--population")?
+                    .parse()
+                    .map_err(|e| format!("--population: {e}"))?;
             }
             "--protect-smoke" => {
                 protect = true;
@@ -322,6 +352,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--scenarios: {e}"))?;
                 protect_config.scenarios_per_cell = config.scenarios;
+                hierarchy_config.scenarios = config.scenarios;
             }
             "--nodes" => {
                 config.nodes = value("--nodes")?
@@ -350,6 +381,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_or_else(|| raw.parse(), |hex| u64::from_str_radix(hex, 16))
                     .map_err(|e| format!("--seed: {e}"))?;
                 protect_config.base_seed = config.base_seed;
+                hierarchy_config.base_seed = config.base_seed;
             }
             "--jobs" => {
                 jobs = value("--jobs")?
@@ -365,10 +397,12 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         config,
         protect_config,
+        hierarchy_config,
         jobs,
         bench,
         bench_multi,
         protect,
+        hierarchy,
         dump_trace,
         out: out.unwrap_or_else(|| {
             results_dir().join(if bench_multi {
@@ -377,6 +411,8 @@ fn parse_args() -> Result<Args, String> {
                 "faultlab-bench.json"
             } else if protect {
                 "faultlab-protect.json"
+            } else if hierarchy {
+                "faultlab-hierarchy.json"
             } else {
                 "faultlab.json"
             })
@@ -554,6 +590,45 @@ fn run_bench(args: &Args) -> ExitCode {
     }
 }
 
+/// The `--hierarchy` path: one wire-level N-level campaign, gated on the
+/// DomainLocality verdict.
+fn run_hierarchy_cli(args: &Args) -> ExitCode {
+    let started = std::time::Instant::now();
+    let run = match run_hierarchy(&args.hierarchy_config, args.jobs) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("faultlab: hierarchy campaign failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = HierarchyReport::from_run(&run);
+    print!("{}", report.synopsis());
+    println!(
+        "  ({:.2}s on {} jobs)",
+        started.elapsed().as_secs_f64(),
+        args.jobs
+    );
+    if let Err(code) = write_out(&args.out, report.to_json()) {
+        return code;
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "faultlab: hierarchy campaign is not clean — {} border crossings, \
+             {} unaudited cases, {} members never restored",
+            report.locality.border_crossings,
+            report.locality.cases_unaudited,
+            report
+                .outcomes
+                .get("detection-missed")
+                .copied()
+                .unwrap_or(0),
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -585,6 +660,9 @@ fn main() -> ExitCode {
     }
     if args.protect {
         return run_protect_cli(&args);
+    }
+    if args.hierarchy {
+        return run_hierarchy_cli(&args);
     }
 
     let started = std::time::Instant::now();

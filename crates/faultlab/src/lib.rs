@@ -33,6 +33,11 @@
 //! * [`report`] — stable JSON campaign reports with per-family×protocol
 //!   outcome tables, restoration-latency distributions and control-plane
 //!   health summaries (loss, retransmissions, retry-budget exhaustions);
+//! * [`hierarchy`] — wire-level campaigns over N-level recovery domains
+//!   with aggregated member populations: every active domain's session
+//!   runs as one group of a shared-substrate `MultiSession`, repairs are
+//!   installed via the explicit-plan seam, and every case's full message
+//!   trace is audited against the DomainLocality confinement invariant;
 //! * [`protect`] — the protection-vs-restoration axis: SMRP with
 //!   precomputed, locally-activated backup detours against SMRP with
 //!   on-demand detour search, swept over single-link, single-node and
@@ -57,6 +62,7 @@
 pub mod audit;
 pub mod campaign;
 pub mod generate;
+pub mod hierarchy;
 pub mod protect;
 pub mod report;
 pub mod trace;
@@ -69,6 +75,10 @@ pub use campaign::{
 pub use generate::{
     derive_srlgs, generate_case, generate_mix, shared_fate_srlgs, FaultCase, FaultFamily,
     GeneratorConfig, Timing,
+};
+pub use hierarchy::{
+    run_hierarchy, run_hierarchy_with_backend, DomainSlice, HierarchyCase, HierarchyCaseResult,
+    HierarchyConfig, HierarchyLatency, HierarchyOutcome, HierarchyReport, HierarchyRun,
 };
 pub use protect::{
     evaluate_protect, run_protect, LossPointSummary, ModeOutcomeRow, ModeSummary, ProtectCase,

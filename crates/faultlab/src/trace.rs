@@ -33,7 +33,12 @@ use smrp_proto::{
 use smrp_sim::{ChannelSpec, SimTime};
 
 /// Version of the trace file format.
-pub const TRACE_VERSION: u32 = 1;
+///
+/// History: v1 had no per-plan `path_delay_ns`; v2 carries it so a
+/// replaying host can restore the full `PlanConfirm` window instead of
+/// falling back to the detection-horizon floor. v1 files still load,
+/// with the delay defaulting to zero.
+pub const TRACE_VERSION: u32 = 2;
 
 /// One link of the trace's topology. Link ids are implicit: the link at
 /// list index `i` is `LinkId(i)` of the rebuilt graph.
@@ -74,6 +79,11 @@ pub struct TracePlan {
     pub path: Vec<u32>,
     /// Delay before pushing the graft (zero for local detour).
     pub wait_ns: u64,
+    /// One-way propagation delay of the restoration path. Sizes the
+    /// replaying host's `PlanConfirm` window exactly as the simulator's
+    /// (`2 × detection horizon + 2 × path delay`); zero — the v1 reading —
+    /// shrinks the window to its detection-horizon floor.
+    pub path_delay_ns: u64,
 }
 
 /// One multicast group of the scenario.
@@ -211,17 +221,30 @@ impl GoldenTrace {
 
     /// Parses a trace from JSON, rejecting unknown format versions.
     ///
+    /// Older versions are upgraded in place: a v1 file loads with every
+    /// plan's `path_delay_ns` defaulting to zero, and the returned trace
+    /// reports the current [`TRACE_VERSION`].
+    ///
     /// # Errors
     ///
-    /// Returns an error string for malformed JSON or a version mismatch.
+    /// Returns an error string for malformed JSON or a version newer than
+    /// this reader.
     pub fn from_json(json: &str) -> Result<GoldenTrace, String> {
-        let trace: GoldenTrace = serde_json::from_str(json).map_err(|e| e.to_string())?;
-        if trace.version != TRACE_VERSION {
+        let mut value: serde::Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let version = value
+            .get("version")
+            .and_then(serde::Value::as_u64)
+            .unwrap_or(0) as u32;
+        if version == 0 || version > TRACE_VERSION {
             return Err(format!(
-                "unsupported trace version {} (expected {TRACE_VERSION})",
-                trace.version
+                "unsupported trace version {version} (expected 1..={TRACE_VERSION})"
             ));
         }
+        if version < 2 {
+            upgrade_v1_plans(&mut value);
+        }
+        let mut trace = GoldenTrace::deserialize(&value).map_err(|e| e.to_string())?;
+        trace.version = TRACE_VERSION;
         Ok(trace)
     }
 
@@ -234,6 +257,34 @@ impl GoldenTrace {
     pub fn load(path: &Path) -> io::Result<GoldenTrace> {
         let json = std::fs::read_to_string(path)?;
         GoldenTrace::from_json(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// In-place v1 → v2 upgrade: every plan map gains `path_delay_ns: 0`
+/// (v1 writers never knew the path delay, so the detection-horizon floor
+/// is the only faithful reading).
+fn upgrade_v1_plans(value: &mut serde::Value) {
+    use serde::Value;
+    fn entry_mut<'v>(v: &'v mut Value, key: &str) -> Option<&'v mut Value> {
+        match v {
+            Value::Map(entries) => entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    let Some(Value::Seq(groups)) = entry_mut(value, "groups") else {
+        return;
+    };
+    for group in groups {
+        let Some(Value::Seq(plans)) = entry_mut(group, "plans") else {
+            continue;
+        };
+        for plan in plans {
+            if let Value::Map(entries) = plan {
+                if !entries.iter().any(|(k, _)| k == "path_delay_ns") {
+                    entries.push(("path_delay_ns".to_string(), Value::U64(0)));
+                }
+            }
+        }
     }
 }
 
@@ -392,6 +443,7 @@ fn build_trace(script: &Script) -> GoldenTrace {
                     .map(|n| n.index() as u32)
                     .collect(),
                 wait_ns: 0,
+                path_delay_ns: SimTime::from_ms(rec.restoration_path().delay(graph)).as_ns(),
             })
             .collect();
 
@@ -532,6 +584,59 @@ mod tests {
         trace.version = TRACE_VERSION + 1;
         let err = GoldenTrace::from_json(&trace.to_json()).unwrap_err();
         assert!(err.contains("unsupported trace version"), "{err}");
+    }
+
+    #[test]
+    fn plans_carry_their_path_delay() {
+        let traces = golden_scenarios();
+        let delays: Vec<u64> = traces
+            .iter()
+            .flat_map(|t| &t.groups)
+            .flat_map(|g| &g.plans)
+            .map(|p| p.path_delay_ns)
+            .collect();
+        assert!(!delays.is_empty());
+        // Every scripted restoration detour has real propagation delay.
+        assert!(delays.iter().all(|&d| d > 0), "{delays:?}");
+        // And it round-trips exactly.
+        let back = GoldenTrace::from_json(&traces[0].to_json()).unwrap();
+        assert_eq!(back, traces[0]);
+    }
+
+    #[test]
+    fn v1_traces_load_with_zero_path_delay() {
+        let trace = golden_scenarios().remove(0);
+        // Render a v1 file: version 1, no `path_delay_ns` keys anywhere.
+        use serde::Value;
+        fn strip(v: &mut Value) {
+            match v {
+                Value::Map(entries) => {
+                    entries.retain(|(k, _)| k != "path_delay_ns");
+                    for (k, v) in entries {
+                        if k == "version" {
+                            *v = Value::U64(1);
+                        }
+                        strip(v);
+                    }
+                }
+                Value::Seq(items) => items.iter_mut().for_each(strip),
+                _ => {}
+            }
+        }
+        let mut value = trace.serialize();
+        strip(&mut value);
+        let v1 = serde_json::to_string_pretty(&value).unwrap();
+
+        let back = GoldenTrace::from_json(&v1).expect("v1 traces still load");
+        assert_eq!(back.version, TRACE_VERSION);
+        assert!(back
+            .groups
+            .iter()
+            .flat_map(|g| &g.plans)
+            .all(|p| p.path_delay_ns == 0));
+        // Everything else survives the upgrade untouched.
+        assert_eq!(back.expected_digest, trace.expected_digest);
+        assert_eq!(back.groups.len(), trace.groups.len());
     }
 
     #[test]

@@ -17,12 +17,15 @@
 //! * [`csvout`] — a minimal CSV writer so every experiment leaves a
 //!   machine-readable artifact;
 //! * [`health`] / [`protection`] — control-plane and protection-plane
-//!   counter aggregates campaign reports roll up.
+//!   counter aggregates campaign reports roll up;
+//! * [`locality`] — per-recovery-domain rollups and the DomainLocality
+//!   confinement verdict for hierarchical campaigns.
 
 pub mod ci;
 pub mod csvout;
 pub mod health;
 pub mod histogram;
+pub mod locality;
 pub mod protection;
 pub mod relative;
 pub mod scatter;
@@ -32,5 +35,6 @@ pub mod table;
 pub use ci::ConfidenceInterval;
 pub use health::ControlHealth;
 pub use histogram::Histogram;
+pub use locality::{DomainRollup, LocalityHealth};
 pub use protection::ProtectionHealth;
 pub use stats::Stats;

@@ -1,0 +1,180 @@
+//! Per-recovery-domain counters for hierarchical campaigns.
+//!
+//! N-level hierarchical recovery (§3.3.3 generalized) promises failure
+//! *confinement*: a failure owned by one recovery domain is repaired with
+//! control traffic that never leaves that domain. [`DomainRollup`]
+//! accumulates, per domain, what each failure case cost — affected
+//! members and aggregated receiver populations, restorations, control
+//! messages, elections — and, crucially, how many control messages were
+//! observed crossing the domain's border ([`DomainRollup::border_crossings`]).
+//! A healthy hierarchical campaign rolls up to zero crossings everywhere;
+//! any nonzero value is a confinement violation, not a tuning problem.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated counters for one recovery domain across a campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainRollup {
+    /// The domain's id within its topology.
+    pub domain: u32,
+    /// The domain's depth in the hierarchy (0 = root).
+    pub level: u32,
+    /// Cases whose failure this domain owned and repaired.
+    pub cases_owned: u64,
+    /// Real members that lost service across this domain's cases.
+    pub affected_members: u64,
+    /// Total receivers (members plus aggregated populations) that lost
+    /// service across this domain's cases.
+    pub affected_population: u64,
+    /// Affected members that regained service within the run.
+    pub restored_members: u64,
+    /// Control messages this domain's session lanes sent across the
+    /// campaign (all cases, owned or not — steady state included).
+    pub control_messages: u64,
+    /// Control messages of this domain's session observed on a link with
+    /// an endpoint outside the domain's session node set. Must be zero:
+    /// the DomainLocality invariant.
+    pub border_crossings: u64,
+    /// New-agent elections performed when this domain's border attachment
+    /// died and a backup gateway took over.
+    pub elections: u64,
+    /// Cases owned by this domain that no in-domain detour (nor backup
+    /// gateway) could repair.
+    pub unrepairable: u64,
+}
+
+impl DomainRollup {
+    /// A fresh rollup for `domain` at `level`.
+    pub fn new(domain: u32, level: u32) -> Self {
+        DomainRollup {
+            domain,
+            level,
+            ..DomainRollup::default()
+        }
+    }
+
+    /// Accumulates another rollup for the same domain into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rollups describe different domains.
+    pub fn merge(&mut self, other: &DomainRollup) {
+        assert_eq!(
+            (self.domain, self.level),
+            (other.domain, other.level),
+            "rollups describe different domains"
+        );
+        self.cases_owned += other.cases_owned;
+        self.affected_members += other.affected_members;
+        self.affected_population += other.affected_population;
+        self.restored_members += other.restored_members;
+        self.control_messages += other.control_messages;
+        self.border_crossings += other.border_crossings;
+        self.elections += other.elections;
+        self.unrepairable += other.unrepairable;
+    }
+
+    /// Whether the DomainLocality invariant held for everything this
+    /// rollup saw.
+    pub fn is_confined(&self) -> bool {
+        self.border_crossings == 0
+    }
+}
+
+/// Campaign-level locality verdict over every domain's rollup.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalityHealth {
+    /// Control messages observed crossing any domain border, summed.
+    pub border_crossings: u64,
+    /// Cases audited against the locality invariant.
+    pub cases_audited: u64,
+    /// Cases whose trace overflowed its buffer before the audit ran; the
+    /// verdict for those is *unknown*, and a healthy campaign has none.
+    pub cases_unaudited: u64,
+}
+
+impl LocalityHealth {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &LocalityHealth) {
+        self.border_crossings += other.border_crossings;
+        self.cases_audited += other.cases_audited;
+        self.cases_unaudited += other.cases_unaudited;
+    }
+
+    /// Whether every audited case stayed confined and every case was
+    /// audited.
+    pub fn is_clean(&self) -> bool {
+        self.border_crossings == 0 && self.cases_unaudited == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_and_checks_identity() {
+        let mut a = DomainRollup::new(3, 1);
+        a.cases_owned = 2;
+        a.affected_population = 10_000;
+        a.border_crossings = 0;
+        let mut b = DomainRollup::new(3, 1);
+        b.cases_owned = 1;
+        b.affected_population = 5;
+        b.elections = 1;
+        a.merge(&b);
+        assert_eq!(a.cases_owned, 3);
+        assert_eq!(a.affected_population, 10_005);
+        assert_eq!(a.elections, 1);
+        assert!(a.is_confined());
+    }
+
+    #[test]
+    #[should_panic(expected = "different domains")]
+    fn merging_different_domains_panics() {
+        let mut a = DomainRollup::new(1, 1);
+        a.merge(&DomainRollup::new(2, 1));
+    }
+
+    #[test]
+    fn locality_health_gates_on_crossings_and_coverage() {
+        let mut h = LocalityHealth {
+            border_crossings: 0,
+            cases_audited: 10,
+            cases_unaudited: 0,
+        };
+        assert!(h.is_clean());
+        h.merge(&LocalityHealth {
+            border_crossings: 2,
+            cases_audited: 1,
+            cases_unaudited: 0,
+        });
+        assert!(!h.is_clean());
+        assert_eq!(h.cases_audited, 11);
+        let partial = LocalityHealth {
+            border_crossings: 0,
+            cases_audited: 3,
+            cases_unaudited: 1,
+        };
+        assert!(!partial.is_clean());
+    }
+
+    #[test]
+    fn serializes_stably() {
+        let r = DomainRollup {
+            domain: 2,
+            level: 1,
+            cases_owned: 4,
+            affected_members: 6,
+            affected_population: 1_000_000,
+            restored_members: 6,
+            control_messages: 1234,
+            border_crossings: 0,
+            elections: 1,
+            unrepairable: 0,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DomainRollup = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

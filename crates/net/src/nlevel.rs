@@ -15,8 +15,23 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::NetError;
 use crate::graph::Graph;
-use crate::ids::NodeId;
+use crate::ids::{LinkId, NodeId};
 use crate::transit_stub::DomainId;
+use crate::transit_stub::{DomainKind, TransitStubTopology};
+
+/// An aggregated member population: thousands of receivers served through
+/// one attachment node of a leaf domain. Campaigns weight this node's
+/// membership by `receivers` in the Eq. 2 `SHR`/`N` maintenance instead of
+/// instantiating one event-queue actor per user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregatedPopulation {
+    /// The leaf domain serving this population.
+    pub domain: DomainId,
+    /// The attachment node the receivers sit behind.
+    pub node: NodeId,
+    /// Number of receivers aggregated behind `node`.
+    pub receivers: u32,
+}
 
 /// One recovery domain in an N-level hierarchy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -28,6 +43,11 @@ pub struct LevelDomain {
     /// `(border_in_this_domain, node_in_parent_domain)`; `None` for the
     /// root.
     attachment: Option<(NodeId, NodeId)>,
+    /// Redundant `(backup_border, node_in_parent_domain)` attachments the
+    /// domain can elect a new agent through when the primary border
+    /// attachment dies. Empty unless the generator was configured with
+    /// [`NLevelConfig::redundant_gateway_prob`].
+    backups: Vec<(NodeId, NodeId)>,
 }
 
 impl LevelDomain {
@@ -54,6 +74,12 @@ impl LevelDomain {
     /// `(border, parent_attachment)` for non-root domains.
     pub fn attachment(&self) -> Option<(NodeId, NodeId)> {
         self.attachment
+    }
+
+    /// Redundant `(backup_border, parent_node)` attachments for agent
+    /// election when the primary attachment dies.
+    pub fn backup_attachments(&self) -> &[(NodeId, NodeId)] {
+        &self.backups
     }
 
     /// Whether `node` belongs to this domain.
@@ -88,6 +114,8 @@ pub struct NLevelConfig {
     extra_edge_prob: f64,
     base_delay: (f64, f64),
     seed: u64,
+    population: u64,
+    redundant_gateway_prob: f64,
 }
 
 impl NLevelConfig {
@@ -100,6 +128,8 @@ impl NLevelConfig {
             extra_edge_prob: 0.4,
             base_delay: (20.0, 50.0),
             seed: 0,
+            population: 0,
+            redundant_gateway_prob: 0.0,
         }
     }
 
@@ -123,6 +153,24 @@ impl NLevelConfig {
         self
     }
 
+    /// Total aggregated receiver population, spread evenly over the leaf
+    /// domains as [`AggregatedPopulation`] attachment points (remainder
+    /// receivers land on the earliest leaves). `0` (the default) generates
+    /// no populations.
+    pub fn population(mut self, receivers: u64) -> Self {
+        self.population = receivers;
+        self
+    }
+
+    /// Probability that a non-root domain (with at least two nodes) grows
+    /// one redundant backup gateway into its parent domain, enabling agent
+    /// election when the primary border attachment dies. `0.0` (the
+    /// default) draws nothing and leaves existing seeds byte-identical.
+    pub fn redundant_gateway_prob(mut self, p: f64) -> Self {
+        self.redundant_gateway_prob = p;
+        self
+    }
+
     fn validate(&self) -> Result<(), NetError> {
         if self.root_nodes < 2 {
             return Err(NetError::InvalidParameter {
@@ -141,6 +189,12 @@ impl NLevelConfig {
         if !(0.0..=1.0).contains(&self.extra_edge_prob) {
             return Err(NetError::InvalidParameter {
                 name: "extra_edge_prob",
+                reason: "must lie in [0, 1]",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.redundant_gateway_prob) {
+            return Err(NetError::InvalidParameter {
+                name: "redundant_gateway_prob",
                 reason: "must lie in [0, 1]",
             });
         }
@@ -172,6 +226,7 @@ impl NLevelConfig {
             parent: None,
             nodes: root_nodes,
             attachment: None,
+            backups: Vec::new(),
         });
 
         // Frontier of (domain index, level) whose nodes receive children.
@@ -206,12 +261,83 @@ impl NLevelConfig {
                             parent: Some(parent_id),
                             nodes,
                             attachment: Some((border, up)),
+                            backups: Vec::new(),
                         });
                         next_frontier.push(domains.len() - 1);
                     }
                 }
             }
             frontier = next_frontier;
+        }
+
+        // Optional redundant backup gateways: the RNG is only consulted
+        // when the knob is set, so existing seeds stay byte-identical.
+        if self.redundant_gateway_prob > 0.0 {
+            for di in 1..domains.len() {
+                if domains[di].nodes.len() < 2 {
+                    continue;
+                }
+                if rng.gen::<f64>() >= self.redundant_gateway_prob {
+                    continue;
+                }
+                let (border, _) = domains[di].attachment.expect("non-root has attachment");
+                let level = domains[di].level;
+                let parent = domains[di].parent.expect("non-root has a parent");
+                let candidates: Vec<NodeId> = domains[di]
+                    .nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != border)
+                    .collect();
+                let b2 = candidates[rng.gen_range(0..candidates.len())];
+                let parent_nodes = &domains[parent.index()].nodes;
+                let up2 = parent_nodes[rng.gen_range(0..parent_nodes.len())];
+                let lo = self.base_delay.1 * 0.5f64.powi(level as i32);
+                let hi = self.base_delay.0 * 0.5f64.powi(level as i32 - 1);
+                let gw = if lo < hi { rng.gen_range(lo..hi) } else { lo };
+                if graph.link_between(b2, up2).is_none() {
+                    graph.add_link(b2, up2, gw).expect("fresh backup gateway");
+                }
+                domains[di].backups.push((b2, up2));
+            }
+        }
+
+        let depth = self.fanout.len() as u32 + 1;
+
+        // Spread the aggregated receiver population evenly over the leaf
+        // domains; remainder receivers land on the earliest leaves. The
+        // attachment point is the first non-border node so intra-domain
+        // repairs exercise real subtree structure.
+        let mut populations = Vec::new();
+        if self.population > 0 {
+            let leaves: Vec<usize> = domains
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.level == depth - 1)
+                .map(|(i, _)| i)
+                .collect();
+            let per = self.population / leaves.len() as u64;
+            let rem = (self.population % leaves.len() as u64) as usize;
+            for (i, &di) in leaves.iter().enumerate() {
+                let receivers = per + u64::from(i < rem);
+                if receivers == 0 {
+                    continue;
+                }
+                let receivers = u32::try_from(receivers).unwrap_or(u32::MAX);
+                let d = &domains[di];
+                let border = d.attachment.map(|(b, _)| b);
+                let node = d
+                    .nodes
+                    .iter()
+                    .copied()
+                    .find(|&n| Some(n) != border)
+                    .unwrap_or(d.nodes[0]);
+                populations.push(AggregatedPopulation {
+                    domain: d.id,
+                    node,
+                    receivers,
+                });
+            }
         }
 
         let mut node_domain = vec![DomainId::new(0); graph.node_count()];
@@ -224,7 +350,8 @@ impl NLevelConfig {
             graph,
             domains,
             node_domain,
-            depth: self.fanout.len() as u32 + 1,
+            depth,
+            populations,
         })
     }
 }
@@ -269,6 +396,7 @@ pub struct NLevelTopology {
     domains: Vec<LevelDomain>,
     node_domain: Vec<DomainId>,
     depth: u32,
+    populations: Vec<AggregatedPopulation>,
 }
 
 impl NLevelTopology {
@@ -319,6 +447,87 @@ impl NLevelTopology {
             cur = p;
         }
         out
+    }
+
+    /// Aggregated receiver populations attached to leaf domains.
+    pub fn populations(&self) -> &[AggregatedPopulation] {
+        &self.populations
+    }
+
+    /// Total aggregated receivers across all attachment points.
+    pub fn total_population(&self) -> u64 {
+        self.populations
+            .iter()
+            .map(|p| u64::from(p.receivers))
+            .sum()
+    }
+
+    /// The domain responsible for repairing a failure of `link`.
+    ///
+    /// An intra-domain link is owned by the domain both endpoints belong
+    /// to. A gateway link (child border ↔ parent node) is owned by the
+    /// **parent** side: the child cannot repair the loss of its own
+    /// attachment, so the failure escalates one level up.
+    pub fn owning_domain_of_link(&self, link: LinkId) -> DomainId {
+        let (a, b) = self.graph.link(link).endpoints();
+        let da = self.domain_of(a);
+        let db = self.domain_of(b);
+        if da == db {
+            return da;
+        }
+        if self.domains[da.index()].parent == Some(db) {
+            return db;
+        }
+        if self.domains[db.index()].parent == Some(da) {
+            return da;
+        }
+        // Cross-branch link (not produced by the generator, but tolerated
+        // in hand-built topologies): the shallower domain owns it.
+        if self.domains[da.index()].level <= self.domains[db.index()].level {
+            da
+        } else {
+            db
+        }
+    }
+
+    /// Reinterprets a 2-level transit-stub topology as a depth-2 N-level
+    /// hierarchy with an identity [`DomainId`] mapping: the transit domain
+    /// becomes the level-0 root (id 0) and the stub domains become its
+    /// level-1 children in their original order. The flat graph is shared
+    /// byte-for-byte (same node and link ids), which is what makes the
+    /// differential levels=2 comparison against the legacy 2-level
+    /// recovery engine exact.
+    pub fn from_transit_stub(ts: &TransitStubTopology) -> NLevelTopology {
+        let graph = ts.graph().clone();
+        let root_id = ts.transit_domain().id();
+        let mut domains = Vec::with_capacity(ts.domains().len());
+        for d in ts.domains() {
+            let (level, parent) = match d.kind() {
+                DomainKind::Transit => (0, None),
+                DomainKind::Stub => (1, Some(root_id)),
+            };
+            domains.push(LevelDomain {
+                id: d.id(),
+                level,
+                parent,
+                nodes: d.nodes().to_vec(),
+                attachment: d.attachment(),
+                backups: Vec::new(),
+            });
+        }
+        let mut node_domain = vec![DomainId::new(0); graph.node_count()];
+        for d in &domains {
+            for &n in &d.nodes {
+                node_domain[n.index()] = d.id;
+            }
+        }
+        NLevelTopology {
+            graph,
+            domains,
+            node_domain,
+            depth: 2,
+            populations: Vec::new(),
+        }
     }
 }
 
@@ -424,5 +633,244 @@ mod tests {
         let a = three_level();
         let b = three_level();
         assert_eq!(a.graph().link_count(), b.graph().link_count());
+    }
+
+    /// Byte-level determinism: the same seed reproduces the identical
+    /// topology — every link tuple, domain roster, backup, and population.
+    #[test]
+    fn same_seed_reproduces_identical_topology_bytes() {
+        let build = || {
+            NLevelConfig::new(4)
+                .level(2, 3)
+                .level(2, 2)
+                .seed(42)
+                .redundant_gateway_prob(0.5)
+                .population(123_457)
+                .generate()
+                .unwrap()
+        };
+        let a = build();
+        let b = build();
+        let links = |t: &NLevelTopology| -> Vec<(NodeId, NodeId, u64, u64)> {
+            t.graph()
+                .link_ids()
+                .map(|l| {
+                    let link = t.graph().link(l);
+                    (
+                        link.a(),
+                        link.b(),
+                        link.delay().to_bits(),
+                        link.cost().to_bits(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(links(&a), links(&b));
+        for (da, db) in a.domains().iter().zip(b.domains()) {
+            assert_eq!(da.nodes(), db.nodes());
+            assert_eq!(da.attachment(), db.attachment());
+            assert_eq!(da.backup_attachments(), db.backup_attachments());
+        }
+        assert_eq!(a.populations(), b.populations());
+        // And a different seed actually changes something.
+        let c = NLevelConfig::new(4)
+            .level(2, 3)
+            .level(2, 2)
+            .seed(43)
+            .redundant_gateway_prob(0.5)
+            .population(123_457)
+            .generate()
+            .unwrap();
+        assert_ne!(links(&a), links(&c));
+    }
+
+    /// Single-node child domains are legal: the lone node doubles as the
+    /// border, the domain has no chords, and no backup gateway can be
+    /// drawn for it (a backup border must differ from the primary).
+    #[test]
+    fn single_node_domains_are_borders_without_backups() {
+        let t = NLevelConfig::new(3)
+            .level(2, 1)
+            .seed(11)
+            .redundant_gateway_prob(1.0)
+            .generate()
+            .unwrap();
+        assert!(is_connected(t.graph()));
+        for d in t.leaf_domains() {
+            assert_eq!(d.nodes().len(), 1);
+            let (border, up) = d.attachment().unwrap();
+            assert_eq!(border, d.nodes()[0]);
+            assert!(t.root().contains(up));
+            assert!(d.backup_attachments().is_empty());
+        }
+    }
+
+    /// A depth-1 configuration degenerates to a flat single-domain graph.
+    #[test]
+    fn depth_one_tree_is_flat() {
+        let t = NLevelConfig::new(6).seed(3).generate().unwrap();
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.domains().len(), 1);
+        assert!(t.root().attachment().is_none());
+        assert_eq!(t.leaf_domains().count(), 1);
+        assert_eq!(t.root().nodes().len(), t.graph().node_count());
+        assert!(is_connected(t.graph()));
+        for n in t.graph().node_ids() {
+            assert_eq!(t.domain_of(n), t.root().id());
+        }
+        // Every link is intra-root.
+        for l in t.graph().link_ids() {
+            assert_eq!(t.owning_domain_of_link(l), t.root().id());
+        }
+    }
+
+    #[test]
+    fn error_paths_return_invalid_parameter() {
+        for bad in [
+            NLevelConfig::new(1),
+            NLevelConfig::new(3).level(0, 4),
+            NLevelConfig::new(3).level(1, 0),
+            NLevelConfig::new(3).extra_edge_prob(-0.1),
+            NLevelConfig::new(3).redundant_gateway_prob(1.5),
+            NLevelConfig::new(3).redundant_gateway_prob(-0.5),
+        ] {
+            match bad.generate() {
+                Err(NetError::InvalidParameter { .. }) => {}
+                other => panic!("expected InvalidParameter, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn backup_gateways_land_in_parent_and_avoid_primary_border() {
+        let t = NLevelConfig::new(3)
+            .level(2, 4)
+            .level(2, 3)
+            .seed(17)
+            .redundant_gateway_prob(1.0)
+            .generate()
+            .unwrap();
+        let mut seen = 0;
+        for d in t.domains().iter().skip(1) {
+            assert_eq!(d.backup_attachments().len(), 1);
+            let (border, _) = d.attachment().unwrap();
+            for &(b2, up2) in d.backup_attachments() {
+                seen += 1;
+                assert!(d.contains(b2));
+                assert_ne!(b2, border);
+                let parent = d.parent().unwrap();
+                assert!(t.domains()[parent.index()].contains(up2));
+                assert!(t.graph().link_between(b2, up2).is_some());
+            }
+        }
+        assert!(seen > 0);
+    }
+
+    #[test]
+    fn zero_gateway_prob_leaves_seed_output_unchanged() {
+        let plain = three_level();
+        let knob = NLevelConfig::new(3)
+            .level(1, 4)
+            .level(2, 3)
+            .seed(5)
+            .redundant_gateway_prob(0.0)
+            .generate()
+            .unwrap();
+        assert_eq!(plain.graph().link_count(), knob.graph().link_count());
+        assert!(knob
+            .domains()
+            .iter()
+            .all(|d| d.backup_attachments().is_empty()));
+        assert!(knob.populations().is_empty());
+    }
+
+    #[test]
+    fn population_spreads_evenly_with_remainder_on_earliest_leaves() {
+        let t = NLevelConfig::new(3)
+            .level(1, 4)
+            .level(2, 3)
+            .seed(5)
+            .population(1_000_003)
+            .generate()
+            .unwrap();
+        let leaves: Vec<_> = t.leaf_domains().collect();
+        assert_eq!(t.populations().len(), leaves.len());
+        assert_eq!(t.total_population(), 1_000_003);
+        let per = 1_000_003u64 / leaves.len() as u64;
+        for (i, p) in t.populations().iter().enumerate() {
+            let expect = per + u64::from(i < (1_000_003 % leaves.len() as u64) as usize);
+            assert_eq!(u64::from(p.receivers), expect);
+            let d = &t.domains()[p.domain.index()];
+            assert_eq!(d.id(), leaves[i].id());
+            assert!(d.contains(p.node));
+            // Multi-node leaves attach the population off the border.
+            if d.nodes().len() > 1 {
+                assert_ne!(Some(p.node), d.attachment().map(|(b, _)| b));
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_population_lands_on_earliest_leaves_only() {
+        let t = NLevelConfig::new(3)
+            .level(2, 2)
+            .seed(8)
+            .population(2)
+            .generate()
+            .unwrap();
+        assert!(t.leaf_domains().count() > 2);
+        assert_eq!(t.populations().len(), 2);
+        assert_eq!(t.total_population(), 2);
+        assert!(t.populations().iter().all(|p| p.receivers == 1));
+    }
+
+    #[test]
+    fn link_ownership_is_intra_domain_or_parent_side() {
+        let t = three_level();
+        for l in t.graph().link_ids() {
+            let (a, b) = t.graph().link(l).endpoints();
+            let owner = t.owning_domain_of_link(l);
+            let (da, db) = (t.domain_of(a), t.domain_of(b));
+            if da == db {
+                assert_eq!(owner, da);
+            } else {
+                // Gateway: owner is the shallower (parent) side.
+                let (od, other) = if owner == da { (da, db) } else { (db, da) };
+                assert_eq!(owner, od);
+                assert_eq!(t.domains()[other.index()].parent(), Some(owner));
+            }
+        }
+    }
+
+    #[test]
+    fn transit_stub_converts_with_identity_domain_ids() {
+        let ts = crate::transit_stub::TransitStubConfig::new()
+            .transit_nodes(4)
+            .stubs_per_transit_node(2)
+            .stub_nodes(5)
+            .seed(21)
+            .generate()
+            .unwrap();
+        let t = NLevelTopology::from_transit_stub(&ts);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.domains().len(), ts.domains().len());
+        assert_eq!(t.graph().node_count(), ts.graph().node_count());
+        assert_eq!(t.graph().link_count(), ts.graph().link_count());
+        assert_eq!(t.root().id(), ts.transit_domain().id());
+        assert_eq!(t.root().level(), 0);
+        for (nd, od) in t.domains().iter().zip(ts.domains()) {
+            assert_eq!(nd.id(), od.id());
+            assert_eq!(nd.nodes(), od.nodes());
+            assert_eq!(nd.attachment(), od.attachment());
+        }
+        for n in t.graph().node_ids() {
+            assert_eq!(t.domain_of(n), ts.domain_of(n));
+        }
+        // Gateway links are owned by the transit (root) side.
+        for stub in ts.stub_domains() {
+            let (border, up) = stub.attachment().unwrap();
+            let l = t.graph().link_between(border, up).unwrap();
+            assert_eq!(t.owning_domain_of_link(l), t.root().id());
+        }
     }
 }

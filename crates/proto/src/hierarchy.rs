@@ -1,26 +1,38 @@
-//! The hierarchical recovery architecture of §3.3.3.
+//! The hierarchical recovery architecture of §3.3.3, generalized to
+//! arbitrary N-level domain trees.
 //!
-//! A 2-level instantiation of the paper's N-level model on a transit-stub
-//! topology: members are clustered into stub (level-1) *recovery domains*,
-//! each served by an **agent** — the domain's border node — acting as the
-//! multicast source for members inside the domain. The agents themselves
-//! form a level-0 session across the transit domain, rooted at the agent of
-//! the domain that hosts the real source (which relays the source's data).
+//! Every *active* domain — one hosting the source, members, aggregated
+//! populations, or lying on an ancestry chain between them — runs its own
+//! SMRP session over the domain's induced subgraph: rooted at the real
+//! source in the source's domain, at the upward-relaying agent on the
+//! source's ancestry chain, and at the domain's border agent everywhere
+//! else. Child-domain agents appear as members of their parent domain's
+//! session, weighted by the total receiver population they serve, so the
+//! parent's Eq. 2 `SHR`/`N` state aggregates entire subtrees of domains.
 //!
 //! The payoff is failure *confinement*: a broken component is attributed to
-//! the recovery domain that owns it ([`HierarchicalSession::domain_of_link`])
-//! and the repair — a local detour computed inside that domain's subgraph —
-//! never touches the rest of the tree. [`HierarchicalSession::recover`]
-//! returns both the restoration path (in global node ids) and the set of
-//! domains that had to participate, which the `hierarchy` experiment
-//! compares against flat recovery.
+//! the recovery domain that owns it (the common domain of a link's
+//! endpoints, or the parent side of a gateway link) and the repair — a
+//! local detour computed inside that domain's subgraph — never touches the
+//! rest of the tree. When a domain's primary border attachment itself dies
+//! and the domain has a redundant gateway, the parent *elects* a new agent
+//! through the backup attachment instead of giving up; only then does a
+//! second domain participate.
+//!
+//! The 2-level transit-stub instantiation the paper evaluates is
+//! [`HierarchicalSession`], now a thin wrapper over [`NLevelSession`] at
+//! `levels = 2` (see [`NLevelTopology::from_transit_stub`]); the
+//! `hierarchy_differential` test proves the wrapper reproduces the original
+//! 2-level engine case-for-case.
 
 use smrp_core::recovery::{self, DetourKind};
 use smrp_core::{MulticastTree, SmrpConfig, SmrpError, SmrpSession};
+use smrp_net::dijkstra::{self, Constraints};
+use smrp_net::nlevel::{AggregatedPopulation, NLevelTopology};
 use smrp_net::transit_stub::{DomainId, TransitStubTopology};
-use smrp_net::{FailureScenario, Graph, LinkId, NodeId};
+use smrp_net::{FailureScenario, Graph, LinkId, NodeId, Path};
 
-/// Where a failure landed in the hierarchy.
+/// Where a failure landed in the 2-level (transit-stub) hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailureScope {
     /// Inside one stub recovery domain.
@@ -29,11 +41,11 @@ pub enum FailureScope {
     Transit,
 }
 
-/// One level-1 or level-0 session: a tree over a domain subgraph.
+/// One per-domain session: a tree over a domain subgraph.
 #[derive(Debug, Clone)]
 struct DomainSession {
-    /// Induced subgraph of the domain (plus, for the transit session, the
-    /// attached agents).
+    /// Induced subgraph of the domain (plus the borders of its active
+    /// children, whose gateway links are induced automatically).
     graph: Graph,
     /// Local-to-global node id mapping.
     to_global: Vec<NodeId>,
@@ -48,7 +60,7 @@ impl DomainSession {
         parent: &Graph,
         nodes: &[NodeId],
         source_global: NodeId,
-        members_global: &[NodeId],
+        members_global: &[(NodeId, u32)],
         config: SmrpConfig,
     ) -> Result<Self, SmrpError> {
         let (graph, to_global) = parent.induced_subgraph(nodes);
@@ -59,10 +71,10 @@ impl DomainSession {
         let source =
             to_local[source_global.index()].ok_or(SmrpError::UnknownNode(source_global))?;
         let mut sess = SmrpSession::new(&graph, source, config)?;
-        for &m in members_global {
+        for &(m, w) in members_global {
             let local = to_local[m.index()].ok_or(SmrpError::UnknownNode(m))?;
             if local != source {
-                sess.join(local)?;
+                sess.join_weighted(local, w)?;
             }
         }
         let tree = sess.tree().clone();
@@ -97,7 +109,7 @@ impl DomainSession {
     }
 }
 
-/// Outcome of a confined recovery.
+/// Outcome of a confined recovery in the 2-level instantiation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HierarchicalRecovery {
     /// Which level handled the failure.
@@ -114,291 +126,128 @@ pub struct HierarchicalRecovery {
     pub domains_involved: usize,
 }
 
-/// A 2-level hierarchical SMRP session over a transit-stub topology.
-#[derive(Debug, Clone)]
-pub struct HierarchicalSession<'t> {
-    topo: &'t TransitStubTopology,
-    /// Stub sessions indexed by domain id (None for memberless stubs and
-    /// for the transit slot).
-    stubs: Vec<Option<DomainSession>>,
-    transit: DomainSession,
-    source: NodeId,
-    members: Vec<NodeId>,
+/// A new-agent election performed when a domain's primary border
+/// attachment died and a redundant backup gateway could take over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentElection {
+    /// The child domain whose attachment was lost.
+    pub domain: DomainId,
+    /// The dead primary agent (the old border node).
+    pub old_agent: NodeId,
+    /// The newly elected agent (the backup border node).
+    pub new_agent: NodeId,
+    /// The parent-domain node the backup gateway attaches through.
+    pub parent_attach: NodeId,
 }
 
-impl<'t> HierarchicalSession<'t> {
-    /// Builds the hierarchy: per-stub SMRP sessions rooted at each stub's
-    /// agent, plus a transit-level session connecting the active agents.
-    ///
-    /// `source` and every member must live in stub domains.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the source or a member is not inside a stub domain, or if
-    /// tree construction fails.
-    pub fn build(
-        topo: &'t TransitStubTopology,
-        source: NodeId,
-        members: &[NodeId],
-        config: SmrpConfig,
-    ) -> Result<Self, SmrpError> {
-        let graph = topo.graph();
-        let source_domain = topo.domain_of(source);
-        if source_domain == topo.transit_domain().id() {
-            return Err(SmrpError::InvalidConfig {
-                name: "source",
-                reason: "the source must live in a stub domain",
-            });
-        }
+/// One wire-installable recovery plan: the restoration path to load into
+/// a fragment root's router lane ahead of a simulated failure run.
+///
+/// For a confined repair the path is exactly the analytic restoration
+/// path (fragment root → in-domain attach). For a new-agent election it
+/// runs from the orphaned child border through the child domain to the
+/// backup border, across the backup gateway, and up the owner domain
+/// toward the session root — the graft cascade merges at the first live
+/// on-tree relay it meets, so the tail past the merge point is unused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePlan {
+    /// The fragment root the plan is installed at (global id).
+    pub member: NodeId,
+    /// Hop-adjacent restoration path in global ids, `member` first.
+    pub path: Vec<NodeId>,
+    /// One-way propagation delay of `path`, in milliseconds.
+    pub delay_ms: f64,
+}
 
-        let mut stubs: Vec<Option<DomainSession>> = vec![None; topo.domains().len()];
-        let mut active_agents: Vec<(DomainId, NodeId)> = Vec::new();
-
-        for stub in topo.stub_domains() {
-            let mut domain_members: Vec<NodeId> = members
-                .iter()
-                .copied()
-                .filter(|m| topo.domain_of(*m) == stub.id())
-                .collect();
-            let hosts_source = stub.id() == source_domain;
-            if domain_members.is_empty() && !hosts_source {
-                continue;
-            }
-            let (border, _) = stub.attachment().expect("stub domains have attachments");
-            if hosts_source {
-                // Inside the source's domain, the agent is a *member*
-                // relaying to the rest of the hierarchy (paper: "the agent
-                // acts as a multicast member"), and the session is rooted
-                // at the real source.
-                if !domain_members.contains(&border) && border != source {
-                    domain_members.push(border);
-                }
-                let sess =
-                    DomainSession::build(graph, stub.nodes(), source, &domain_members, config)?;
-                stubs[stub.id().index()] = Some(sess);
-            } else {
-                let sess =
-                    DomainSession::build(graph, stub.nodes(), border, &domain_members, config)?;
-                stubs[stub.id().index()] = Some(sess);
-            }
-            active_agents.push((stub.id(), border));
-        }
-
-        // Transit-level session: transit nodes plus the active agents;
-        // rooted at the source domain's agent.
-        let (source_agent, _) = topo.domains()[source_domain.index()]
-            .attachment()
-            .expect("source domain is a stub");
-        let mut transit_nodes: Vec<NodeId> = topo.transit_domain().nodes().to_vec();
-        for &(_, agent) in &active_agents {
-            transit_nodes.push(agent);
-        }
-        let transit_members: Vec<NodeId> = active_agents
-            .iter()
-            .map(|&(_, a)| a)
-            .filter(|&a| a != source_agent)
-            .collect();
-        let transit = DomainSession::build(
-            graph,
-            &transit_nodes,
-            source_agent,
-            &transit_members,
-            config,
-        )?;
-
-        Ok(HierarchicalSession {
-            topo,
-            stubs,
-            transit,
-            source,
-            members: members.to_vec(),
-        })
-    }
-
-    /// The real multicast source.
-    pub fn source(&self) -> NodeId {
-        self.source
-    }
-
-    /// All members.
-    pub fn members(&self) -> &[NodeId] {
-        &self.members
-    }
-
-    /// Attributes a link failure to its owning recovery domain.
-    pub fn domain_of_link(&self, link: LinkId) -> FailureScope {
-        let l = self.topo.graph().link(link);
-        let da = self.topo.domain_of(l.a());
-        let db = self.topo.domain_of(l.b());
-        let transit_id = self.topo.transit_domain().id();
-        if da == db && da != transit_id {
-            FailureScope::Stub(da)
-        } else {
-            FailureScope::Transit
-        }
-    }
-
-    /// Members (global ids) served through `domain` — those inside it, or,
-    /// for the transit scope, members of every stub whose agent is cut off.
-    fn members_in_stub(&self, domain: DomainId) -> Vec<NodeId> {
-        self.members
-            .iter()
-            .copied()
-            .filter(|m| self.topo.domain_of(*m) == domain)
-            .collect()
-    }
-
-    /// Recovers from a single link failure, confining the repair to the
-    /// owning recovery domain (the paper's Figure 6 walk-through).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error message when a fragment cannot be repaired inside
-    /// its domain (the domain's subgraph offers no detour).
-    pub fn recover(&self, link: LinkId) -> Result<HierarchicalRecovery, String> {
-        let scope = self.domain_of_link(link);
-        let graph = self.topo.graph();
-        let scenario = FailureScenario::link(link);
-
-        let (session, affected_members) = match scope {
-            FailureScope::Stub(d) => {
-                let Some(sess) = self.stubs[d.index()].as_ref() else {
-                    // The failure landed in a domain with no session state:
-                    // nobody is affected and nothing needs repair.
-                    return Ok(HierarchicalRecovery {
-                        scope,
-                        affected_members: Vec::new(),
-                        restoration_paths: Vec::new(),
-                        recovery_distance: 0.0,
-                        domains_involved: 0,
-                    });
-                };
-                (sess, self.members_in_stub(d))
-            }
-            FailureScope::Transit => {
-                // Affected members: every stub whose agent loses the
-                // transit feed.
-                (&self.transit, Vec::new())
-            }
-        };
-
-        let local_scenario = session.localize_scenario(graph, &scenario);
-        if local_scenario.is_empty() {
-            // The failed component is not part of this domain's subgraph:
-            // nothing on the tree is affected.
-            return Ok(HierarchicalRecovery {
-                scope,
-                affected_members: Vec::new(),
-                restoration_paths: Vec::new(),
-                recovery_distance: 0.0,
-                domains_involved: 0,
-            });
-        }
-
-        // Fragment roots within the domain tree.
-        let mut paths = Vec::new();
-        let mut total_rd = 0.0;
-        let mut any_affected = false;
-        for n in session.tree.on_tree_nodes() {
-            let Some(p) = session.tree.parent(n) else {
-                continue;
-            };
-            let Some(l) = session.graph.link_between(n, p) else {
-                continue;
-            };
-            if local_scenario.link_usable(&session.graph, l) {
-                continue;
-            }
-            any_affected = true;
-            let rec = recovery::recover(
-                &session.graph,
-                &session.tree,
-                &local_scenario,
-                n,
-                DetourKind::Local,
-            )
-            .map_err(|e| format!("fragment at {n} cannot recover inside its domain: {e}"))?;
-            total_rd += rec.recovery_distance();
-            paths.push(
-                rec.restoration_path()
-                    .nodes()
-                    .iter()
-                    .map(|ln| session.to_global[ln.index()])
-                    .collect::<Vec<NodeId>>(),
-            );
-        }
-
-        let affected = if any_affected {
-            match scope {
-                FailureScope::Stub(_) => affected_members,
-                FailureScope::Transit => {
-                    // Every member behind an agent that was in an affected
-                    // fragment. Conservative: all members outside the
-                    // source domain whose agent's transit path used the
-                    // link.
-                    let mut out = Vec::new();
-                    let local = &self.transit;
-                    let affected_local =
-                        recovery::affected_members(&local.graph, &local.tree, &local_scenario);
-                    for a in affected_local {
-                        let agent_global = local.to_global[a.index()];
-                        let d = self.topo.domain_of(agent_global);
-                        out.extend(self.members_in_stub(d));
-                    }
-                    out
-                }
-            }
-        } else {
-            Vec::new()
-        };
-
-        Ok(HierarchicalRecovery {
-            scope,
-            affected_members: affected,
-            restoration_paths: paths,
-            recovery_distance: total_rd,
-            domains_involved: usize::from(any_affected),
-        })
-    }
+/// Outcome of an N-level domain-confined recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainRecovery {
+    /// The domain that owned and repaired the failure.
+    pub owner: DomainId,
+    /// Real members (global ids) that lost service, conservatively: when
+    /// the owner's tree was hit, every member it serves directly plus every
+    /// member under each affected child agent's domain subtree.
+    pub affected_members: Vec<NodeId>,
+    /// Total receivers that lost service: one per affected member plus the
+    /// aggregated populations under affected domains.
+    pub affected_population: u64,
+    /// Restoration paths in global node ids, one per disconnected fragment
+    /// root inside the owning domain.
+    pub restoration_paths: Vec<Vec<NodeId>>,
+    /// Total recovery distance (sum over restoration paths).
+    pub recovery_distance: f64,
+    /// Number of domains whose state was touched by the repair: 0 when
+    /// nothing was affected, 1 for a confined repair, `1 + elected` when
+    /// border attachments died and new agents were elected.
+    pub domains_involved: usize,
+    /// New-agent elections performed (empty for a confined repair).
+    pub elections: Vec<AgentElection>,
+    /// Wire-installable plans, one per disconnected fragment root — the
+    /// seam into `MultiSession::run_failure_planned_traced`.
+    pub plans: Vec<WirePlan>,
 }
 
 /// An N-level hierarchical SMRP session (§3.3.3's generalization) over an
 /// [`NLevelTopology`].
 ///
-/// Each *active* domain — one hosting the source, hosting members, or
-/// lying on the path between them — runs its own SMRP session: rooted at
-/// the real source in the source's domain, at the upward-relaying agent on
-/// the source's ancestry chain, and at the domain's border agent
-/// everywhere else. Child-domain agents appear as members of their parent
-/// domain's session, wiring the levels together exactly as Figure 6
-/// sketches for two levels.
+/// Owns a clone of the topology so campaign drivers can hold sessions
+/// without self-referential lifetimes. Aggregated populations declared on
+/// the topology join their leaf-domain sessions weighted by receiver
+/// count, and child agents join parent sessions weighted by the total
+/// population they serve (aggregated Eq. 2).
 #[derive(Debug, Clone)]
-pub struct NLevelSession<'t> {
-    topo: &'t NLevelTopology,
+pub struct NLevelSession {
+    topo: NLevelTopology,
     sessions: Vec<Option<DomainSession>>,
     source: NodeId,
     members: Vec<NodeId>,
+    populations: Vec<AggregatedPopulation>,
 }
 
-use smrp_net::nlevel::NLevelTopology;
+/// Appends `(node, w)` to a weighted member list, merging weights when the
+/// node is already present (e.g. a population attached at a member node).
+fn push_weighted(list: &mut Vec<(NodeId, u32)>, node: NodeId, w: u32) {
+    if let Some(entry) = list.iter_mut().find(|e| e.0 == node) {
+        entry.1 = entry.1.saturating_add(w);
+    } else {
+        list.push((node, w));
+    }
+}
 
-impl<'t> NLevelSession<'t> {
-    /// Builds the hierarchy of per-domain sessions.
+impl NLevelSession {
+    /// Builds the hierarchy of per-domain sessions, using the aggregated
+    /// populations declared on the topology.
     ///
     /// # Errors
     ///
     /// Fails if tree construction fails inside any active domain.
     pub fn build(
-        topo: &'t NLevelTopology,
+        topo: &NLevelTopology,
         source: NodeId,
         members: &[NodeId],
+        config: SmrpConfig,
+    ) -> Result<Self, SmrpError> {
+        Self::build_weighted(topo, source, members, topo.populations(), config)
+    }
+
+    /// Builds the hierarchy with an explicit population list (overriding
+    /// whatever the topology declares).
+    ///
+    /// # Errors
+    ///
+    /// Fails if tree construction fails inside any active domain.
+    pub fn build_weighted(
+        topo: &NLevelTopology,
+        source: NodeId,
+        members: &[NodeId],
+        populations: &[AggregatedPopulation],
         config: SmrpConfig,
     ) -> Result<Self, SmrpError> {
         let graph = topo.graph();
         let n_domains = topo.domains().len();
 
-        // Mark active domains: hosts of the source/members plus all their
-        // ancestors (traffic transits through them).
+        // Mark active domains: hosts of the source/members/populations plus
+        // all their ancestors (traffic transits through them).
         let mut active = vec![false; n_domains];
         let mark = |active: &mut Vec<bool>, d: DomainId| {
             for a in topo.ancestry(d) {
@@ -408,6 +257,25 @@ impl<'t> NLevelSession<'t> {
         mark(&mut active, topo.domain_of(source));
         for &m in members {
             mark(&mut active, topo.domain_of(m));
+        }
+        for p in populations {
+            mark(&mut active, p.domain);
+        }
+
+        // Receivers served under each domain's subtree: real members count
+        // one, populations count their receivers. Child agents join parent
+        // sessions with this weight so Eq. 2 aggregates whole subtrees.
+        let mut served = vec![0u64; n_domains];
+        let credit = |served: &mut Vec<u64>, d: DomainId, w: u64| {
+            for a in topo.ancestry(d) {
+                served[a.index()] += w;
+            }
+        };
+        for &m in members {
+            credit(&mut served, topo.domain_of(m), 1);
+        }
+        for p in populations {
+            credit(&mut served, p.domain, u64::from(p.receivers));
         }
 
         // The source's ancestry chain (domain ids), for root selection.
@@ -423,7 +291,7 @@ impl<'t> NLevelSession<'t> {
             // Subgraph: the domain's nodes plus the borders of its active
             // children (their gateway links are induced automatically).
             let mut nodes: Vec<NodeId> = domain.nodes().to_vec();
-            let mut child_agents: Vec<NodeId> = Vec::new();
+            let mut child_agents: Vec<(NodeId, u32)> = Vec::new();
             let mut source_child_agent = None;
             for child in topo.children_of(domain.id()) {
                 if !active[child.id().index()] {
@@ -434,7 +302,8 @@ impl<'t> NLevelSession<'t> {
                 if source_chain.contains(&child.id()) {
                     source_child_agent = Some(border);
                 } else {
-                    child_agents.push(border);
+                    let w = u32::try_from(served[child.id().index()].max(1)).unwrap_or(u32::MAX);
+                    child_agents.push((border, w));
                 }
             }
 
@@ -451,22 +320,31 @@ impl<'t> NLevelSession<'t> {
                     .expect("non-root domains have borders")
             };
 
-            // Local members: real members here, active child agents, and —
+            // Local members: real members here, this domain's aggregated
+            // populations, active child agents (population-weighted), and —
             // on the source chain below the root domain — this domain's own
             // border so data keeps flowing upward.
-            let mut local_members: Vec<NodeId> = members
-                .iter()
-                .copied()
-                .filter(|m| domain.contains(*m))
-                .collect();
-            local_members.extend(child_agents);
-            if on_source_chain && domain.parent().is_some() {
-                let (border, _) = domain.attachment().expect("non-root domain");
-                if border != local_root && !local_members.contains(&border) {
-                    local_members.push(border);
+            let mut local_members: Vec<(NodeId, u32)> = Vec::new();
+            for &m in members {
+                if domain.contains(m) {
+                    push_weighted(&mut local_members, m, 1);
                 }
             }
-            local_members.retain(|&m| m != local_root);
+            for p in populations {
+                if p.domain == domain.id() {
+                    push_weighted(&mut local_members, p.node, p.receivers);
+                }
+            }
+            for (agent, w) in child_agents {
+                push_weighted(&mut local_members, agent, w);
+            }
+            if on_source_chain && domain.parent().is_some() {
+                let (border, _) = domain.attachment().expect("non-root domain");
+                if border != local_root && !local_members.iter().any(|e| e.0 == border) {
+                    local_members.push((border, 1));
+                }
+            }
+            local_members.retain(|&(m, _)| m != local_root);
 
             sessions[domain.id().index()] = Some(DomainSession::build(
                 graph,
@@ -478,10 +356,11 @@ impl<'t> NLevelSession<'t> {
         }
 
         Ok(NLevelSession {
-            topo,
+            topo: topo.clone(),
             sessions,
             source,
             members: members.to_vec(),
+            populations: populations.to_vec(),
         })
     }
 
@@ -490,9 +369,30 @@ impl<'t> NLevelSession<'t> {
         self.source
     }
 
-    /// All members.
+    /// All real members.
     pub fn members(&self) -> &[NodeId] {
         &self.members
+    }
+
+    /// The aggregated populations this session serves.
+    pub fn populations(&self) -> &[AggregatedPopulation] {
+        &self.populations
+    }
+
+    /// Total receivers served: one per real member plus every aggregated
+    /// population.
+    pub fn total_population(&self) -> u64 {
+        self.members.len() as u64
+            + self
+                .populations
+                .iter()
+                .map(|p| u64::from(p.receivers))
+                .sum::<u64>()
+    }
+
+    /// The topology this session runs over.
+    pub fn topology(&self) -> &NLevelTopology {
+        &self.topo
     }
 
     /// Number of domains running a session.
@@ -500,57 +400,125 @@ impl<'t> NLevelSession<'t> {
         self.sessions.iter().flatten().count()
     }
 
+    /// Ids of the domains running a session, in domain order.
+    pub fn active_domain_ids(&self) -> Vec<DomainId> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| DomainId::new(i))
+            .collect()
+    }
+
+    /// The global node set of a domain's session subgraph (the domain's
+    /// nodes plus its active children's borders), or `None` for an
+    /// inactive domain. Control messages of a domain-confined repair stay
+    /// inside this set — the `DomainLocality` audit's ground truth.
+    pub fn domain_session_nodes(&self, domain: DomainId) -> Option<&[NodeId]> {
+        self.sessions[domain.index()]
+            .as_ref()
+            .map(|s| s.to_global.as_slice())
+    }
+
+    /// The session root (agent or real source) of an active domain, in
+    /// global node ids.
+    pub fn domain_root(&self, domain: DomainId) -> Option<NodeId> {
+        self.sessions[domain.index()]
+            .as_ref()
+            .map(|s| s.to_global[s.tree.source().index()])
+    }
+
+    /// Weighted members of an active domain's session in global node ids
+    /// (real members, population attachment points, and child agents).
+    pub fn domain_members_global(&self, domain: DomainId) -> Option<Vec<(NodeId, u32)>> {
+        let s = self.sessions[domain.index()].as_ref()?;
+        Some(
+            s.tree
+                .members()
+                .map(|m| (s.to_global[m.index()], s.tree.member_weight(m)))
+                .collect(),
+        )
+    }
+
+    /// Re-expresses an active domain's session tree in global node ids
+    /// over the full topology graph, so wire-level drivers can run one
+    /// protocol lane per domain on the shared graph.
+    pub fn domain_tree_global(&self, domain: DomainId) -> Option<MulticastTree> {
+        let s = self.sessions[domain.index()].as_ref()?;
+        let graph = self.topo.graph();
+        let root = s.to_global[s.tree.source().index()];
+        let mut tree = MulticastTree::new(graph, root).ok()?;
+        for m in s.tree.members() {
+            // Chain from the member back toward the root, trimmed at the
+            // first node already on the global tree (the merger).
+            let mut chain = Vec::new();
+            let mut cur = Some(m);
+            while let Some(u) = cur {
+                let g = s.to_global[u.index()];
+                chain.push(g);
+                if tree.is_on_tree(g) {
+                    break;
+                }
+                cur = s.tree.parent(u);
+            }
+            if chain.len() > 1 {
+                tree.attach_path(&Path::new(chain));
+            }
+            let m_global = s.to_global[m.index()];
+            tree.set_member(m_global, true).ok()?;
+            let w = s.tree.member_weight(m);
+            if w != 1 {
+                tree.set_member_weight(m_global, w).ok()?;
+            }
+        }
+        Some(tree)
+    }
+
     /// Attributes a link failure to the domain that owns it: the common
     /// domain of its endpoints, or — for a gateway link — the parent-side
     /// domain.
     pub fn owning_domain(&self, link: LinkId) -> DomainId {
-        let l = self.topo.graph().link(link);
-        let da = self.topo.domain_of(l.a());
-        let db = self.topo.domain_of(l.b());
-        if da == db {
-            return da;
-        }
-        // Gateway: one endpoint's domain is the parent of the other's.
-        let parent_a = self.topo.domains()[da.index()].parent();
-        if parent_a == Some(db) {
-            db
-        } else {
-            da
-        }
+        self.topo.owning_domain_of_link(link)
     }
 
-    /// Recovers from a single link failure inside its owning domain.
+    /// Recovers from a single link failure inside its owning domain,
+    /// electing new agents through backup gateways when a child's primary
+    /// attachment died.
     ///
     /// # Errors
     ///
     /// Returns a message when the owning domain's subgraph offers no
-    /// detour.
-    pub fn recover(&self, link: LinkId) -> Result<HierarchicalRecovery, String> {
+    /// detour and no backup attachment can take over.
+    pub fn recover(&self, link: LinkId) -> Result<DomainRecovery, String> {
         let owner = self.owning_domain(link);
         let graph = self.topo.graph();
         let scenario = FailureScenario::link(link);
+        let empty = |owner| DomainRecovery {
+            owner,
+            affected_members: Vec::new(),
+            affected_population: 0,
+            restoration_paths: Vec::new(),
+            recovery_distance: 0.0,
+            domains_involved: 0,
+            elections: Vec::new(),
+            plans: Vec::new(),
+        };
         let Some(session) = self.sessions[owner.index()].as_ref() else {
-            return Ok(HierarchicalRecovery {
-                scope: FailureScope::Stub(owner),
-                affected_members: Vec::new(),
-                restoration_paths: Vec::new(),
-                recovery_distance: 0.0,
-                domains_involved: 0,
-            });
+            // The failure landed in a domain with no session state: nobody
+            // is affected and nothing needs repair.
+            return Ok(empty(owner));
         };
         let local_scenario = session.localize_scenario(graph, &scenario);
         if local_scenario.is_empty() {
-            return Ok(HierarchicalRecovery {
-                scope: FailureScope::Stub(owner),
-                affected_members: Vec::new(),
-                restoration_paths: Vec::new(),
-                recovery_distance: 0.0,
-                domains_involved: 0,
-            });
+            // The failed component is not part of this domain's subgraph:
+            // nothing on the tree is affected.
+            return Ok(empty(owner));
         }
         let mut paths = Vec::new();
+        let mut plans = Vec::new();
         let mut total_rd = 0.0;
         let mut any_affected = false;
+        let mut elections: Vec<AgentElection> = Vec::new();
         for n in session.tree.on_tree_nodes() {
             let Some(p) = session.tree.parent(n) else {
                 continue;
@@ -562,59 +530,297 @@ impl<'t> NLevelSession<'t> {
                 continue;
             }
             any_affected = true;
-            let rec = recovery::recover(
+            match recovery::recover(
                 &session.graph,
                 &session.tree,
                 &local_scenario,
                 n,
                 DetourKind::Local,
-            )
-            .map_err(|e| format!("fragment at {n} cannot recover inside domain {owner}: {e}"))?;
-            total_rd += rec.recovery_distance();
-            paths.push(
-                rec.restoration_path()
-                    .nodes()
-                    .iter()
-                    .map(|ln| session.to_global[ln.index()])
-                    .collect::<Vec<NodeId>>(),
-            );
-        }
-        // Affected members: those whose domain's chain to the source runs
-        // through an affected agent — conservatively, members of the
-        // owning domain's subtree of domains when the failure bit.
-        let affected_members = if any_affected {
-            let affected_local =
-                recovery::affected_members(&session.graph, &session.tree, &local_scenario);
-            let mut out: Vec<NodeId> = Vec::new();
-            for a in affected_local {
-                let g = session.to_global[a.index()];
-                if self.members.contains(&g) {
-                    out.push(g);
-                } else {
-                    // An agent: every member under its domain subtree.
-                    let agent_domain = self.topo.domain_of(g);
-                    for &m in &self.members {
-                        if self
-                            .topo
-                            .ancestry(self.topo.domain_of(m))
-                            .contains(&agent_domain)
-                            && !out.contains(&m)
-                        {
-                            out.push(m);
+            ) {
+                Ok(rec) => {
+                    total_rd += rec.recovery_distance();
+                    let global: Vec<NodeId> = rec
+                        .restoration_path()
+                        .nodes()
+                        .iter()
+                        .map(|ln| session.to_global[ln.index()])
+                        .collect();
+                    plans.push(WirePlan {
+                        member: global[0],
+                        path: global.clone(),
+                        delay_ms: rec.restoration_path().delay(&session.graph),
+                    });
+                    paths.push(global);
+                }
+                Err(e) => {
+                    // No in-domain detour. If the fragment root is a child
+                    // agent whose attachment died, elect a new agent over a
+                    // backup gateway; otherwise the failure is fatal here.
+                    match self.try_elect(owner, session, &scenario, &local_scenario, n) {
+                        Some((election, path, dist, plan)) => {
+                            total_rd += dist;
+                            paths.push(path);
+                            elections.push(election);
+                            plans.push(plan);
+                        }
+                        None => {
+                            return Err(format!(
+                                "fragment at {n} cannot recover inside domain {owner}: {e}"
+                            ));
                         }
                     }
                 }
             }
-            out
+        }
+
+        // Affected members, conservatively (the reporting granularity of
+        // the paper's campaign): when the owner's tree was hit, every real
+        // member the owner serves directly, plus — for each affected child
+        // agent — every member and population under that child's domain
+        // subtree.
+        let mut affected = Vec::new();
+        let mut affected_population = 0u64;
+        if any_affected {
+            for &m in &self.members {
+                if self.topo.domain_of(m) == owner {
+                    affected.push(m);
+                    affected_population += 1;
+                }
+            }
+            for p in &self.populations {
+                if p.domain == owner {
+                    affected_population += u64::from(p.receivers);
+                }
+            }
+            let affected_local =
+                recovery::affected_members(&session.graph, &session.tree, &local_scenario);
+            for a in affected_local {
+                let g = session.to_global[a.index()];
+                let agent_domain = self.topo.domain_of(g);
+                if agent_domain == owner {
+                    continue;
+                }
+                for &m in &self.members {
+                    if self
+                        .topo
+                        .ancestry(self.topo.domain_of(m))
+                        .contains(&agent_domain)
+                        && !affected.contains(&m)
+                    {
+                        affected.push(m);
+                        affected_population += 1;
+                    }
+                }
+                for p in &self.populations {
+                    if self.topo.ancestry(p.domain).contains(&agent_domain) {
+                        affected_population += u64::from(p.receivers);
+                    }
+                }
+            }
+        }
+
+        let domains_involved = if any_affected {
+            let mut elected: Vec<DomainId> = elections.iter().map(|e| e.domain).collect();
+            elected.dedup();
+            1 + elected.len()
         } else {
-            Vec::new()
+            0
         };
-        Ok(HierarchicalRecovery {
-            scope: FailureScope::Stub(owner),
-            affected_members,
+        Ok(DomainRecovery {
+            owner,
+            affected_members: affected,
+            affected_population,
             restoration_paths: paths,
             recovery_distance: total_rd,
-            domains_involved: usize::from(any_affected),
+            domains_involved,
+            elections,
+            plans,
+        })
+    }
+
+    /// Attempts a new-agent election for a fragment rooted at `n` (local to
+    /// `session`): if `n` is an active child's primary border and the child
+    /// has a scenario-usable backup gateway, returns the election, the
+    /// restoration path (owner-domain path to the backup's parent
+    /// attachment, then across the backup gateway to the new agent), its
+    /// delay, and the wire plan the orphaned agent installs (the same
+    /// corridor walked from its own side: through the child domain to the
+    /// backup border, across the backup gateway, up the owner domain).
+    fn try_elect(
+        &self,
+        owner: DomainId,
+        session: &DomainSession,
+        scenario: &FailureScenario,
+        local_scenario: &FailureScenario,
+        n: NodeId,
+    ) -> Option<(AgentElection, Vec<NodeId>, f64, WirePlan)> {
+        let graph = self.topo.graph();
+        let g = session.to_global[n.index()];
+        let child = self.topo.children_of(owner).find(|c| {
+            self.sessions[c.id().index()].is_some() && c.attachment().map(|(b, _)| b) == Some(g)
+        })?;
+        for &(b2, up2) in child.backup_attachments() {
+            let l = graph.link_between(b2, up2)?;
+            if !scenario.link_usable(graph, l)
+                || !scenario.node_usable(b2)
+                || !scenario.node_usable(up2)
+            {
+                continue;
+            }
+            // Reach the backup's parent attachment from the owner session's
+            // root without touching the failed component.
+            let up2_local = session.to_local[up2.index()]?;
+            let path = dijkstra::shortest_path_constrained(
+                &session.graph,
+                session.tree.source(),
+                up2_local,
+                Constraints::avoiding_failures(local_scenario),
+            )?;
+            // The dead agent's wire plan walks the corridor from its own
+            // side: child-domain leg to the backup border, the backup
+            // gateway, then the owner-domain leg reversed (up2 → root). The
+            // graft merges at the first live on-tree relay, so detour
+            // search still never left the two involved domains.
+            let child_session = self.sessions[child.id().index()].as_ref()?;
+            let child_scenario = child_session.localize_scenario(graph, scenario);
+            let child_leg = dijkstra::shortest_path_constrained(
+                &child_session.graph,
+                child_session.to_local[g.index()]?,
+                child_session.to_local[b2.index()]?,
+                Constraints::avoiding_failures(&child_scenario),
+            )?;
+            let mut wire_path: Vec<NodeId> = child_leg
+                .nodes()
+                .iter()
+                .map(|ln| child_session.to_global[ln.index()])
+                .collect();
+            wire_path.extend(
+                path.nodes()
+                    .iter()
+                    .rev()
+                    .map(|ln| session.to_global[ln.index()]),
+            );
+            let wire_delay = Path::new(wire_path.clone()).delay(graph);
+            let mut global_path: Vec<NodeId> = path
+                .nodes()
+                .iter()
+                .map(|ln| session.to_global[ln.index()])
+                .collect();
+            let dist = path.delay(&session.graph) + graph.link(l).delay();
+            global_path.push(b2);
+            return Some((
+                AgentElection {
+                    domain: child.id(),
+                    old_agent: g,
+                    new_agent: b2,
+                    parent_attach: up2,
+                },
+                global_path,
+                dist,
+                WirePlan {
+                    member: g,
+                    path: wire_path,
+                    delay_ms: wire_delay,
+                },
+            ));
+        }
+        None
+    }
+}
+
+/// A 2-level hierarchical SMRP session over a transit-stub topology — the
+/// instantiation the paper evaluates.
+///
+/// Since the N-level generalization landed this is a thin wrapper over
+/// [`NLevelSession`] on [`NLevelTopology::from_transit_stub`]; the
+/// `hierarchy_differential` test pins the wrapper to the original 2-level
+/// engine's behavior case-for-case.
+#[derive(Debug, Clone)]
+pub struct HierarchicalSession<'t> {
+    topo: &'t TransitStubTopology,
+    inner: NLevelSession,
+    members: Vec<NodeId>,
+}
+
+impl<'t> HierarchicalSession<'t> {
+    /// Builds the hierarchy: per-stub SMRP sessions rooted at each stub's
+    /// agent, plus a transit-level session connecting the active agents.
+    ///
+    /// `source` and every member must live in stub domains.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the source is not inside a stub domain, or if tree
+    /// construction fails.
+    pub fn build(
+        topo: &'t TransitStubTopology,
+        source: NodeId,
+        members: &[NodeId],
+        config: SmrpConfig,
+    ) -> Result<Self, SmrpError> {
+        let transit_id = topo.transit_domain().id();
+        if topo.domain_of(source) == transit_id {
+            return Err(SmrpError::InvalidConfig {
+                name: "source",
+                reason: "the source must live in a stub domain",
+            });
+        }
+        // Transit-domain members were silently ignored by the 2-level
+        // engine; keep that contract.
+        let stub_members: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|&m| topo.domain_of(m) != transit_id)
+            .collect();
+        let nlevel = NLevelTopology::from_transit_stub(topo);
+        let inner = NLevelSession::build(&nlevel, source, &stub_members, config)?;
+        Ok(HierarchicalSession {
+            topo,
+            inner,
+            members: members.to_vec(),
+        })
+    }
+
+    /// The real multicast source.
+    pub fn source(&self) -> NodeId {
+        self.inner.source()
+    }
+
+    /// All members.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Attributes a link failure to its owning recovery domain.
+    pub fn domain_of_link(&self, link: LinkId) -> FailureScope {
+        let owner = self.inner.owning_domain(link);
+        if owner == self.topo.transit_domain().id() {
+            FailureScope::Transit
+        } else {
+            FailureScope::Stub(owner)
+        }
+    }
+
+    /// Recovers from a single link failure, confining the repair to the
+    /// owning recovery domain (the paper's Figure 6 walk-through).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when a fragment cannot be repaired inside
+    /// its domain (the domain's subgraph offers no detour).
+    pub fn recover(&self, link: LinkId) -> Result<HierarchicalRecovery, String> {
+        let rec = self.inner.recover(link)?;
+        let scope = if rec.owner == self.topo.transit_domain().id() {
+            FailureScope::Transit
+        } else {
+            FailureScope::Stub(rec.owner)
+        };
+        Ok(HierarchicalRecovery {
+            scope,
+            affected_members: rec.affected_members,
+            restoration_paths: rec.restoration_paths,
+            recovery_distance: rec.recovery_distance,
+            domains_involved: rec.domains_involved,
         })
     }
 }
@@ -653,8 +859,9 @@ mod tests {
         let t = topo();
         let (source, members) = pick_members(&t);
         let h = HierarchicalSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
-        let active = h.stubs.iter().flatten().count();
-        assert_eq!(active, 3, "three stub domains host the source or members");
+        // Three stub domains host the source or members, plus the transit
+        // session at the root.
+        assert_eq!(h.inner.active_domains(), 4);
         assert_eq!(h.members().len(), 4);
     }
 
@@ -696,7 +903,7 @@ mod tests {
         // Find a stub-internal tree link in a member-hosting domain.
         let stubs: Vec<_> = t.stub_domains().collect();
         let target_domain = stubs[1].id();
-        let sess = h.stubs[target_domain.index()].as_ref().unwrap();
+        let sess = h.inner.sessions[target_domain.index()].as_ref().unwrap();
         let mut candidate = None;
         for n in sess.tree.on_tree_nodes() {
             if let Some(p) = sess.tree.parent(n) {
@@ -746,6 +953,41 @@ mod tests {
             let rec = h.recover(link).unwrap();
             assert!(rec.affected_members.is_empty());
             assert_eq!(rec.domains_involved, 0);
+        }
+    }
+
+    #[test]
+    fn transit_failure_is_handled_at_level_zero() {
+        let t = topo();
+        let (source, members) = pick_members(&t);
+        let h = HierarchicalSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+        // Fail a transit tree link used by some agent.
+        let root = t.transit_domain().id();
+        let sess = h.inner.sessions[root.index()].as_ref().unwrap();
+        let mut candidate = None;
+        for n in sess.tree.on_tree_nodes() {
+            if let Some(p) = sess.tree.parent(n) {
+                let a = sess.to_global[n.index()];
+                let b = sess.to_global[p.index()];
+                candidate = t.graph().link_between(a, b);
+                if candidate.is_some() {
+                    break;
+                }
+            }
+        }
+        let link = candidate.expect("transit session has tree links");
+        let rec = h.recover(link);
+        match rec {
+            Ok(r) => {
+                assert_eq!(r.scope, FailureScope::Transit);
+                // Repaired inside the transit domain only.
+                assert!(r.domains_involved <= 1);
+            }
+            Err(msg) => {
+                // Sparse transit domains may offer no detour; the error
+                // must say so explicitly.
+                assert!(msg.contains("cannot recover"), "{msg}");
+            }
         }
     }
 
@@ -799,6 +1041,7 @@ mod tests {
                 }
             }
             assert_eq!(h.active_domains(), expected.len());
+            assert_eq!(h.active_domain_ids().len(), expected.len());
         }
 
         #[test]
@@ -842,9 +1085,7 @@ mod tests {
             let (source, members) = pick(&t);
             let h = NLevelSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
             let sd = t.domain_of(source);
-            let sess = h.sessions[sd.index()].as_ref().unwrap();
-            let local_root = sess.tree.source();
-            assert_eq!(sess.to_global[local_root.index()], source);
+            assert_eq!(h.domain_root(sd), Some(source));
         }
 
         #[test]
@@ -858,39 +1099,144 @@ mod tests {
             let sess = h.sessions[root.index()].as_ref().unwrap();
             assert!(sess.tree.member_count() >= 1);
         }
-    }
 
-    #[test]
-    fn transit_failure_is_handled_at_level_zero() {
-        let t = topo();
-        let (source, members) = pick_members(&t);
-        let h = HierarchicalSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
-        // Fail a transit tree link used by some agent.
-        let sess = &h.transit;
-        let mut candidate = None;
-        for n in sess.tree.on_tree_nodes() {
-            if let Some(p) = sess.tree.parent(n) {
-                let a = sess.to_global[n.index()];
-                let b = sess.to_global[p.index()];
-                candidate = t.graph().link_between(a, b);
-                if candidate.is_some() {
-                    break;
+        #[test]
+        fn populations_weight_agents_up_the_chain() {
+            let t = NLevelConfig::new(3)
+                .level(2, 5)
+                .level(2, 4)
+                .extra_edge_prob(0.5)
+                .seed(21)
+                .population(100_000)
+                .generate()
+                .unwrap();
+            let (source, members) = pick(&t);
+            let h = NLevelSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+            assert_eq!(
+                h.total_population(),
+                members.len() as u64 + t.total_population()
+            );
+            // The root session's agents carry the populations below them:
+            // the sum of member weights at the root equals every receiver
+            // served outside the source's level-1 branch... at minimum, the
+            // root tree's population is far larger than its member count.
+            let root = t.root().id();
+            let weighted = h.domain_members_global(root).unwrap();
+            let total: u64 = weighted.iter().map(|&(_, w)| u64::from(w)).sum();
+            assert!(
+                total > 10_000,
+                "root agents carry aggregated populations, got {total}"
+            );
+            // And a leaf session carries its own population directly.
+            let p = &t.populations()[0];
+            let leaf_members = h.domain_members_global(p.domain);
+            if let Some(lm) = leaf_members {
+                if let Some(&(_, w)) = lm.iter().find(|&&(n, _)| n == p.node) {
+                    assert!(w >= p.receivers);
                 }
             }
         }
-        let link = candidate.expect("transit session has tree links");
-        let rec = h.recover(link);
-        match rec {
-            Ok(r) => {
-                assert_eq!(r.scope, FailureScope::Transit);
-                // Repaired inside the transit domain only.
-                assert!(r.domains_involved <= 1);
+
+        #[test]
+        fn domain_trees_reexport_to_global_coordinates() {
+            let t = topo();
+            let (source, members) = pick(&t);
+            let h = NLevelSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+            for d in h.active_domain_ids() {
+                let tree = h.domain_tree_global(d).expect("active domain exports");
+                tree.validate(t.graph()).expect("exported tree validates");
+                assert_eq!(Some(tree.source()), h.domain_root(d));
+                let want = h.domain_members_global(d).unwrap();
+                for (m, w) in want {
+                    assert!(tree.is_member(m));
+                    assert_eq!(tree.member_weight(m), w);
+                }
             }
-            Err(msg) => {
-                // Sparse transit domains may offer no detour; the error
-                // must say so explicitly.
-                assert!(msg.contains("cannot recover"), "{msg}");
-            }
+        }
+
+        #[test]
+        fn gateway_cut_elects_backup_agent_when_available() {
+            let t = NLevelConfig::new(3)
+                .level(2, 5)
+                .level(2, 4)
+                .extra_edge_prob(0.5)
+                .seed(21)
+                .redundant_gateway_prob(1.0)
+                .generate()
+                .unwrap();
+            let (source, members) = pick(&t);
+            let h = NLevelSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+            // Cut the primary gateway of a member-hosting leaf off the
+            // source chain.
+            let md = t.domain_of(members[1]);
+            let dom = &t.domains()[md.index()];
+            let (border, up) = dom.attachment().unwrap();
+            let link = t.graph().link_between(border, up).unwrap();
+            let owner = h.owning_domain(link);
+            assert_eq!(Some(owner), dom.parent());
+            let rec = h.recover(link).expect("backup gateway saves the day");
+            assert_eq!(rec.owner, owner);
+            assert_eq!(rec.elections.len(), 1, "exactly one election");
+            let e = rec.elections[0];
+            assert_eq!(e.domain, md);
+            assert_eq!(e.old_agent, border);
+            let backups = dom.backup_attachments();
+            assert!(backups.contains(&(e.new_agent, e.parent_attach)));
+            assert_eq!(rec.domains_involved, 2);
+            // The restoration path ends at the new agent via the parent
+            // attachment.
+            let last = rec.restoration_paths.last().unwrap();
+            assert_eq!(*last.last().unwrap(), e.new_agent);
+            assert_eq!(last[last.len() - 2], e.parent_attach);
+            assert!(!rec.affected_members.is_empty());
+        }
+
+        #[test]
+        fn gateway_cut_without_backup_stays_an_error() {
+            let t = topo(); // no redundant gateways
+            let (source, members) = pick(&t);
+            let h = NLevelSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+            let md = t.domain_of(members[1]);
+            let dom = &t.domains()[md.index()];
+            let (border, up) = dom.attachment().unwrap();
+            let link = t.graph().link_between(border, up).unwrap();
+            let err = h.recover(link).unwrap_err();
+            assert!(err.contains("cannot recover"), "{err}");
+        }
+
+        #[test]
+        fn affected_population_counts_receivers_under_failed_subtrees() {
+            let t = NLevelConfig::new(3)
+                .level(2, 5)
+                .level(2, 4)
+                .extra_edge_prob(0.5)
+                .seed(21)
+                .population(480_000)
+                .redundant_gateway_prob(1.0)
+                .generate()
+                .unwrap();
+            let (source, members) = pick(&t);
+            let h = NLevelSession::build(&t, source, &members, SmrpConfig::default()).unwrap();
+            // Cut a leaf's gateway: the leaf's whole population (plus its
+            // real members) loses service until the election completes.
+            let md = t.domain_of(members[1]);
+            let dom = &t.domains()[md.index()];
+            let (border, up) = dom.attachment().unwrap();
+            let link = t.graph().link_between(border, up).unwrap();
+            let rec = h.recover(link).expect("backup gateway repairs");
+            let pop_under: u64 = t
+                .populations()
+                .iter()
+                .filter(|p| t.ancestry(p.domain).contains(&md))
+                .map(|p| u64::from(p.receivers))
+                .sum();
+            assert!(pop_under > 0, "leaf has an aggregated population");
+            assert!(
+                rec.affected_population >= pop_under,
+                "affected population {} must cover the subtree's {} receivers",
+                rec.affected_population,
+                pop_under
+            );
         }
     }
 }

@@ -37,6 +37,15 @@ use crate::runner::{InjectionTiming, ProtoSession, RecoveryStrategy};
 /// Sentinel for "this group has no lane on this node".
 const NO_LANE: u32 = u32::MAX;
 
+/// Where a failure run's recovery plans come from: derived from a
+/// [`RecoveryStrategy`] over the whole graph (the classic campaigns), or
+/// supplied verbatim by an external planner (hierarchical recovery, whose
+/// detour search is confined to the failure's owning domain).
+enum PlanSource<'p> {
+    Strategy(RecoveryStrategy),
+    Explicit(&'p [(GroupId, NodeId, RecoveryPlan)]),
+}
+
 /// One node's multi-session router process: independent per-group
 /// [`Router`] lanes over shared links.
 ///
@@ -398,10 +407,59 @@ impl<'g> MultiSession<'g> {
         (report, procs)
     }
 
+    /// Runs the shared failure experiment with externally supplied
+    /// recovery plans instead of plans derived from a
+    /// [`RecoveryStrategy`] over the whole graph. Each `(group, member,
+    /// plan)` triple is installed verbatim into that member's lane for
+    /// that group; no global planning happens at all.
+    ///
+    /// This is the hierarchical-recovery seam: restoration paths computed
+    /// *inside* the owning recovery domain (see
+    /// [`crate::hierarchy::NLevelSession::recover`]) go onto the wire
+    /// without the planner ever seeing topology outside the domain.
+    pub fn run_failure_planned_traced(
+        &self,
+        scenario: &FailureScenario,
+        plans: &[(GroupId, NodeId, RecoveryPlan)],
+        timing: InjectionTiming,
+        channel: &ChannelSpec,
+        until: SimTime,
+        trace: TraceLog,
+    ) -> (MultiRecoveryReport, TraceLog) {
+        let (report, trace, _procs) = self.run_failure_inner(
+            scenario,
+            PlanSource::Explicit(plans),
+            timing,
+            channel,
+            until,
+            trace,
+        );
+        (report, trace)
+    }
+
     fn run_failure_capture_traced(
         &self,
         scenario: &FailureScenario,
         strategy: RecoveryStrategy,
+        timing: InjectionTiming,
+        channel: &ChannelSpec,
+        until: SimTime,
+        trace: TraceLog,
+    ) -> (MultiRecoveryReport, TraceLog, Vec<MultiRouter>) {
+        self.run_failure_inner(
+            scenario,
+            PlanSource::Strategy(strategy),
+            timing,
+            channel,
+            until,
+            trace,
+        )
+    }
+
+    fn run_failure_inner(
+        &self,
+        scenario: &FailureScenario,
+        plans: PlanSource<'_>,
         timing: InjectionTiming,
         channel: &ChannelSpec,
         until: SimTime,
@@ -413,37 +471,49 @@ impl<'g> MultiSession<'g> {
             .hardened_for_loss(channel.default.loss);
         let mut procs = self.processes(config);
 
-        if let RecoveryStrategy::Protection = strategy {
-            // Each group's precomputed plane goes into its own lanes —
-            // per-lane caches keep one group's stale-plan discards from
-            // touching another group's protection state.
-            for (gi, sess) in self.sessions.iter().enumerate() {
-                let group = GroupId::new(gi);
-                for (node, plans) in sess.protection_plans() {
-                    procs[node.index()]
-                        .lane_mut(group)
-                        .install_backup_plans(plans);
+        match plans {
+            PlanSource::Strategy(RecoveryStrategy::Protection) => {
+                // Each group's precomputed plane goes into its own lanes —
+                // per-lane caches keep one group's stale-plan discards from
+                // touching another group's protection state.
+                for (gi, sess) in self.sessions.iter().enumerate() {
+                    let group = GroupId::new(gi);
+                    for (node, plans) in sess.protection_plans() {
+                        procs[node.index()]
+                            .lane_mut(group)
+                            .install_backup_plans(plans);
+                    }
                 }
             }
-        } else {
-            let (kind, wait) = match strategy {
-                RecoveryStrategy::LocalDetour => (DetourKind::Local, SimTime::ZERO),
-                RecoveryStrategy::ReactiveSearch { search } => (DetourKind::Local, search),
-                RecoveryStrategy::GlobalDetour { reconvergence } => {
-                    (DetourKind::Global, reconvergence)
+            PlanSource::Strategy(strategy) => {
+                let (kind, wait) = match strategy {
+                    RecoveryStrategy::LocalDetour => (DetourKind::Local, SimTime::ZERO),
+                    RecoveryStrategy::ReactiveSearch { search } => (DetourKind::Local, search),
+                    RecoveryStrategy::GlobalDetour { reconvergence } => {
+                        (DetourKind::Global, reconvergence)
+                    }
+                    RecoveryStrategy::Protection => unreachable!(),
+                };
+                for (gi, sess) in self.sessions.iter().enumerate() {
+                    let group = GroupId::new(gi);
+                    for rec in sess.plan_recoveries(scenario, kind).recoveries {
+                        procs[rec.member().index()]
+                            .lane_mut(group)
+                            .install_recovery_plan(RecoveryPlan {
+                                path: rec.restoration_path().nodes().to_vec(),
+                                wait,
+                                path_delay: SimTime::from_ms(
+                                    rec.restoration_path().delay(self.graph),
+                                ),
+                            });
+                    }
                 }
-                RecoveryStrategy::Protection => unreachable!(),
-            };
-            for (gi, sess) in self.sessions.iter().enumerate() {
-                let group = GroupId::new(gi);
-                for rec in sess.plan_recoveries(scenario, kind).recoveries {
-                    procs[rec.member().index()]
-                        .lane_mut(group)
-                        .install_recovery_plan(RecoveryPlan {
-                            path: rec.restoration_path().nodes().to_vec(),
-                            wait,
-                            path_delay: SimTime::from_ms(rec.restoration_path().delay(self.graph)),
-                        });
+            }
+            PlanSource::Explicit(list) => {
+                for (group, member, plan) in list {
+                    procs[member.index()]
+                        .lane_mut(*group)
+                        .install_recovery_plan(plan.clone());
                 }
             }
         }

@@ -313,6 +313,22 @@ impl<'g> ProtoSession<'g> {
         })
     }
 
+    /// Wraps an externally built tree — e.g. one recovery domain of a
+    /// hierarchical session re-exported to global coordinates — without
+    /// running any join protocol. The source is read off the tree itself;
+    /// member weights (aggregated populations) travel with it.
+    pub fn from_tree(graph: &'g Graph, tree: MulticastTree) -> Self {
+        let source = tree.source();
+        ProtoSession {
+            graph,
+            source,
+            tree,
+            router_config: RouterConfig::default(),
+            timer_backend: TimerBackend::default(),
+            srlgs: Vec::new(),
+        }
+    }
+
     /// Overrides the protocol timing parameters.
     pub fn set_router_config(&mut self, config: RouterConfig) {
         self.router_config = config;

@@ -162,10 +162,7 @@ fn preload_processes(trace: &GoldenTrace, config: RouterConfig) -> Vec<MultiRout
                 .install_recovery_plan(RecoveryPlan {
                     path: plan.path.iter().map(|&n| NodeId::new(n as usize)).collect(),
                     wait: SimTime::from_ns(plan.wait_ns),
-                    // Not carried on the wire: ZERO keeps the confirm
-                    // window at its detection-horizon floor, which is
-                    // always safe (see `RecoveryPlan::path_delay`).
-                    path_delay: SimTime::ZERO,
+                    path_delay: SimTime::from_ns(plan.path_delay_ns),
                 });
         }
     }
